@@ -1,0 +1,122 @@
+"""Ablation benches for the design choices called out in DESIGN.md.
+
+D1 — 2ND-CHANCE fallback (Iniva vs Iniva-No2C) under crash faults.
+D2 — tree fan-out (number of internal aggregators).
+D4 — second-chance timer δ.
+D5 — leader-election policy under faults.
+"""
+
+from benchmarks.conftest import run_once
+from repro.consensus.config import ConsensusConfig
+from repro.experiments.runner import run_experiment
+from repro.experiments.workloads import ClientWorkload
+from repro.simnet.failures import FailurePlan
+
+
+def _run(config, faults, duration=4.0, load=6000, seed=3):
+    plan = FailurePlan.random_crashes(config.committee_size, faults, seed=seed) if faults else None
+    result = run_experiment(
+        config,
+        duration=duration,
+        warmup=0.5,
+        workload=ClientWorkload(rate=load, payload_size=config.payload_size),
+        failure_plan=plan,
+    )
+    return result
+
+
+def test_ablation_second_chance_fallback(benchmark):
+    """D1: the fallback path buys inclusion under faults for modest throughput cost."""
+
+    def harness():
+        rows = []
+        for scheme in ("tree", "iniva"):
+            for faults in (0, 3):
+                config = ConsensusConfig(committee_size=21, aggregation=scheme, seed=5)
+                result = _run(config, faults)
+                rows.append(
+                    {
+                        "scheme": "Iniva" if scheme == "iniva" else "Iniva-No2C",
+                        "faults": faults,
+                        "throughput_ops": round(result.throughput, 1),
+                        "avg_qc_size": round(result.average_qc_size, 2),
+                        "failed_views_pct": round(result.failed_view_fraction * 100, 2),
+                    }
+                )
+        return rows
+
+    rows = run_once(benchmark, harness, "Ablation D1: 2ND-CHANCE fallback")
+    qc = {(row["scheme"], row["faults"]): row["avg_qc_size"] for row in rows}
+    assert qc[("Iniva", 3)] >= qc[("Iniva-No2C", 3)]
+    assert qc[("Iniva", 0)] >= qc[("Iniva-No2C", 0)]
+
+
+def test_ablation_tree_fanout(benchmark):
+    """D2: more internal aggregators shorten branches but add root work."""
+
+    def harness():
+        rows = []
+        for num_internal in (2, 4, 10):
+            config = ConsensusConfig(committee_size=21, aggregation="iniva",
+                                     num_internal=num_internal, seed=6)
+            result = _run(config, faults=0)
+            rows.append(
+                {
+                    "internal_nodes": num_internal,
+                    "throughput_ops": round(result.throughput, 1),
+                    "latency_ms": round(result.latency.mean * 1000, 2),
+                    "avg_qc_size": round(result.average_qc_size, 2),
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, harness, "Ablation D2: tree fan-out")
+    assert all(row["avg_qc_size"] > 20.5 for row in rows)
+
+
+def test_ablation_second_chance_timer(benchmark):
+    """D4: larger δ favours inclusion, smaller δ favours throughput (under faults)."""
+
+    def harness():
+        rows = []
+        for delta in (0.005, 0.010):
+            config = ConsensusConfig(committee_size=21, aggregation="iniva",
+                                     second_chance_timeout=delta, seed=7)
+            result = _run(config, faults=3)
+            rows.append(
+                {
+                    "second_chance_ms": delta * 1000,
+                    "throughput_ops": round(result.throughput, 1),
+                    "latency_ms": round(result.latency.mean * 1000, 2),
+                    "avg_qc_size": round(result.average_qc_size, 2),
+                    "failed_views_pct": round(result.failed_view_fraction * 100, 2),
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, harness, "Ablation D4: second-chance timer")
+    assert len(rows) == 2
+
+
+def test_ablation_leader_policy(benchmark):
+    """D5: Carousel avoids electing crashed leaders, reducing failed views."""
+
+    def harness():
+        rows = []
+        for policy in ("round-robin", "carousel"):
+            config = ConsensusConfig(committee_size=21, aggregation="iniva",
+                                     leader_policy=policy, seed=8)
+            result = _run(config, faults=4, duration=5.0)
+            rows.append(
+                {
+                    "leader_policy": policy,
+                    "throughput_ops": round(result.throughput, 1),
+                    "failed_views_pct": round(result.failed_view_fraction * 100, 2),
+                    "avg_qc_size": round(result.average_qc_size, 2),
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, harness, "Ablation D5: leader election policy under 4 crash faults")
+    by_policy = {row["leader_policy"]: row for row in rows}
+    assert by_policy["carousel"]["failed_views_pct"] <= by_policy["round-robin"]["failed_views_pct"] + 5

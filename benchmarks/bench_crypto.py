@@ -1,0 +1,66 @@
+"""Micro-benchmarks of the multi-signature backends.
+
+Not a paper figure, but useful for sizing the CPU cost model: measures
+sign, verify and aggregate latency for the hash backend and the
+pairing-based BLS backend on the toy curve.
+"""
+
+import pytest
+
+from repro.crypto.bls import BlsMultiSig
+from repro.crypto.hash_backend import HashMultiSig
+from repro.crypto.keys import Committee
+from repro.crypto.params import TOY_PARAMS
+
+MESSAGE = b"vote|benchmark-block|1|1"
+
+
+@pytest.fixture(scope="module")
+def hash_committee():
+    return Committee(HashMultiSig(), size=32, seed=1)
+
+
+@pytest.fixture(scope="module")
+def bls_committee():
+    return Committee(BlsMultiSig(TOY_PARAMS), size=8, seed=1)
+
+
+def test_hash_sign(benchmark, hash_committee):
+    benchmark(hash_committee.sign, 0, MESSAGE)
+
+
+def test_hash_verify_share(benchmark, hash_committee):
+    share = hash_committee.sign(0, MESSAGE)
+    benchmark(hash_committee.verify_share, share, MESSAGE)
+
+
+def test_hash_aggregate_32(benchmark, hash_committee):
+    shares = [hash_committee.sign(pid, MESSAGE) for pid in range(32)]
+    contributions = [(share, 2) for share in shares]
+    benchmark(hash_committee.scheme.aggregate, contributions)
+
+
+def test_hash_verify_aggregate_32(benchmark, hash_committee):
+    shares = [hash_committee.sign(pid, MESSAGE) for pid in range(32)]
+    aggregate = hash_committee.scheme.aggregate([(share, 2) for share in shares])
+    benchmark(hash_committee.verify_aggregate, aggregate, MESSAGE)
+
+
+def test_bls_sign(benchmark, bls_committee):
+    benchmark(bls_committee.sign, 0, MESSAGE)
+
+
+def test_bls_verify_share(benchmark, bls_committee):
+    share = bls_committee.sign(0, MESSAGE)
+    benchmark(bls_committee.verify_share, share, MESSAGE)
+
+
+def test_bls_aggregate_8(benchmark, bls_committee):
+    shares = [bls_committee.sign(pid, MESSAGE) for pid in range(8)]
+    benchmark(bls_committee.scheme.aggregate, [(share, 2) for share in shares])
+
+
+def test_bls_verify_aggregate_8(benchmark, bls_committee):
+    shares = [bls_committee.sign(pid, MESSAGE) for pid in range(8)]
+    aggregate = bls_committee.scheme.aggregate([(share, 2) for share in shares])
+    benchmark(bls_committee.verify_aggregate, aggregate, MESSAGE)

@@ -1,0 +1,25 @@
+"""Figure 2a — targeted vote-omission probability with collateral 0.
+
+Series: Gosig (k ∈ {2, 3}, with/without free-riding, greedy), the star
+protocol with round-robin leaders, and Iniva (111 processes, fan-out 10).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.security import figure_2a
+
+
+def test_figure_2a(benchmark):
+    def harness():
+        return figure_2a(
+            attacker_powers=(0.05, 0.10, 0.15),
+            gosig_trials=600,
+            iniva_trials=10_000,
+            seed=1,
+        )
+
+    rows = run_once(benchmark, harness, "Figure 2a: 0-collateral omission probability")
+    by_key = {(row["protocol"], row["attacker_power"]): row["omission_probability"] for row in rows}
+    # Shape checks mirroring the paper's claims.
+    for m in (0.05, 0.10, 0.15):
+        assert by_key[("Iniva", m)] < by_key[("Star protocol (round robin)", m)] / 3
+        assert by_key[("Gosig k=2, free-riding", m)] > by_key[("Gosig k=2", m)]

@@ -1,0 +1,23 @@
+"""Figure 2b — vote omission with larger collateral (m = 5 %)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.security import figure_2b
+
+
+def test_figure_2b(benchmark):
+    def harness():
+        return figure_2b(
+            collaterals=(0, 1, 2, 3, 4, 5, 6, 7, 8, 9),
+            attacker_power=0.05,
+            gosig_trials=300,
+            iniva_trials=6000,
+            seed=1,
+        )
+
+    rows = run_once(benchmark, harness, "Figure 2b: omission probability vs collateral (m = 5%)")
+    iniva = {row["collateral"]: row["omission_probability"] for row in rows if row["protocol"] == "Iniva"}
+    star = {row["collateral"]: row["omission_probability"] for row in rows if "Star" in row["protocol"]}
+    # Collateral has little effect on Iniva as long as it cannot buy a whole
+    # branch, and Iniva stays well below the star protocol.
+    assert max(iniva.values()) <= 0.05
+    assert all(iniva[c] < star[c] for c in iniva)

@@ -1,0 +1,27 @@
+"""Figure 2c — reward lost by victim and attacker under collateral-0 attacks."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.security import figure_2c
+
+
+def test_figure_2c(benchmark):
+    def harness():
+        return figure_2c(
+            attacker_powers=(0.05, 0.10, 0.15, 0.20, 0.25, 0.30),
+            trials=800,
+            seed=1,
+        )
+
+    rows = run_once(benchmark, harness, "Figure 2c: fraction of fair share lost (collateral 0)")
+    omission_30 = next(
+        row for row in rows if row["attack"] == "vote omission" and row["attacker_power"] == 0.30
+    )
+    # Paper: at m = 0.3 the star victim loses ~25 % of its fair share, the
+    # Iniva victim only ~7 %.
+    assert omission_30["victim_fraction_star"] < -0.15
+    assert omission_30["victim_fraction_iniva"] > omission_30["victim_fraction_star"]
+    denial_30 = next(
+        row for row in rows if row["attack"] == "no vote" and row["attacker_power"] == 0.30
+    )
+    # Vote denial is far more expensive for the attacker than vote omission.
+    assert denial_30["attacker_fraction_iniva"] < omission_30["attacker_fraction_iniva"] - 0.3

@@ -1,0 +1,21 @@
+"""Figure 2d — reward lost under large-collateral vote omission."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.security import figure_2d
+
+
+def test_figure_2d(benchmark):
+    def harness():
+        return figure_2d(attacker_powers=(0.10, 0.30), trials=1500, seed=1)
+
+    rows = run_once(benchmark, harness, "Figure 2d: reward lost with large collateral")
+    at_10 = {row["configuration"]: row for row in rows if row["attacker_power"] == 0.10}
+    # Paper: the attacker loses several times more in Iniva than in the star
+    # protocol, and more with 4 internal nodes than with 10.
+    assert at_10["Iniva (fanout=10)"]["attacker_lost_pct_of_R"] > 3 * max(
+        at_10["Star"]["attacker_lost_pct_of_R"], 0.01
+    )
+    assert (
+        at_10["Iniva (fanout=4)"]["attacker_lost_pct_of_R"]
+        > at_10["Iniva (fanout=10)"]["attacker_lost_pct_of_R"]
+    )

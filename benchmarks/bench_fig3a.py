@@ -1,0 +1,31 @@
+"""Figure 3a — throughput versus latency for HotStuff, Iniva and Iniva-No2C.
+
+Reduced grid (64-byte payload, batch size 100) so the whole bench suite
+finishes in minutes; pass a larger grid through
+``repro.experiments.throughput.figure_3a`` for the full figure.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.report import series
+from repro.experiments.throughput import figure_3a
+
+
+def test_figure_3a(benchmark):
+    def harness():
+        return figure_3a(
+            committee_size=21,
+            payload_sizes=(64,),
+            batch_sizes=(100,),
+            loads=(10_000, 30_000, 60_000),
+            duration=4.0,
+            warmup=1.0,
+        )
+
+    rows = run_once(benchmark, harness, "Figure 3a: throughput vs latency (21 replicas)")
+    curves = series(rows, key="scheme", x="offered_load_ops", y="throughput_ops")
+    peak = {scheme: max(y for _x, y in points) for scheme, points in curves.items()}
+    # Shape: HotStuff sustains the highest throughput, the plain tree
+    # (Iniva-No2C) sits in between, and Iniva pays the fallback overhead.
+    assert peak["HotStuff"] >= peak["Iniva-No2C"] * 0.95
+    assert peak["Iniva-No2C"] >= peak["Iniva"]
+    assert peak["Iniva"] > 0.4 * peak["HotStuff"]

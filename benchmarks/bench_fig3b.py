@@ -1,0 +1,24 @@
+"""Figure 3b — CPU usage of HotStuff versus Iniva at saturation."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.cpu import figure_3b
+
+
+def test_figure_3b(benchmark):
+    def harness():
+        return figure_3b(
+            committee_size=21,
+            payload_sizes=(64, 128),
+            batch_sizes=(100,),
+            saturation_load=45_000,
+            duration=4.0,
+            warmup=1.0,
+        )
+
+    rows = run_once(benchmark, harness, "Figure 3b: CPU usage (21 replicas, saturation)")
+    cpu = {(row["scheme"], row["payload_bytes"]): row["cpu_mean_pct"] for row in rows}
+    for payload in (64, 128):
+        # Paper: Iniva uses substantially less CPU than HotStuff.
+        assert cpu[("Iniva", payload)] < cpu[("HotStuff", payload)]
+    # Doubling the payload does not change CPU usage dramatically.
+    assert abs(cpu[("Iniva", 128)] - cpu[("Iniva", 64)]) < 0.5 * cpu[("Iniva", 64)] + 5

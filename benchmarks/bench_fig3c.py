@@ -1,0 +1,26 @@
+"""Figure 3c — scalability: throughput with growing committee size."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.report import series
+from repro.experiments.scalability import figure_3c
+
+
+def test_figure_3c(benchmark):
+    def harness():
+        return figure_3c(
+            replica_counts=(21, 41, 61, 91),
+            payload_sizes=(64,),
+            batch_size=100,
+            load=25_000,
+            duration=2.5,
+            warmup=0.5,
+        )
+
+    rows = run_once(benchmark, harness, "Figure 3c: throughput vs committee size")
+    curves = series(rows, key="scheme", x="replicas", y="throughput_ops")
+    for scheme, points in curves.items():
+        smallest = points[0][1]
+        largest = points[-1][1]
+        # Throughput decreases gradually as the committee grows.
+        assert largest <= smallest
+        assert largest > 0

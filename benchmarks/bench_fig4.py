@@ -1,0 +1,30 @@
+"""Figure 4 — resiliency under crash faults (throughput, latency, failed
+views, QC size) for δ ∈ {5 ms, 10 ms} and the Carousel leader policy."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.resiliency import figure_4
+
+
+def test_figure_4(benchmark):
+    def harness():
+        return figure_4(
+            committee_size=21,
+            fault_counts=(0, 1, 2, 3, 4),
+            batch_size=100,
+            load=6_000,
+            duration=5.0,
+            warmup=1.0,
+        )
+
+    rows = run_once(benchmark, harness, "Figure 4: resiliency under crash faults (21 replicas)")
+    rr_5ms = {row["faulty_nodes"]: row for row in rows if row["variant"] == "delta=5ms"}
+    # 4a/4b: throughput decreases and latency increases with more faults.
+    assert rr_5ms[4]["throughput_ops"] < rr_5ms[0]["throughput_ops"]
+    assert rr_5ms[4]["latency_ms"] > rr_5ms[0]["latency_ms"]
+    # 4c: failed views grow with the number of faulty nodes.
+    assert rr_5ms[4]["failed_views_pct"] > rr_5ms[0]["failed_views_pct"]
+    # 4d: with no faults every vote is included; with 4 faults the QC still
+    # contains (almost) all correct processes — far above the quorum of 15.
+    assert rr_5ms[0]["avg_qc_size"] > 20.5
+    assert rr_5ms[4]["avg_qc_size"] >= rr_5ms[4]["quorum_minimum"]
+    assert rr_5ms[4]["avg_qc_size"] >= 0.95 * rr_5ms[4]["max_possible_votes"]

@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  The
+benchmarks run each harness exactly once (``rounds=1``) because the
+measured quantity is the experiment's *output* (the rows of the figure),
+not the harness runtime; the rows are attached to ``benchmark.extra_info``
+and printed so ``pytest benchmarks/ --benchmark-only -s`` reproduces the
+paper's tables on the terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+
+def run_once(benchmark, fn: Callable[[], List[Dict[str, object]]], title: str):
+    """Run a figure harness once under pytest-benchmark and report its rows."""
+    from repro.experiments.report import format_rows
+
+    rows = benchmark.pedantic(fn, rounds=1, iterations=1)
+    table = format_rows(list(rows), title=title)
+    print("\n" + table)
+    benchmark.extra_info["title"] = title
+    benchmark.extra_info["rows"] = list(rows)
+    return rows

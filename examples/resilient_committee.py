@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Fault-tolerance demo: an Iniva committee with crashed replicas.
+
+Runs the same workload against HotStuff (star aggregation), the plain tree
+(Iniva-No2C) and Iniva while crashing replicas, and shows how the fallback
+paths keep every correct vote inside the quorum certificates — the
+property the reward mechanism depends on (Figure 4 of the paper).
+
+Run with::
+
+    python examples/resilient_committee.py
+"""
+
+from repro.consensus.config import ConsensusConfig
+from repro.experiments.report import format_rows
+from repro.experiments.runner import run_experiment
+from repro.experiments.workloads import ClientWorkload
+from repro.simnet.failures import FailurePlan
+
+COMMITTEE = 21
+FAULTS = [0, 2, 4]
+SCHEMES = {"HotStuff": "star", "Iniva-No2C": "tree", "Iniva": "iniva"}
+
+
+def main() -> None:
+    rows = []
+    for label, aggregation in SCHEMES.items():
+        for faults in FAULTS:
+            config = ConsensusConfig(
+                committee_size=COMMITTEE,
+                batch_size=100,
+                payload_size=64,
+                aggregation=aggregation,
+                view_timeout=0.25,
+                seed=7,
+            )
+            plan = FailurePlan.random_crashes(COMMITTEE, faults, seed=faults + 1) if faults else None
+            result = run_experiment(
+                config,
+                duration=4.0,
+                warmup=0.5,
+                workload=ClientWorkload(rate=6000, payload_size=64),
+                failure_plan=plan,
+            )
+            rows.append(
+                {
+                    "scheme": label,
+                    "crashed": faults,
+                    "throughput_ops": round(result.throughput, 0),
+                    "latency_ms": round(result.latency.mean * 1000, 1),
+                    "failed_views_pct": round(result.failed_view_fraction * 100, 1),
+                    "avg_qc_size": round(result.average_qc_size, 2),
+                    "correct_replicas": COMMITTEE - faults,
+                    "2nd_chance_votes": result.second_chance_inclusions,
+                }
+            )
+    print(format_rows(rows, title="Crash-fault resiliency (21 replicas, 150 virtual seconds scaled down)"))
+    print()
+    print("Things to notice:")
+    print(" * HotStuff QCs always contain just a quorum (15 votes) - omissions are invisible.")
+    print(" * The plain tree loses whole subtrees when an internal aggregator crashes.")
+    print(" * Iniva's 2ND-CHANCE fallback re-adds every correct vote, so the QC size")
+    print("   tracks the number of correct replicas even with 4 crashes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is fully described in ``pyproject.toml``; this file exists so
+that editable installs work in offline environments where the ``wheel``
+package (required by PEP 517 editable builds on older setuptools) is not
+available.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""Reproduction of "Iniva: Inclusive and Incentive-Compatible Vote Aggregation".
+
+Subpackages
+-----------
+``repro.core``
+    The paper's contribution: the Iniva aggregation protocol, its reward
+    scheme, the game-theoretic incentive analysis, the QC/reward audit
+    path and the Rebop reputation election.
+``repro.crypto``
+    Indivisible multi-signature substrate (pure-Python BLS and a fast
+    hash-based simulation backend) plus a VRF built on either backend.
+``repro.tree``
+    Deterministic shuffling and two-level aggregation trees.
+``repro.membership``
+    Dynamic committees: stake registry, stake-weighted selection, VRF
+    sortition, epoch schedules and reward-to-stake feedback.
+``repro.simnet``
+    Discrete-event network simulator (processes, timers, latency models
+    and topologies, fault injection, metrics, message tracing).
+``repro.consensus``
+    Chained HotStuff with Leader-Speak-Once rotation, pluggable vote
+    aggregation and round-robin / Carousel / Rebop leader election.
+``repro.aggregation``
+    Baseline aggregation schemes: star (HotStuff), plain tree
+    (Iniva-No2C), Kauri, Gosig and Handel.
+``repro.attacks`` / ``repro.analysis``
+    Targeted vote-omission attack simulators, the Gosig model, the
+    analytic security results (Table I, closed forms) and protocol
+    property checkers.
+``repro.experiments`` / ``repro.cli``
+    The evaluation harness reproducing every figure of the paper, artifact
+    export and the ``python -m repro`` command-line interface.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

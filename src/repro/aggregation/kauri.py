@@ -1,0 +1,72 @@
+"""Kauri-style tree aggregation with a stable tree and reconfiguration.
+
+Kauri (Neiheiser et al., SOSP 2021) also aggregates votes over a tree of
+height two, but differs from Iniva in two ways the paper calls out
+(Sections II-B and IV-D):
+
+* the tree is **stable** — it is not reshuffled every view, so an internal
+  process keeps the same children until a failure forces a change, and a
+  malicious leader can steer reconfiguration to sit above a chosen victim;
+* on failures the protocol **reconfigures**: a new tree is derived, and
+  after repeated failures it falls back to the star topology, giving up
+  the load-distribution benefit.
+
+This module reproduces that behaviour as a baseline.  The reconfiguration
+epoch is derived from public block state — the number of failed views so
+far, ``view - height`` — so every correct replica deterministically builds
+the same tree without extra coordination.  After
+``kauri_fallback_threshold`` reconfigurations the scheme degenerates to a
+star (a tree with zero internal nodes).
+
+Pipelining (Kauri's throughput optimisation) is intentionally not
+modelled: the paper's comparison concerns vote inclusion and robustness,
+both of which are unaffected by pipelining.
+"""
+
+from __future__ import annotations
+
+from repro.aggregation.base import register_aggregator
+from repro.aggregation.tree_agg import TreeAggregator
+from repro.consensus.block import Block
+from repro.tree.overlay import AggregationTree
+
+__all__ = ["KauriAggregator"]
+
+
+@register_aggregator
+class KauriAggregator(TreeAggregator):
+    """Stable-tree aggregation with failure-driven reconfiguration."""
+
+    name = "kauri"
+
+    def reconfiguration_epoch(self, block: Block) -> int:
+        """How many times the tree has been reconfigured when ``block`` is proposed.
+
+        Every failed view (the view number advancing without the height
+        advancing) triggers one reconfiguration, exactly like Kauri
+        deriving a new tree after a timeout.  The value only depends on
+        the block, so all correct replicas agree on the epoch.
+        """
+        return max(0, block.view - block.height)
+
+    def uses_star_fallback(self, block: Block) -> bool:
+        """Whether the scheme has given up on trees for this block."""
+        return self.reconfiguration_epoch(block) >= self.config.kauri_fallback_threshold
+
+    def _build_tree(self, block: Block) -> AggregationTree:
+        epoch = self.reconfiguration_epoch(block)
+        num_internal = self.config.num_internal
+        if self.uses_star_fallback(block):
+            # Too many failures: fall back to the star topology (all
+            # processes are direct children of the collector).
+            num_internal = 0
+        return AggregationTree.build(
+            committee_size=self.config.committee_size,
+            # A stable tree: the layout is keyed by the reconfiguration
+            # epoch, not the view, so fault-free periods reuse one tree.
+            view=epoch,
+            seed=self.config.seed,
+            num_internal=num_internal,
+            root=self.replica.collector_for(block),
+            context=b"kauri-stable-tree",
+        )

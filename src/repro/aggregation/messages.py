@@ -1,0 +1,107 @@
+"""Protocol messages exchanged during dissemination and vote aggregation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.consensus.block import Block, QuorumCertificate
+from repro.crypto.multisig import AggregateSignature, SignatureShare
+
+__all__ = [
+    "ProposalMessage",
+    "SignatureMessage",
+    "AckMessage",
+    "SecondChanceMessage",
+    "SecondChanceReply",
+    "NewViewMessage",
+]
+
+
+@dataclass(frozen=True)
+class ProposalMessage:
+    """Block dissemination (the ``PROPOSAL`` message of Algorithm 1)."""
+
+    block: Block
+
+    @property
+    def size_bytes(self) -> int:
+        return 256 + self.block.payload_bytes
+
+
+@dataclass(frozen=True)
+class SignatureMessage:
+    """A vote travelling up the aggregation topology.
+
+    ``signature`` is either an individual share (from a leaf or a star
+    replica) or an aggregate (from an internal tree node).
+    """
+
+    block_id: str
+    view: int
+    signature: Union[SignatureShare, AggregateSignature]
+
+    @property
+    def size_bytes(self) -> int:
+        return 192
+
+
+@dataclass(frozen=True)
+class AckMessage:
+    """Acknowledgement from a parent to its children (Algorithm 1, line 28).
+
+    Carries the parent's aggregate and acts as proof that the child's vote
+    was included; children answer later 2ND-CHANCE messages with this
+    aggregate instead of their individual signature.
+    """
+
+    block_id: str
+    view: int
+    aggregate: AggregateSignature
+
+    @property
+    def size_bytes(self) -> int:
+        return 192
+
+
+@dataclass(frozen=True)
+class SecondChanceMessage:
+    """The root's fallback request to processes whose votes are missing.
+
+    ``proof`` justifies the request: either the aggregate collected so far
+    (missing the recipient) or, in the timeout case, the block timestamp
+    serves as implicit proof (Section V-A of the paper).
+    """
+
+    block: Block
+    proof: Optional[AggregateSignature] = None
+
+    @property
+    def size_bytes(self) -> int:
+        return 256 + self.block.payload_bytes
+
+
+@dataclass(frozen=True)
+class SecondChanceReply:
+    """Reply to a 2ND-CHANCE: the parent's ack aggregate if available, else
+    the replier's individual signature."""
+
+    block_id: str
+    view: int
+    signature: Union[SignatureShare, AggregateSignature]
+
+    @property
+    def size_bytes(self) -> int:
+        return 192
+
+
+@dataclass(frozen=True)
+class NewViewMessage:
+    """Pacemaker message sent to the next leader after a view timeout."""
+
+    view: int
+    highest_qc: QuorumCertificate
+
+    @property
+    def size_bytes(self) -> int:
+        return 160

@@ -1,0 +1,55 @@
+"""Analytic security model: closed forms and the paper's Table I."""
+
+from repro.analysis.table1 import SchemeProperties, table1, format_table1
+from repro.analysis.omission_analysis import (
+    gosig_zero_omission,
+    iniva_zero_omission,
+    randomized_tree_zero_omission,
+    star_zero_omission,
+)
+from repro.analysis.properties import (
+    PropertyReport,
+    check_all_properties,
+    check_fulfillment,
+    check_inclusiveness,
+    check_no_forks,
+    check_reliable_dissemination,
+)
+from repro.analysis.closed_form import (
+    attacker_loss_vote_denial,
+    attacker_loss_vote_omission,
+    branch_exclusion_cost,
+    branch_size,
+    fulfillment_threshold,
+    gosig_coverage,
+    gosig_inclusion_probability,
+    iniva_c_omission,
+    iniva_max_latency,
+    victim_loss_vote_omission,
+)
+
+__all__ = [
+    "PropertyReport",
+    "SchemeProperties",
+    "attacker_loss_vote_denial",
+    "check_all_properties",
+    "check_fulfillment",
+    "check_inclusiveness",
+    "check_no_forks",
+    "check_reliable_dissemination",
+    "attacker_loss_vote_omission",
+    "branch_exclusion_cost",
+    "branch_size",
+    "format_table1",
+    "fulfillment_threshold",
+    "gosig_coverage",
+    "gosig_inclusion_probability",
+    "gosig_zero_omission",
+    "iniva_c_omission",
+    "iniva_max_latency",
+    "iniva_zero_omission",
+    "randomized_tree_zero_omission",
+    "star_zero_omission",
+    "table1",
+    "victim_loss_vote_omission",
+]

@@ -1,0 +1,223 @@
+"""Closed-form security and performance models.
+
+Complements the Monte-Carlo machinery in :mod:`repro.attacks` with the
+analytic expressions used throughout the paper's Sections V-VII:
+
+* c-omission probabilities for Iniva as a function of collateral and tree
+  shape (Theorem 4 and the branch-exclusion discussion);
+* the attacker/victim reward losses of the Section VI strategy analysis
+  (Equations 2-6), in expectation over the leader assignment;
+* a fluid model of Gosig's gossip coverage, which explains why its
+  inclusion (and hence its omission resistance) is ``k``-dependent;
+* the latency bound (7Δ) and fulfillment threshold used by the
+  inclusiveness proofs.
+
+All functions are pure and cheap, so property tests can sweep them
+against the simulators.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.core.rewards import RewardParams
+
+__all__ = [
+    "branch_size",
+    "iniva_c_omission",
+    "branch_exclusion_cost",
+    "attacker_loss_vote_omission",
+    "victim_loss_vote_omission",
+    "attacker_loss_vote_denial",
+    "gosig_coverage",
+    "gosig_inclusion_probability",
+    "iniva_max_latency",
+    "fulfillment_threshold",
+]
+
+
+def _check_fraction(value: float, name: str) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1]")
+
+
+# ---------------------------------------------------------------------------
+# Tree shape and omission probabilities
+# ---------------------------------------------------------------------------
+def branch_size(committee_size: int, num_internal: int) -> int:
+    """Number of processes in one branch: the aggregator plus its leaves.
+
+    With ``n`` processes, one root and ``i`` internal aggregators, each
+    aggregator serves about ``(n - 1 - i) / i`` leaves.
+    """
+    if committee_size < 2:
+        raise ValueError("committee must have at least two processes")
+    if num_internal <= 0:
+        # Star-degenerate tree: the "branch" of a victim is just itself.
+        return 1
+    leaves = committee_size - 1 - num_internal
+    return 1 + math.ceil(leaves / num_internal)
+
+
+def iniva_c_omission(
+    attacker_power: float,
+    committee_size: int,
+    num_internal: int,
+    collateral: int = 0,
+) -> float:
+    """The analytic c-omission probability of Iniva (Section VII-A).
+
+    With collateral below the size of a full branch the attacker must
+    control two independently assigned roles (the collector plus either
+    the victim's parent or the previous proposer), giving ``m²``.  Once the
+    collateral budget covers a whole branch, controlling the collector
+    alone suffices: the attacker drops the victim's entire subtree and the
+    probability degrades to ``m``.
+    """
+    _check_fraction(attacker_power, "attacker power")
+    if collateral < 0:
+        raise ValueError("collateral cannot be negative")
+    needed = branch_size(committee_size, num_internal) - 1  # non-target processes dropped
+    if collateral >= needed:
+        return attacker_power
+    return attacker_power ** 2
+
+
+# ---------------------------------------------------------------------------
+# Reward-loss expressions (Section VI)
+# ---------------------------------------------------------------------------
+def branch_exclusion_cost(
+    committee_size: int,
+    num_internal: int,
+    params: Optional[RewardParams] = None,
+) -> float:
+    """Expected reward the leader forfeits by excluding one whole branch.
+
+    Dropping a branch of ``a + 1`` processes costs the leader
+    ``e_l / f * b_l * R`` of its variational bonus (Equation 2 with
+    ``e_l = (a + 1) / n``) plus the aggregation bonus it would have earned
+    for that subtree.
+    """
+    params = params or RewardParams()
+    excluded = branch_size(committee_size, num_internal)
+    fraction = excluded / committee_size
+    leader_loss = (fraction / params.fault_fraction) * params.leader_bonus * params.total_reward
+    aggregation_loss = params.aggregation_bonus * params.total_reward / committee_size
+    return leader_loss + aggregation_loss
+
+
+def attacker_loss_vote_omission(
+    attacker_power: float,
+    omitted_fraction: float,
+    params: Optional[RewardParams] = None,
+) -> float:
+    """Net expected loss of the leader-attacker omitting ``e_l`` votes.
+
+    ``L - m * R_redistributed`` from the Section VI-A analysis: the leader
+    forfeits ``e_l / f * b_l * R`` of its bonus and recovers a fraction
+    ``m`` of everything that gets redistributed.
+    """
+    _check_fraction(attacker_power, "attacker power")
+    _check_fraction(omitted_fraction, "omitted fraction")
+    params = params or RewardParams()
+    reward = params.total_reward
+    loss = (omitted_fraction / params.fault_fraction) * params.leader_bonus * reward
+    redistributed = loss + omitted_fraction * reward * (
+        params.aggregation_bonus + params.voting_fraction
+    )
+    return loss - attacker_power * redistributed
+
+
+def victim_loss_vote_omission(
+    omitted_fraction: float, params: Optional[RewardParams] = None
+) -> float:
+    """Expected loss of the omitted processes (their voting reward)."""
+    _check_fraction(omitted_fraction, "omitted fraction")
+    params = params or RewardParams()
+    return omitted_fraction * params.voting_fraction * params.total_reward
+
+
+def attacker_loss_vote_denial(
+    attacker_power: float,
+    denied_fraction: float,
+    params: Optional[RewardParams] = None,
+) -> float:
+    """Net expected loss of an attacker refusing to vote with ``e_v`` processes.
+
+    Section VI-B: the attacker loses the voting reward of the denied votes
+    and recovers ``m`` of the redistributed voting reward, leader bonus and
+    aggregation bonus.
+    """
+    _check_fraction(attacker_power, "attacker power")
+    _check_fraction(denied_fraction, "denied fraction")
+    params = params or RewardParams()
+    reward = params.total_reward
+    loss = denied_fraction * params.voting_fraction * reward
+    redistributed = loss + denied_fraction * reward * (
+        params.leader_bonus / params.fault_fraction + params.aggregation_bonus
+    )
+    return loss - attacker_power * redistributed
+
+
+# ---------------------------------------------------------------------------
+# Gosig coverage model
+# ---------------------------------------------------------------------------
+def gosig_coverage(committee_size: int, gossip_fanout: int, rounds: int) -> float:
+    """Fluid approximation of push-gossip coverage after ``rounds`` rounds.
+
+    ``c_{r+1} = 1 - (1 - c_r) * (1 - c_r * k / (n - 1))^{n}`` is the usual
+    mean-field recursion for push gossip where every informed process
+    contacts ``k`` uniformly random peers per round.  The returned value is
+    the expected fraction of processes holding a given signature.
+    """
+    if committee_size < 2:
+        raise ValueError("committee must have at least two processes")
+    if gossip_fanout < 1:
+        raise ValueError("fanout must be at least one")
+    if rounds < 0:
+        raise ValueError("rounds cannot be negative")
+    coverage = 1.0 / committee_size
+    contact_probability = min(gossip_fanout / (committee_size - 1), 1.0)
+    for _ in range(rounds):
+        informed = coverage * committee_size
+        miss = (1.0 - contact_probability) ** informed
+        coverage = coverage + (1.0 - coverage) * (1.0 - miss)
+        coverage = min(coverage, 1.0)
+    return coverage
+
+
+def gosig_inclusion_probability(
+    committee_size: int,
+    gossip_fanout: int,
+    rounds: int,
+    free_riding_fraction: float = 0.0,
+) -> float:
+    """Probability that a given correct vote reaches the collector.
+
+    Free-riders forward only their own signature, so they do not help a
+    foreign signature spread: the effective population carrying it shrinks
+    accordingly, which is the mechanism behind the paper's observation
+    that free-riding makes targeted omission easier.
+    """
+    _check_fraction(free_riding_fraction, "free-riding fraction")
+    effective_fanout = max(1, round(gossip_fanout * (1.0 - free_riding_fraction)))
+    return gosig_coverage(committee_size, effective_fanout, rounds)
+
+
+# ---------------------------------------------------------------------------
+# Latency / liveness bounds
+# ---------------------------------------------------------------------------
+def iniva_max_latency(delta: float) -> float:
+    """The 7Δ worst-case round latency derived in Section V-C."""
+    if delta <= 0:
+        raise ValueError("delta must be positive")
+    return 7.0 * delta
+
+
+def fulfillment_threshold(committee_size: int, fault_fraction: float = 1 / 3) -> int:
+    """The ``(1 - f) N`` signature count required by Fulfillment (Definition 3)."""
+    if committee_size <= 0:
+        raise ValueError("committee size must be positive")
+    _check_fraction(fault_fraction, "fault fraction")
+    return int(math.ceil((1.0 - fault_fraction) * committee_size - 1e-9))

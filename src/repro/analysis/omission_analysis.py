@@ -1,0 +1,71 @@
+"""Closed-form 0-omission probabilities for the compared schemes.
+
+These are the analytic entries behind Table I; the Monte-Carlo estimators
+in :mod:`repro.attacks` cross-check the Iniva and Gosig values.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.attacks.gosig_sim import GosigConfig, GosigSimulator
+
+__all__ = [
+    "star_zero_omission",
+    "randomized_tree_zero_omission",
+    "iniva_zero_omission",
+    "gosig_zero_omission",
+]
+
+
+def star_zero_omission(attacker_power: float) -> float:
+    """Star protocol: the leader alone controls inclusion, so ``m``."""
+    _check_power(attacker_power)
+    return attacker_power
+
+
+def randomized_tree_zero_omission(attacker_power: float, rounds_controlled: int = 1) -> float:
+    """A static randomized tree whose configuration the leader controls.
+
+    Once the attacker holds the leader it can reconfigure the tree so it
+    also controls the victim's parent, and in a static configuration it can
+    repeat the attack every round (Table I footnote a): the probability is
+    ``m`` per round and approaches certainty over repeated rounds.
+    """
+    _check_power(attacker_power)
+    per_round = attacker_power
+    return 1.0 - (1.0 - per_round) ** max(rounds_controlled, 1)
+
+
+def iniva_zero_omission(attacker_power: float) -> float:
+    """Iniva: two independently assigned roles must be corrupted, so ``m²``."""
+    _check_power(attacker_power)
+    return attacker_power ** 2
+
+
+def gosig_zero_omission(
+    attacker_power: float,
+    gossip_fanout: int = 2,
+    free_riding_fraction: float = 0.0,
+    trials: int = 1500,
+    seed: int = 0,
+    config: Optional[GosigConfig] = None,
+) -> float:
+    """Gosig's 0-omission probability is ``k``-dependent (Table I footnote b).
+
+    There is no clean closed form, so the value is estimated with the
+    round-based simulator from :mod:`repro.attacks.gosig_sim`.
+    """
+    _check_power(attacker_power)
+    config = config or GosigConfig(
+        gossip_fanout=gossip_fanout,
+        attacker_power=attacker_power,
+        free_riding_fraction=free_riding_fraction,
+    )
+    simulator = GosigSimulator(config, seed=seed)
+    return simulator.omission_probability(trials=trials).probability
+
+
+def _check_power(attacker_power: float) -> None:
+    if not 0 <= attacker_power <= 1:
+        raise ValueError("attacker power must lie in [0, 1]")

@@ -1,0 +1,114 @@
+"""Table I: comparison of multi-signature aggregation schemes.
+
+The table summarises, for each scheme, its 0-omission probability, whether
+it is inclusive (Definition 4) and whether it is incentive compatible
+(Definition 6).  The entries are produced programmatically from the
+analysis modules so the benchmark harness can regenerate the table and the
+tests can assert its contents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis.omission_analysis import (
+    gosig_zero_omission,
+    iniva_zero_omission,
+    randomized_tree_zero_omission,
+    star_zero_omission,
+)
+
+__all__ = ["SchemeProperties", "table1", "format_table1"]
+
+
+@dataclass(frozen=True)
+class SchemeProperties:
+    """One row of Table I.
+
+    Attributes:
+        name: Scheme name as it appears in the paper.
+        zero_omission: Human-readable 0-omission probability (``m``, ``m²``,
+            ``k``-dependent, ...).
+        zero_omission_value: Numeric value for the configured attacker power
+            (``None`` when only an empirical estimate makes sense and
+            ``estimate_gosig`` was disabled).
+        inclusive: Whether the scheme satisfies Inclusiveness.
+        incentive_compatible: Whether honest aggregation is a dominant
+            strategy under the scheme's rewards.
+    """
+
+    name: str
+    zero_omission: str
+    zero_omission_value: Optional[float]
+    inclusive: bool
+    incentive_compatible: bool
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "scheme": self.name,
+            "0-omission probability": self.zero_omission,
+            "0-omission value": self.zero_omission_value,
+            "inclusive": self.inclusive,
+            "incentive compatible": self.incentive_compatible,
+        }
+
+
+def table1(
+    attacker_power: float = 0.1,
+    gossip_fanout: int = 2,
+    estimate_gosig: bool = True,
+    gosig_trials: int = 800,
+    seed: int = 0,
+) -> List[SchemeProperties]:
+    """Regenerate Table I for a given attacker power ``m``."""
+    gosig_value = (
+        gosig_zero_omission(
+            attacker_power, gossip_fanout=gossip_fanout, trials=gosig_trials, seed=seed
+        )
+        if estimate_gosig
+        else None
+    )
+    return [
+        SchemeProperties(
+            name="Star protocol",
+            zero_omission="m",
+            zero_omission_value=star_zero_omission(attacker_power),
+            inclusive=True,
+            incentive_compatible=True,
+        ),
+        SchemeProperties(
+            name="Randomized tree",
+            zero_omission="m (every round in a static configuration)",
+            zero_omission_value=randomized_tree_zero_omission(attacker_power),
+            inclusive=False,
+            incentive_compatible=True,
+        ),
+        SchemeProperties(
+            name=f"Gosig (k={gossip_fanout})",
+            zero_omission="k-dependent",
+            zero_omission_value=gosig_value,
+            inclusive=False,
+            incentive_compatible=False,
+        ),
+        SchemeProperties(
+            name="Iniva",
+            zero_omission="m^2",
+            zero_omission_value=iniva_zero_omission(attacker_power),
+            inclusive=True,
+            incentive_compatible=True,
+        ),
+    ]
+
+
+def format_table1(rows: List[SchemeProperties]) -> str:
+    """Render Table I as an aligned text table (used by the bench harness)."""
+    header = f"{'Scheme':<18} {'0-omission':<40} {'Value':>8} {'Inclusive':>10} {'Incentive-compat.':>18}"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        value = f"{row.zero_omission_value:.4f}" if row.zero_omission_value is not None else "n/a"
+        lines.append(
+            f"{row.name:<18} {row.zero_omission:<40} {value:>8} "
+            f"{str(row.inclusive):>10} {str(row.incentive_compatible):>18}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,96 @@
+"""Adversary and role sampling shared by the attack simulations.
+
+Definition 5 of the paper measures the c-omission probability over "a
+random assignment of processes to the attacker and the victim role"; this
+module provides exactly that sampling, plus per-round sampling of the
+aggregation tree and the proposer.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import FrozenSet, Optional
+
+from repro.tree.overlay import AggregationTree
+
+__all__ = ["AdversaryModel", "RoleAssignment"]
+
+
+@dataclass(frozen=True)
+class RoleAssignment:
+    """One sampled round: who the attacker controls and who the victim is.
+
+    Attributes:
+        attacker: The set of process ids under adversarial control.
+        victim: The targeted (honest) process.
+        proposer: The leader of the previous view (the block proposer); in
+            the LSO model it is distinct from the tree root, which is the
+            *next* leader and collector.
+        tree: The aggregation tree for the round (``None`` for protocols
+            without a tree, e.g. the star baseline or Gosig).
+    """
+
+    attacker: FrozenSet[int]
+    victim: int
+    proposer: int
+    tree: Optional[AggregationTree] = None
+
+    @property
+    def collector(self) -> Optional[int]:
+        return self.tree.root if self.tree is not None else None
+
+    def controls(self, process_id: int) -> bool:
+        return process_id in self.attacker
+
+
+class AdversaryModel:
+    """Samples random rounds for an adversary with power ``m``.
+
+    The committee has ``committee_size`` processes; the adversary controls
+    ``round(m * n)`` of them, chosen uniformly at random each round (the
+    paper's probability space).  The victim is drawn uniformly from the
+    honest processes.
+    """
+
+    def __init__(
+        self,
+        committee_size: int,
+        attacker_power: float,
+        num_internal: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        if committee_size < 3:
+            raise ValueError("need at least three processes")
+        if not 0 <= attacker_power < 1:
+            raise ValueError("attacker power must lie in [0, 1)")
+        self.committee_size = committee_size
+        self.attacker_power = attacker_power
+        self.num_internal = num_internal
+        self.rng = random.Random(seed)
+
+    @property
+    def attacker_count(self) -> int:
+        return int(round(self.attacker_power * self.committee_size))
+
+    def sample(self, view: int = 0, build_tree: bool = True) -> RoleAssignment:
+        """Sample one round: attacker set, victim, proposer and tree."""
+        population = list(range(self.committee_size))
+        attacker = frozenset(self.rng.sample(population, self.attacker_count))
+        honest = [pid for pid in population if pid not in attacker]
+        victim = self.rng.choice(honest)
+        proposer = self.rng.choice(population)
+        tree = None
+        if build_tree:
+            # The collector (tree root) is uniform too: leader rotation plus
+            # the unpredictable per-view shuffle make every process equally
+            # likely to hold each role.
+            root = self.rng.choice(population)
+            tree = AggregationTree.build(
+                committee_size=self.committee_size,
+                view=view,
+                seed=self.rng.getrandbits(32),
+                num_internal=self.num_internal,
+                root=root,
+            )
+        return RoleAssignment(attacker=attacker, victim=victim, proposer=proposer, tree=tree)

@@ -1,0 +1,115 @@
+"""Byzantine aggregator behaviours for protocol-level attack experiments.
+
+The Monte-Carlo analysis in :mod:`repro.attacks.omission` reasons about
+targeted vote omission *structurally*; this module provides the matching
+behaviours for the discrete-event protocol implementation so the same
+claims can be exercised end-to-end: a corrupted internal aggregator that
+silently drops its victim's share, and a corrupted collector that withholds
+the victim's 2ND-CHANCE and discards its direct contributions.
+
+Used by the integration tests to demonstrate Theorem 4 on live runs: a
+single corrupted role is never enough to omit the victim — the fallback
+path (honest collector) or the indivisible parent aggregate (honest
+parent) always re-adds it — while a coalition holding both roles succeeds.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.aggregation.messages import SecondChanceReply
+from repro.consensus.block import Block
+from repro.core.iniva import InivaAggregator
+from repro.crypto.multisig import AggregateSignature
+
+__all__ = ["OmittingInivaAggregator", "corrupt_replicas"]
+
+
+class OmittingInivaAggregator(InivaAggregator):
+    """An Iniva aggregator that tries to censor one victim's vote.
+
+    The behaviour follows the paper's targeted vote omission attack with
+    collateral 0:
+
+    * as an internal node it leaves the victim's share out of its
+      aggregate (and consequently never acknowledges the victim);
+    * as the collector it never sends the victim a 2ND-CHANCE message and
+      discards any individual contribution or fallback reply that could
+      only add the victim;
+    * it never discards aggregates that already contain the victim —
+      doing so would exclude other processes and exceed the collateral
+      budget (and the multi-signature is indivisible, so the victim cannot
+      be carved out of them).
+    """
+
+    # Deliberately NOT added to the aggregator registry: experiment configs
+    # cannot select it by name, it is attached explicitly by `corrupt_replicas`.
+    name = "byzantine-omitting-iniva"
+
+    def __init__(self, replica, victim: int) -> None:
+        super().__init__(replica)
+        self.victim = victim
+
+    # -- internal node behaviour --------------------------------------------
+    def _internal_send_up(self, block: Block) -> None:
+        state = self._collection(block)
+        state["children_shares"].pop(self.victim, None)
+        super()._internal_send_up(block)
+
+    # -- collector behaviour ---------------------------------------------------
+    def _send_second_chances(self, block: Block) -> None:
+        from repro.aggregation.messages import SecondChanceMessage
+
+        state = self._collection(block)
+        if state["done"] or state["second_chance_sent"]:
+            return
+        state["second_chance_sent"] = True
+        missing = [
+            pid
+            for pid in range(self.config.committee_size)
+            if pid not in state["included"] and pid != self.victim
+        ]
+        if not missing:
+            # Everyone except (possibly) the victim is in: finalise without it.
+            self._root_finalise(block)
+            return
+        proof = self.scheme.aggregate(state["contributions"]) if state["contributions"] else None
+        message = SecondChanceMessage(block=block, proof=proof)
+        self.replica.multicast(missing, message, size_bytes=message.size_bytes)
+        self.replica.set_timer(
+            self.config.second_chance_timeout, self._second_chance_timeout, block
+        )
+
+    def _root_add_contribution(self, block: Block, contribution, weight: int, source: int) -> None:
+        tree = self._collection(block)["tree"]
+        if tree.is_root(self.process_id):
+            signers = (
+                contribution.signers
+                if isinstance(contribution, AggregateSignature)
+                else frozenset({contribution.signer})
+            )
+            # Drop contributions whose only effect would be adding the victim
+            # (its individual share or a fallback reply centred on it).
+            if signers == frozenset({self.victim}):
+                return
+        super()._root_add_contribution(block, contribution, weight, source)
+
+    def _on_second_chance_reply(self, sender: int, message: SecondChanceReply) -> None:
+        if sender == self.victim:
+            return
+        super()._on_second_chance_reply(sender, message)
+
+
+def corrupt_replicas(deployment, attacker_ids: Iterable[int], victim: int) -> None:
+    """Replace the aggregators of ``attacker_ids`` with omission attackers.
+
+    Must be called before ``deployment.start()``.  The consensus layer of
+    the corrupted replicas is left untouched: they still propose, vote and
+    commit correctly — the attack is purely about which votes they
+    aggregate, exactly as in the paper's threat model.
+    """
+    for process_id in attacker_ids:
+        if process_id == victim:
+            raise ValueError("the victim cannot be one of the attacker processes")
+        replica = deployment.replicas[process_id]
+        replica.aggregator = OmittingInivaAggregator(replica, victim=victim)

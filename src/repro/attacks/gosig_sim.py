@@ -1,0 +1,241 @@
+"""Round-based simulation of Gosig's randomised vote aggregation.
+
+The paper simulates targeted vote omission against Gosig (Section VII-B,
+Figures 2a and 2b) to show that randomised redundancy only protects the
+victim for small gossip fan-out ``k`` and small attacker power ``m``, and
+that free-riding — processes that skip the costly aggregation step and
+only ever forward their own signature — makes the attack substantially
+easier.
+
+Model
+-----
+The exact simulation set-up of the original paper is not fully specified;
+the model below captures the mechanisms the paper describes and reproduces
+its qualitative findings (see EXPERIMENTS.md for the comparison):
+
+* ``n`` processes; each starts with its own signature.  In every gossip
+  round each process sends a *contribution* (an indivisible signer set) to
+  ``k`` uniformly random peers; deliveries become visible next round.
+* Honest aggregating processes forward the union of everything they know.
+* Free-riding processes only ever forward their own signature.
+* Attacker processes collude: they never forward anything containing the
+  victim and instead forward the largest victim-free union known to the
+  coalition.
+* An honest leader finalises the full union it holds after the round
+  budget; a malicious leader finalises as soon as it can assemble a
+  victim-free union of quorum size from the indivisible contributions it
+  (or any colluder) received, and otherwise falls back to the full union.
+
+A targeted omission *succeeds* when the finalised certificate reaches a
+quorum and does not contain the victim; the collateral of an instance is
+the number of other correct processes missing from the certificate.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Set
+
+from repro.attacks.omission import OmissionOutcome
+
+__all__ = ["GosigConfig", "GosigInstanceResult", "GosigSimulator"]
+
+
+@dataclass(frozen=True)
+class GosigConfig:
+    """Parameters of the Gosig attack simulation.
+
+    Attributes:
+        committee_size: Number of processes (100 in the paper's simulation).
+        gossip_fanout: ``k`` — how many random peers each process contacts
+            per round.
+        attacker_power: Fraction ``m`` of processes under adversarial
+            control.
+        free_riding_fraction: Fraction of honest processes that free-ride
+            (0.3 in the paper's free-riding scenario).
+        greedy_leader: If True, a malicious leader engages the victim
+            first, delaying the victim's own gossip by one round.
+        rounds: Gossip rounds before the leader must finalise.  Defaults to
+            ``ceil(log_{k+1}(n))`` — the epidemic spreading time.
+        quorum_fraction: Fraction of signatures required for a valid
+            certificate (2/3).
+    """
+
+    committee_size: int = 100
+    gossip_fanout: int = 2
+    attacker_power: float = 0.05
+    free_riding_fraction: float = 0.0
+    greedy_leader: bool = False
+    rounds: Optional[int] = None
+    quorum_fraction: float = 2 / 3
+
+    def __post_init__(self) -> None:
+        if self.committee_size < 4:
+            raise ValueError("committee must have at least four processes")
+        if self.gossip_fanout < 1:
+            raise ValueError("gossip fan-out must be at least one")
+        if not 0 <= self.attacker_power < 0.5:
+            raise ValueError("attacker power must lie in [0, 0.5)")
+        if not 0 <= self.free_riding_fraction < 1:
+            raise ValueError("free-riding fraction must lie in [0, 1)")
+
+    @property
+    def quorum_size(self) -> int:
+        return int(math.ceil(self.quorum_fraction * self.committee_size))
+
+    @property
+    def effective_rounds(self) -> int:
+        if self.rounds is not None:
+            return self.rounds
+        # Two rounds beyond the epidemic spreading time: enough for the
+        # victim's signature to reach an honest leader with high probability
+        # when every honest process aggregates, but tight enough that
+        # free-riding (which slows the epidemic) visibly threatens inclusion.
+        return max(3, int(math.ceil(math.log(self.committee_size, self.gossip_fanout + 1))) + 2)
+
+
+@dataclass(frozen=True)
+class GosigInstanceResult:
+    """Outcome of one simulated aggregation instance."""
+
+    certificate: FrozenSet[int]
+    victim: int
+    attacker: FrozenSet[int]
+    leader: int
+
+    @property
+    def leader_malicious(self) -> bool:
+        return self.leader in self.attacker
+
+    @property
+    def valid(self) -> bool:
+        return bool(self.certificate)
+
+    @property
+    def victim_omitted(self) -> bool:
+        return self.valid and self.victim not in self.certificate
+
+    def collateral_against(self, committee_size: int) -> int:
+        """Correct, non-victim processes missing from the certificate."""
+        if not self.valid:
+            return 0
+        correct = set(range(committee_size)) - set(self.attacker)
+        return sum(1 for pid in correct if pid != self.victim and pid not in self.certificate)
+
+
+class GosigSimulator:
+    """Monte-Carlo simulator for targeted vote omission in Gosig."""
+
+    def __init__(self, config: GosigConfig, seed: int = 0) -> None:
+        self.config = config
+        self.rng = random.Random(seed)
+
+    # -- one aggregation instance -------------------------------------------
+    def run_instance(self) -> GosigInstanceResult:
+        cfg = self.config
+        n = cfg.committee_size
+        rng = self.rng
+        population = list(range(n))
+
+        attacker_count = int(round(cfg.attacker_power * n))
+        attacker: Set[int] = set(rng.sample(population, attacker_count)) if attacker_count else set()
+        honest = [pid for pid in population if pid not in attacker]
+        victim = rng.choice(honest)
+        leader = rng.choice(population)
+        eligible_free_riders = [pid for pid in honest if pid not in (victim, leader)]
+        free_rider_count = min(
+            int(round(cfg.free_riding_fraction * len(honest))), len(eligible_free_riders)
+        )
+        free_riders: Set[int] = (
+            set(rng.sample(eligible_free_riders, free_rider_count)) if free_rider_count else set()
+        )
+        leader_malicious = leader in attacker
+
+        knowledge: List[Set[int]] = [{pid} for pid in population]
+        leader_contributions: List[FrozenSet[int]] = [frozenset({leader})]
+        attacker_victim_free: Set[int] = set(attacker)
+        victim_delayed = cfg.greedy_leader and leader_malicious
+        certificate: Optional[Set[int]] = None
+
+        for round_index in range(cfg.effective_rounds):
+            outgoing: List[tuple[int, FrozenSet[int]]] = []
+            for pid in population:
+                if pid == victim and victim_delayed and round_index == 0:
+                    continue
+                if pid in attacker:
+                    contribution = frozenset(attacker_victim_free | {pid})
+                elif pid in free_riders:
+                    contribution = frozenset({pid})
+                else:
+                    contribution = frozenset(knowledge[pid])
+                targets = rng.sample(population, cfg.gossip_fanout + 1)
+                for target in targets[: cfg.gossip_fanout]:
+                    if target != pid:
+                        outgoing.append((target, contribution))
+
+            for target, contribution in outgoing:
+                knowledge[target] |= contribution
+                if target in attacker and victim not in contribution:
+                    attacker_victim_free |= contribution
+                if target == leader:
+                    leader_contributions.append(contribution)
+
+            if leader_malicious:
+                victim_free_union: Set[int] = set(attacker)
+                for contribution in leader_contributions:
+                    if victim not in contribution:
+                        victim_free_union |= contribution
+                if len(victim_free_union) >= cfg.quorum_size:
+                    certificate = victim_free_union
+                    break
+
+        if certificate is None:
+            full_union = set(knowledge[leader])
+            if leader_malicious:
+                for contribution in leader_contributions:
+                    full_union |= contribution
+            certificate = full_union if len(full_union) >= cfg.quorum_size else set()
+
+        return GosigInstanceResult(
+            certificate=frozenset(certificate),
+            victim=victim,
+            attacker=frozenset(attacker),
+            leader=leader,
+        )
+
+    # -- Monte-Carlo estimates ---------------------------------------------------
+    def omission_probability(
+        self, trials: int = 2000, collateral: Optional[int] = None
+    ) -> OmissionOutcome:
+        """Probability of a successful targeted omission.
+
+        With ``collateral=None`` (Figure 2a) success only requires the
+        victim to be missing from a valid certificate; with an explicit
+        collateral budget (Figure 2b) at most that many other correct
+        processes may be missing as well.
+        """
+        cfg = self.config
+        successes = 0
+        for _ in range(trials):
+            result = self.run_instance()
+            if not result.victim_omitted:
+                continue
+            if collateral is not None and result.collateral_against(cfg.committee_size) > collateral:
+                continue
+            successes += 1
+        return OmissionOutcome(
+            probability=successes / trials if trials else 0.0,
+            trials=trials,
+            successes=successes,
+        )
+
+    def inclusion_rate(self, trials: int = 500) -> float:
+        """Fraction of instances whose certificate contains the victim."""
+        included = 0
+        for _ in range(trials):
+            result = self.run_instance()
+            if result.valid and result.victim in result.certificate:
+                included += 1
+        return included / trials if trials else 0.0

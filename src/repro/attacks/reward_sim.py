@@ -1,0 +1,286 @@
+"""Reward-loss simulations for victim and attacker (Figures 2c and 2d).
+
+For every sampled round the simulator constructs the signer multiplicities
+that Iniva's aggregation would produce under a given attacker behaviour,
+feeds them to the reward scheme of :mod:`repro.core.rewards` and averages
+the resulting payouts of the victim and of the attacker coalition.  The
+star baseline uses the same leader bonus but no aggregation bonus and a
+leader with full control over inclusion, exactly as in the paper's
+comparison.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Set
+
+from repro.attacks.adversary import AdversaryModel, RoleAssignment
+from repro.core.rewards import RewardParams, compute_rewards, compute_star_rewards
+from repro.tree.overlay import AggregationTree
+
+__all__ = ["RewardAttackResult", "RewardAttackSimulator", "honest_multiplicities"]
+
+#: Attacks understood by the simulator.
+ATTACKS = ("honest", "vote-omission", "vote-denial", "all")
+
+
+def honest_multiplicities(tree: AggregationTree) -> Dict[int, int]:
+    """Multiplicities of a fault-free Iniva round (everyone aggregated)."""
+    multiplicities: Dict[int, int] = {tree.root: 1}
+    for internal in tree.internal_nodes:
+        children = tree.children(internal)
+        multiplicities[internal] = 1 + len(children)
+        for child in children:
+            multiplicities[child] = 2
+    for leaf in tree.direct_leaves:
+        multiplicities[leaf] = 1
+    return multiplicities
+
+
+@dataclass(frozen=True)
+class RewardAttackResult:
+    """Average per-round outcome of an attack campaign.
+
+    All quantities are relative to the *fair share* ``R / n`` (the payout a
+    process receives when every participant is honest and included).
+
+    Attributes:
+        victim_fraction_of_fair_share: Mean ``victim reward / fair share - 1``
+            (the quantity plotted in Figure 2c, left).
+        attacker_fraction_of_fair_share: Same for the average attacker
+            process (Figure 2c, right).
+        victim_lost_reward: Mean absolute reward lost by the victim per
+            round, as a fraction of the block reward ``R`` (Figure 2d).
+        attacker_lost_reward: Same for the whole attacker coalition.
+        attack_rounds: Fraction of rounds in which the attack could actually
+            be executed (e.g. the attacker held the necessary roles).
+    """
+
+    victim_fraction_of_fair_share: float
+    attacker_fraction_of_fair_share: float
+    victim_lost_reward: float
+    attacker_lost_reward: float
+    attack_rounds: float
+
+
+class RewardAttackSimulator:
+    """Monte-Carlo estimator of reward losses under targeted attacks."""
+
+    def __init__(
+        self,
+        committee_size: int = 111,
+        num_internal: int = 10,
+        attacker_power: float = 0.1,
+        params: Optional[RewardParams] = None,
+        seed: int = 0,
+    ) -> None:
+        self.committee_size = committee_size
+        self.num_internal = num_internal
+        self.attacker_power = attacker_power
+        self.params = params or RewardParams()
+        self.adversary = AdversaryModel(
+            committee_size=committee_size,
+            attacker_power=attacker_power,
+            num_internal=num_internal,
+            seed=seed,
+        )
+
+    # ------------------------------------------------------------------
+    # Iniva round construction under different attacker behaviours
+    # ------------------------------------------------------------------
+    def _iniva_multiplicities(
+        self, assignment: RoleAssignment, attack: str, unlimited_collateral: bool
+    ) -> Dict[int, int]:
+        tree = assignment.tree
+        assert tree is not None
+        multiplicities = honest_multiplicities(tree)
+        attacker = assignment.attacker
+        victim = assignment.victim
+
+        apply_denial = attack in ("vote-denial", "all")
+        apply_omission = attack in ("vote-omission", "all")
+
+        if apply_denial:
+            self._apply_vote_denial(tree, attacker, multiplicities)
+        if apply_omission and tree.root in attacker:
+            self._apply_targeted_omission(
+                tree, assignment, multiplicities, unlimited_collateral
+            )
+        if attack == "all":
+            self._apply_aggregation_attacks(tree, attacker, multiplicities)
+        return multiplicities
+
+    def _apply_vote_denial(
+        self, tree: AggregationTree, attacker: Set[int], multiplicities: Dict[int, int]
+    ) -> None:
+        """Attacker processes withhold their votes entirely."""
+        for pid in attacker:
+            if pid == tree.root:
+                continue  # the collector always includes itself
+            multiplicities[pid] = 0
+            if tree.is_internal(pid):
+                # The children of a silent aggregator fall back to 2ND-CHANCE.
+                for child in tree.children(pid):
+                    if child not in attacker:
+                        multiplicities[child] = 1
+        for internal in tree.internal_nodes:
+            if internal in attacker:
+                continue
+            aggregated = sum(
+                1 for child in tree.children(internal) if multiplicities.get(child, 0) == 2
+            )
+            multiplicities[internal] = 1 + aggregated
+
+    def _apply_targeted_omission(
+        self,
+        tree: AggregationTree,
+        assignment: RoleAssignment,
+        multiplicities: Dict[int, int],
+        unlimited_collateral: bool,
+    ) -> None:
+        """The corrupted root omits the victim, spending collateral if allowed."""
+        victim = assignment.victim
+        attacker = assignment.attacker
+        if victim == tree.root:
+            return
+        if tree.is_leaf(victim):
+            parent = tree.parent(victim)
+            if parent == tree.root:
+                multiplicities[victim] = 0
+                return
+            if parent in attacker:
+                # The corrupted parent silently skips the victim.
+                multiplicities[victim] = 0
+                multiplicities[parent] = max(multiplicities[parent] - 1, 1)
+                return
+            if unlimited_collateral:
+                # Drop the whole branch; corrupted branch members rejoin via
+                # 2ND-CHANCE replies (multiplicity one).
+                for pid in tree.branch_of(victim):
+                    multiplicities[pid] = 1 if pid in attacker else 0
+                multiplicities[victim] = 0
+            return
+        # Victim is an internal aggregator.
+        if assignment.proposer in attacker:
+            # Withhold the proposal; collect the victim's leaves via 2ND-CHANCE.
+            multiplicities[victim] = 0
+            for child in tree.children(victim):
+                multiplicities[child] = 1
+            return
+        if unlimited_collateral:
+            multiplicities[victim] = 0
+            for child in tree.children(victim):
+                multiplicities[child] = 1 if child in attacker else 0
+
+    def _apply_aggregation_attacks(
+        self, tree: AggregationTree, attacker: Set[int], multiplicities: Dict[int, int]
+    ) -> None:
+        """Aggregation denial (leaves) and aggregation omission (internals)."""
+        for pid in attacker:
+            if tree.is_leaf(pid) and multiplicities.get(pid, 0) == 2:
+                multiplicities[pid] = 1  # bypassed its parent via 2ND-CHANCE
+                parent = tree.parent(pid)
+                if parent is not None and parent != tree.root and multiplicities.get(parent, 0) > 1:
+                    multiplicities[parent] -= 1
+            elif tree.is_internal(pid) and multiplicities.get(pid, 0) > 0:
+                for child in tree.children(pid):
+                    if child not in attacker and multiplicities.get(child, 0) == 2:
+                        multiplicities[child] = 1
+                aggregated = sum(
+                    1 for child in tree.children(pid) if multiplicities.get(child, 0) == 2
+                )
+                multiplicities[pid] = 1 + aggregated
+
+    # ------------------------------------------------------------------
+    # Campaign estimates
+    # ------------------------------------------------------------------
+    def run_iniva(
+        self, attack: str, trials: int = 2000, unlimited_collateral: bool = False
+    ) -> RewardAttackResult:
+        """Average reward outcome of an attack campaign against Iniva.
+
+        Variance reduction: every sampled round is evaluated both under the
+        attack and under fully honest behaviour with the *same* role
+        assignment, and only the payout differences are accumulated.  The
+        role lottery (who happens to be leader or aggregator) then cancels
+        exactly, which is also how the paper reports the results (loss
+        relative to the expected fair share ``R / n``).
+        """
+        if attack not in ATTACKS:
+            raise ValueError(f"unknown attack {attack!r}; known: {ATTACKS}")
+        victim_delta = 0.0
+        attacker_delta = 0.0
+        attacker_count_total = 0
+        attack_rounds = 0
+        for _ in range(trials):
+            assignment = self.adversary.sample(build_tree=True)
+            attacked = self._iniva_multiplicities(assignment, attack, unlimited_collateral)
+            honest = honest_multiplicities(assignment.tree)
+            if attacked != honest:
+                attack_rounds += 1
+            attacked_rewards = compute_rewards(assignment.tree, attacked, self.params)
+            honest_rewards = compute_rewards(assignment.tree, honest, self.params)
+            victim_delta += attacked_rewards.reward_of(assignment.victim) - honest_rewards.reward_of(
+                assignment.victim
+            )
+            attacker_delta += sum(
+                attacked_rewards.reward_of(pid) - honest_rewards.reward_of(pid)
+                for pid in assignment.attacker
+            )
+            attacker_count_total += len(assignment.attacker)
+        return self._summarise(victim_delta, attacker_delta, attacker_count_total, attack_rounds, trials)
+
+    def run_star(self, attack: str, trials: int = 2000) -> RewardAttackResult:
+        """Average reward outcome of an attack campaign against the star baseline."""
+        if attack not in ATTACKS:
+            raise ValueError(f"unknown attack {attack!r}; known: {ATTACKS}")
+        victim_delta = 0.0
+        attacker_delta = 0.0
+        attacker_count_total = 0
+        attack_rounds = 0
+        n = self.committee_size
+        for _ in range(trials):
+            assignment = self.adversary.sample(build_tree=False)
+            leader = assignment.proposer
+            included = set(range(n))
+            if attack in ("vote-omission", "all") and leader in assignment.attacker:
+                included.discard(assignment.victim)
+            if attack in ("vote-denial", "all"):
+                included -= {pid for pid in assignment.attacker if pid != leader}
+            if len(included) != n:
+                attack_rounds += 1
+            attacked_rewards = compute_star_rewards(n, leader, included, self.params)
+            honest_rewards = compute_star_rewards(n, leader, range(n), self.params)
+            victim_delta += attacked_rewards.reward_of(assignment.victim) - honest_rewards.reward_of(
+                assignment.victim
+            )
+            attacker_delta += sum(
+                attacked_rewards.reward_of(pid) - honest_rewards.reward_of(pid)
+                for pid in assignment.attacker
+            )
+            attacker_count_total += len(assignment.attacker)
+        return self._summarise(victim_delta, attacker_delta, attacker_count_total, attack_rounds, trials)
+
+    def _summarise(
+        self,
+        victim_delta: float,
+        attacker_delta: float,
+        attacker_count_total: int,
+        attack_rounds: int,
+        trials: int,
+    ) -> RewardAttackResult:
+        fair_share = self.params.total_reward / self.committee_size
+        mean_victim_delta = victim_delta / trials if trials else 0.0
+        mean_attacker_delta = attacker_delta / trials if trials else 0.0
+        mean_attacker_count = attacker_count_total / trials if trials else 0.0
+        per_attacker_delta = (
+            mean_attacker_delta / mean_attacker_count if mean_attacker_count else 0.0
+        )
+        return RewardAttackResult(
+            victim_fraction_of_fair_share=mean_victim_delta / fair_share,
+            attacker_fraction_of_fair_share=per_attacker_delta / fair_share,
+            victim_lost_reward=-mean_victim_delta / self.params.total_reward,
+            attacker_lost_reward=-mean_attacker_delta / self.params.total_reward,
+            attack_rounds=attack_rounds / trials if trials else 0.0,
+        )

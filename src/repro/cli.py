@@ -1,0 +1,338 @@
+"""Command-line interface for regenerating the paper's tables and figures.
+
+``python -m repro`` exposes every experiment in the repository so a user
+can reproduce a figure, run a one-off deployment or export the underlying
+data without writing any code::
+
+    python -m repro list
+    python -m repro table1 --quick
+    python -m repro fig2a --quick --format markdown
+    python -m repro fig4 --quick --output-dir results/
+    python -m repro run --scheme iniva --replicas 21 --faults 2 --duration 3
+
+``--quick`` shrinks trial counts and durations so every command finishes
+in seconds; dropping it uses the defaults the benchmarks use (minutes).
+Use ``--output-dir`` to also write CSV/JSON/Markdown artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.table1 import table1
+from repro.consensus.config import ConsensusConfig
+from repro.experiments.export import FigureArtifact
+from repro.experiments.resiliency import figure_4
+from repro.experiments.runner import run_experiment
+from repro.experiments.scalability import figure_3c
+from repro.experiments.security import figure_2a, figure_2b, figure_2c, figure_2d
+from repro.experiments.throughput import figure_3a
+from repro.experiments.cpu import figure_3b
+from repro.experiments.workloads import ClientWorkload
+from repro.simnet.failures import FailurePlan
+
+__all__ = ["main", "build_parser", "EXPERIMENTS"]
+
+
+class _Experiment:
+    """One reproducible table/figure: how to run it and how to plot it."""
+
+    def __init__(
+        self,
+        name: str,
+        title: str,
+        run: Callable[[argparse.Namespace], List[Dict[str, object]]],
+        series_key: Optional[str] = None,
+        x: Optional[str] = None,
+        y: Optional[str] = None,
+    ) -> None:
+        self.name = name
+        self.title = title
+        self.run = run
+        self.series_key = series_key
+        self.x = x
+        self.y = y
+
+    def artifact(self, args: argparse.Namespace) -> FigureArtifact:
+        rows = self.run(args)
+        return FigureArtifact(
+            name=self.name,
+            title=self.title,
+            rows=list(rows),
+            series_key=self.series_key,
+            x=self.x,
+            y=self.y,
+        )
+
+
+def _run_table1(args: argparse.Namespace) -> List[Dict[str, object]]:
+    trials = 100 if args.quick else 800
+    rows = table1(attacker_power=args.attacker_power, gosig_trials=trials, seed=args.seed)
+    return [row.as_dict() for row in rows]
+
+
+def _run_fig2a(args: argparse.Namespace) -> List[Dict[str, object]]:
+    if args.quick:
+        return figure_2a(
+            attacker_powers=(0.05, 0.10, 0.15),
+            gosig_trials=60,
+            iniva_trials=800,
+            seed=args.seed,
+        )
+    return figure_2a(seed=args.seed)
+
+
+def _run_fig2b(args: argparse.Namespace) -> List[Dict[str, object]]:
+    if args.quick:
+        return figure_2b(collaterals=(0, 2, 4, 6, 8), gosig_trials=60, iniva_trials=600, seed=args.seed)
+    return figure_2b(seed=args.seed)
+
+
+def _run_fig2c(args: argparse.Namespace) -> List[Dict[str, object]]:
+    if args.quick:
+        return figure_2c(attacker_powers=(0.1, 0.3), trials=80, seed=args.seed)
+    return figure_2c(seed=args.seed)
+
+
+def _run_fig2d(args: argparse.Namespace) -> List[Dict[str, object]]:
+    if args.quick:
+        return figure_2d(trials=80, seed=args.seed)
+    return figure_2d(seed=args.seed)
+
+
+def _run_fig3a(args: argparse.Namespace) -> List[Dict[str, object]]:
+    if args.quick:
+        return figure_3a(
+            committee_size=9, loads=(2_000, 6_000), duration=1.0, warmup=0.2, seed=args.seed
+        )
+    return figure_3a(seed=args.seed)
+
+
+def _run_fig3b(args: argparse.Namespace) -> List[Dict[str, object]]:
+    if args.quick:
+        return figure_3b(
+            committee_size=9,
+            payload_sizes=(64,),
+            saturation_load=6_000,
+            duration=1.0,
+            warmup=0.2,
+            seed=args.seed,
+        )
+    return figure_3b(seed=args.seed)
+
+
+def _run_fig3c(args: argparse.Namespace) -> List[Dict[str, object]]:
+    if args.quick:
+        return figure_3c(
+            replica_counts=(9, 13), payload_sizes=(64,), load=4_000, duration=1.0, warmup=0.2,
+            seed=args.seed,
+        )
+    return figure_3c(seed=args.seed)
+
+
+def _run_fig4(args: argparse.Namespace) -> List[Dict[str, object]]:
+    if args.quick:
+        return figure_4(
+            committee_size=9,
+            fault_counts=(0, 1, 2),
+            load=2_000,
+            duration=1.5,
+            warmup=0.2,
+            view_timeout=0.1,
+            seed=args.seed,
+        )
+    return figure_4(seed=args.seed)
+
+
+EXPERIMENTS: Dict[str, _Experiment] = {
+    experiment.name: experiment
+    for experiment in (
+        _Experiment("table1", "Table I: scheme comparison", _run_table1),
+        _Experiment(
+            "fig2a",
+            "Figure 2a: 0-collateral omission probability",
+            _run_fig2a,
+            series_key="protocol",
+            x="attacker_power",
+            y="omission_probability",
+        ),
+        _Experiment(
+            "fig2b",
+            "Figure 2b: omission probability vs collateral",
+            _run_fig2b,
+            series_key="protocol",
+            x="collateral",
+            y="omission_probability",
+        ),
+        _Experiment("fig2c", "Figure 2c: reward lost under collateral-0 attacks", _run_fig2c),
+        _Experiment("fig2d", "Figure 2d: reward lost with large collateral", _run_fig2d),
+        _Experiment(
+            "fig3a",
+            "Figure 3a: throughput vs latency",
+            _run_fig3a,
+            series_key="scheme",
+            x="throughput_ops",
+            y="latency_ms",
+        ),
+        _Experiment("fig3b", "Figure 3b: CPU usage", _run_fig3b),
+        _Experiment(
+            "fig3c",
+            "Figure 3c: scalability",
+            _run_fig3c,
+            series_key="scheme",
+            x="replicas",
+            y="throughput_ops",
+        ),
+        _Experiment(
+            "fig4",
+            "Figure 4: resiliency under crash faults",
+            _run_fig4,
+            series_key="variant",
+            x="faulty_nodes",
+            y="throughput_ops",
+        ),
+    )
+}
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the tables and figures of the Iniva paper (DSN 2024).",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    subparsers.add_parser("list", help="list all reproducible tables and figures")
+
+    for experiment in EXPERIMENTS.values():
+        sub = subparsers.add_parser(experiment.name, help=experiment.title)
+        _add_common_options(sub)
+        if experiment.name == "table1":
+            sub.add_argument(
+                "--attacker-power", type=float, default=0.1, dest="attacker_power",
+                help="attacker power m (default 0.1)",
+            )
+
+    run_parser = subparsers.add_parser("run", help="run a single simulated deployment")
+    _add_common_options(run_parser)
+    run_parser.add_argument("--scheme", default="iniva", choices=sorted(ConsensusConfig.SUPPORTED_AGGREGATIONS))
+    run_parser.add_argument("--replicas", type=int, default=21)
+    run_parser.add_argument("--batch", type=int, default=100)
+    run_parser.add_argument("--payload", type=int, default=64)
+    run_parser.add_argument("--load", type=float, default=6_000.0, help="offered load in ops/sec")
+    run_parser.add_argument("--duration", type=float, default=3.0, help="simulated seconds")
+    run_parser.add_argument("--faults", type=int, default=0, help="number of crashed replicas")
+    run_parser.add_argument(
+        "--leader-policy", default="round-robin", choices=["round-robin", "carousel", "rebop"]
+    )
+    run_parser.add_argument(
+        "--second-chance-timeout", type=float, default=0.005, help="the δ timer in seconds"
+    )
+    return parser
+
+
+def _add_common_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--quick", action="store_true", help="reduced trials/durations")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--format",
+        choices=["table", "csv", "json", "markdown", "plot"],
+        default="table",
+        help="how to print the result on stdout",
+    )
+    parser.add_argument(
+        "--output-dir",
+        default=None,
+        help="also write CSV/JSON/Markdown/plot artifacts into this directory",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+def _render(artifact: FigureArtifact, fmt: str) -> str:
+    from repro.experiments.report import rows_to_csv, rows_to_json
+
+    if fmt == "csv":
+        return rows_to_csv(artifact.rows)
+    if fmt == "json":
+        return rows_to_json(artifact.rows)
+    if fmt == "markdown":
+        return artifact.to_markdown()
+    if fmt == "plot":
+        return artifact.to_plot()
+    return artifact.to_table()
+
+
+def _command_list() -> str:
+    lines = ["Reproducible experiments:", ""]
+    for experiment in EXPERIMENTS.values():
+        lines.append(f"  {experiment.name:<8} {experiment.title}")
+    lines.append("")
+    lines.append("  run      a single simulated deployment (see `repro run --help`)")
+    return "\n".join(lines)
+
+
+def _command_run(args: argparse.Namespace) -> FigureArtifact:
+    config = ConsensusConfig(
+        committee_size=args.replicas,
+        batch_size=args.batch,
+        payload_size=args.payload,
+        aggregation=args.scheme,
+        leader_policy=args.leader_policy,
+        second_chance_timeout=args.second_chance_timeout,
+        view_timeout=0.1 if args.quick else 0.25,
+        seed=args.seed,
+    )
+    duration = min(args.duration, 1.5) if args.quick else args.duration
+    failure_plan = None
+    if args.faults:
+        failure_plan = FailurePlan.random_crashes(
+            committee_size=args.replicas, count=args.faults, seed=args.seed
+        )
+    result = run_experiment(
+        config,
+        duration=duration,
+        warmup=min(0.2, duration / 5),
+        workload=ClientWorkload(rate=args.load, payload_size=args.payload, seed=args.seed),
+        failure_plan=failure_plan,
+        label=f"{args.scheme} n={args.replicas} faults={args.faults}",
+    )
+    row: Dict[str, object] = {"configuration": result.config_label}
+    row.update(result.row())
+    row["committed_blocks"] = result.committed_blocks
+    return FigureArtifact(name="run", title="Single deployment run", rows=[row])
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    if args.command == "list":
+        print(_command_list())
+        return 0
+
+    if args.command == "run":
+        artifact = _command_run(args)
+    else:
+        artifact = EXPERIMENTS[args.command].artifact(args)
+
+    print(_render(artifact, args.format))
+    if args.output_dir:
+        paths = artifact.write(args.output_dir)
+        print("\nwrote artifacts:")
+        for kind, path in sorted(paths.items()):
+            print(f"  {kind}: {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""Chained HotStuff consensus substrate.
+
+The paper integrates Iniva into a HotStuff implementation and drives it in
+synchronous rounds: a new block is only proposed after the votes for the
+previous block have been aggregated, and leaders speak once (LSO) — the
+leader changes every view and the *next* leader collects the votes for the
+current block.
+
+This package provides the blocks/quorum certificates, leader-election
+policies (round-robin and Carousel), the replica state machine, the shared
+mempool/client model and the configuration objects used by the experiment
+harness in :mod:`repro.experiments`.
+"""
+
+from repro.consensus.block import Block, QuorumCertificate, genesis_block, genesis_qc
+from repro.consensus.config import ConsensusConfig
+from repro.consensus.leader import CarouselElection, LeaderElection, RoundRobinElection
+from repro.consensus.mempool import Mempool, Request
+from repro.consensus.replica import HotStuffReplica
+
+__all__ = [
+    "Block",
+    "CarouselElection",
+    "ConsensusConfig",
+    "HotStuffReplica",
+    "LeaderElection",
+    "Mempool",
+    "QuorumCertificate",
+    "Request",
+    "RoundRobinElection",
+    "genesis_block",
+    "genesis_qc",
+]

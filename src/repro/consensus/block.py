@@ -1,0 +1,131 @@
+"""Blocks and quorum certificates.
+
+A block extends the chain at a given height, carries the quorum
+certificate (QC) of its parent and a batch of client requests.  The QC is
+an aggregate signature over the parent block together with the signer
+multiplicities; Iniva's reward scheme is computed purely from that
+metadata, so the QC object is shared by every aggregation scheme.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.crypto.multisig import AggregateSignature
+
+__all__ = ["Block", "QuorumCertificate", "genesis_block", "genesis_qc", "GENESIS_ID"]
+
+GENESIS_ID = "genesis"
+
+
+@dataclass(frozen=True)
+class QuorumCertificate:
+    """A certificate that a quorum voted for ``block_id`` in ``view``.
+
+    Attributes:
+        block_id: The certified block.
+        view: The view in which the certified block was proposed.
+        height: The certified block's height.
+        aggregate: The aggregated vote signature (with multiplicities).
+        collector: The process that assembled the certificate (the next
+            leader in the LSO model); used by the reward scheme.
+    """
+
+    block_id: str
+    view: int
+    height: int
+    aggregate: AggregateSignature
+    collector: Optional[int] = None
+
+    @property
+    def signers(self) -> frozenset[int]:
+        return self.aggregate.signers
+
+    @property
+    def size(self) -> int:
+        """The number of distinct included signers (the paper's 'QC size')."""
+        return len(self.aggregate.signers)
+
+    def digest(self) -> bytes:
+        """A canonical digest used to seed the next view's tree shuffle."""
+        material = f"{self.block_id}|{self.view}|{self.height}|{sorted(self.aggregate.multiplicities.items())}"
+        return hashlib.sha256(material.encode()).digest()
+
+    def signing_payload(self) -> bytes:
+        """The message the certified block's voters signed (reconstructable
+        from the certificate alone, which is what validators verify)."""
+        return f"vote|{self.block_id}|{self.view}|{self.height}".encode()
+
+    @property
+    def is_genesis(self) -> bool:
+        return self.block_id == GENESIS_ID
+
+
+@dataclass(frozen=True)
+class Block:
+    """A block in the (simulated) chain.
+
+    Attributes:
+        height: Chain height; the genesis block has height 0.
+        view: The view in which the block was proposed.
+        proposer: Identity of the proposing process.
+        parent_id: Identifier of the parent block.
+        qc: Quorum certificate for the parent block.
+        payload: Tuple of request identifiers batched into this block.
+        payload_bytes: Total payload size in bytes (for cost modelling).
+        timestamp: Virtual time at which the block was created.
+    """
+
+    height: int
+    view: int
+    proposer: int
+    parent_id: str
+    qc: QuorumCertificate
+    payload: Tuple[int, ...] = field(default_factory=tuple)
+    payload_bytes: int = 0
+    timestamp: float = 0.0
+
+    @property
+    def block_id(self) -> str:
+        if self.height == 0 and self.parent_id == GENESIS_ID:
+            return GENESIS_ID
+        material = (
+            f"{self.height}|{self.view}|{self.proposer}|{self.parent_id}|"
+            f"{self.payload}|{self.payload_bytes}"
+        )
+        return hashlib.sha256(material.encode()).hexdigest()[:32]
+
+    def signing_payload(self) -> bytes:
+        """The message that committee members sign when voting for the block."""
+        return f"vote|{self.block_id}|{self.view}|{self.height}".encode()
+
+    @property
+    def is_genesis(self) -> bool:
+        return self.height == 0 and self.parent_id == GENESIS_ID
+
+
+def genesis_qc() -> QuorumCertificate:
+    """The self-certifying QC carried by the genesis block."""
+    return QuorumCertificate(
+        block_id=GENESIS_ID,
+        view=0,
+        height=0,
+        aggregate=AggregateSignature(value=b"genesis", multiplicities={}),
+        collector=None,
+    )
+
+
+def genesis_block() -> Block:
+    """The common genesis block every replica starts from."""
+    return Block(
+        height=0,
+        view=0,
+        proposer=-1,
+        parent_id=GENESIS_ID,
+        qc=genesis_qc(),
+        payload=(),
+        payload_bytes=0,
+        timestamp=0.0,
+    )

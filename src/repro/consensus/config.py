@@ -1,0 +1,115 @@
+"""Configuration for consensus/aggregation experiment runs."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.simnet.process import CpuCostModel
+
+__all__ = ["ConsensusConfig"]
+
+
+@dataclass(frozen=True)
+class ConsensusConfig:
+    """All tunables of a simulated deployment.
+
+    Matches the knobs the paper's evaluation varies: committee size, batch
+    size, payload size, aggregation scheme, number of internal tree nodes,
+    the aggregation/second-chance timers and the leader-election policy.
+
+    Attributes:
+        committee_size: Number of replicas ``n``.
+        batch_size: Maximum client requests per block.
+        payload_size: Per-request payload in bytes (64 B / 128 B in the
+            paper's base evaluation).
+        aggregation: One of ``"star"`` (HotStuff), ``"tree"``
+            (Iniva-No2C / Kauri-style) or ``"iniva"``.
+        num_internal: Number of internal aggregators in the tree; ``None``
+            selects the balanced default (≈ sqrt(n)).
+        delta: The assumed network delay bound Δ used to derive timers.
+        aggregation_timeout: Override for the per-level aggregation timer;
+            defaults to ``2 * delta * height`` per the paper's heuristic.
+        second_chance_timeout: The δ timer before the collector finalises a
+            QC after sending 2ND-CHANCE messages (5 ms / 10 ms in Fig. 4).
+        view_timeout: Pacemaker timeout after which a view is abandoned.
+        leader_policy: ``"round-robin"`` or ``"carousel"``.
+        fault_fraction: The ``f`` used in the quorum rule ``(1 - f) n``.
+        signature_scheme: ``"hash"`` (fast simulation) or ``"bls"``.
+        seed: Seed for the shuffle/latency randomness.
+        cpu_model: CPU cost model for signatures and message handling.
+        wait_for_all_votes: If True the star collector waits (up to the
+            aggregation timeout) for all votes instead of finalising at
+            quorum — used for ablations.
+    """
+
+    committee_size: int = 21
+    batch_size: int = 100
+    payload_size: int = 64
+    aggregation: str = "iniva"
+    num_internal: Optional[int] = None
+    delta: float = 0.0025
+    aggregation_timeout: Optional[float] = None
+    second_chance_timeout: float = 0.005
+    view_timeout: float = 0.25
+    leader_policy: str = "round-robin"
+    fault_fraction: float = 1 / 3
+    signature_scheme: str = "hash"
+    seed: int = 1
+    cpu_model: CpuCostModel = field(default_factory=CpuCostModel)
+    wait_for_all_votes: bool = False
+    # -- baseline aggregation scheme knobs (Gosig / Handel / Kauri) --------------
+    gossip_fanout: int = 2
+    gossip_interval: float = 0.002
+    gossip_rounds: int = 6
+    free_rider_fraction: float = 0.0
+    handel_level_delay: float = 0.002
+    handel_peers_per_level: int = 2
+    kauri_fallback_threshold: int = 3
+
+    #: All registered vote aggregation schemes accepted by ``aggregation``.
+    SUPPORTED_AGGREGATIONS = frozenset({"star", "tree", "iniva", "gosig", "handel", "kauri"})
+
+    def __post_init__(self) -> None:
+        if self.committee_size < 4:
+            raise ValueError("need at least four replicas for BFT consensus")
+        if self.aggregation not in self.SUPPORTED_AGGREGATIONS:
+            raise ValueError(f"unknown aggregation scheme {self.aggregation!r}")
+        if self.batch_size <= 0:
+            raise ValueError("batch size must be positive")
+        if self.payload_size < 0:
+            raise ValueError("payload size cannot be negative")
+        if self.gossip_fanout < 1:
+            raise ValueError("gossip fanout must be at least one peer")
+        if not 0.0 <= self.free_rider_fraction <= 1.0:
+            raise ValueError("free-rider fraction must be in [0, 1]")
+        if self.kauri_fallback_threshold < 1:
+            raise ValueError("Kauri fallback threshold must be positive")
+
+    # -- derived quantities ---------------------------------------------------
+    @property
+    def quorum_size(self) -> int:
+        """Distinct signers required for a valid QC: ``floor(2n/3) + 1``."""
+        return (2 * self.committee_size) // 3 + 1
+
+    @property
+    def max_faulty(self) -> int:
+        return self.committee_size - self.quorum_size
+
+    def aggregation_timer(self, height: int) -> float:
+        """The paper's heuristic: ``2 * Δ * height(p)`` for a node at ``height``."""
+        if self.aggregation_timeout is not None:
+            return self.aggregation_timeout * max(height, 1)
+        return 2.0 * self.delta * max(height, 1)
+
+    def with_(self, **overrides) -> "ConsensusConfig":
+        """Return a copy with ``overrides`` applied (convenience for sweeps)."""
+        return replace(self, **overrides)
+
+    def describe(self) -> str:
+        return (
+            f"{self.aggregation} n={self.committee_size} batch={self.batch_size} "
+            f"payload={self.payload_size}B leader={self.leader_policy} "
+            f"delta2c={self.second_chance_timeout * 1000:.0f}ms"
+        )

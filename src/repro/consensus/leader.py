@@ -1,0 +1,89 @@
+"""Leader-election policies.
+
+The experiments use round-robin rotation (the HotStuff default) and the
+reputation-based Carousel policy, which inspects the signers of recent
+quorum certificates to avoid electing crashed processes as leaders.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional, Sequence
+
+from repro.consensus.block import QuorumCertificate
+
+__all__ = ["LeaderElection", "RoundRobinElection", "CarouselElection"]
+
+
+class LeaderElection(ABC):
+    """Deterministic mapping from views to leaders.
+
+    Implementations must be pure functions of public chain state so every
+    correct process derives the same leader for a view.
+    """
+
+    def __init__(self, committee_size: int) -> None:
+        if committee_size <= 0:
+            raise ValueError("committee size must be positive")
+        self.committee_size = committee_size
+
+    @abstractmethod
+    def leader(self, view: int, latest_qc: Optional[QuorumCertificate] = None) -> int:
+        """Return the leader of ``view`` given the highest known QC."""
+
+    def observe_qc(self, qc: QuorumCertificate) -> None:
+        """Feed a newly learned QC to the policy (used by Carousel)."""
+
+
+class RoundRobinElection(LeaderElection):
+    """``leader(view) = view mod n`` — the paper's default policy."""
+
+    def leader(self, view: int, latest_qc: Optional[QuorumCertificate] = None) -> int:
+        return view % self.committee_size
+
+
+class CarouselElection(LeaderElection):
+    """Reputation-based leader rotation (Cohen et al., "Be aware of your leaders").
+
+    The leader of a view is drawn from the *active* set — processes whose
+    votes appear in recent quorum certificates — while excluding the most
+    recent leaders to preserve chain quality.  Crashed processes stop
+    appearing in QCs and therefore stop being elected, which is exactly the
+    behaviour the paper's resiliency experiment exploits.
+    """
+
+    def __init__(self, committee_size: int, exclude_collector: bool = True) -> None:
+        super().__init__(committee_size)
+        self.exclude_collector = exclude_collector
+
+    def leader(self, view: int, latest_qc: Optional[QuorumCertificate] = None) -> int:
+        if latest_qc is None or latest_qc.is_genesis or not latest_qc.signers:
+            # No reputation information yet: fall back to round-robin.
+            return view % self.committee_size
+        candidates = sorted(latest_qc.signers)
+        if (
+            self.exclude_collector
+            and latest_qc.collector in candidates
+            and len(candidates) > 1
+        ):
+            # Exclude the previous collector to preserve chain quality.
+            candidates = [pid for pid in candidates if pid != latest_qc.collector]
+        return candidates[view % len(candidates)]
+
+
+def make_leader_election(policy: str, committee_size: int) -> LeaderElection:
+    """Factory used by the experiment configuration.
+
+    ``"round-robin"``, ``"carousel"`` and ``"rebop"`` (reputation-based,
+    see :mod:`repro.core.reputation`) are supported.
+    """
+    if policy == "round-robin":
+        return RoundRobinElection(committee_size)
+    if policy == "carousel":
+        return CarouselElection(committee_size)
+    if policy == "rebop":
+        # Imported lazily: repro.core.reputation depends on this module.
+        from repro.core.reputation import RebopElection
+
+        return RebopElection(committee_size)
+    raise ValueError(f"unknown leader election policy: {policy!r}")

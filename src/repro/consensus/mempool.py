@@ -1,0 +1,116 @@
+"""Client request model: a shared mempool with latency accounting.
+
+The paper's clients send requests to all replicas and wait for a quorum of
+replies; throughput is measured at the replicas and latency at the
+clients.  The simulator folds this into a single shared mempool object:
+client processes submit timestamped requests, leaders batch them into
+blocks, and the first commit of each block records per-request latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.simnet.metrics import MetricsCollector
+
+__all__ = ["Request", "Mempool"]
+
+
+@dataclass(frozen=True)
+class Request:
+    """A single client request.
+
+    Attributes:
+        request_id: Globally unique identifier.
+        submitted_at: Virtual time the client issued the request.
+        size_bytes: Payload size in bytes.
+        client_id: The issuing client (for per-client statistics).
+    """
+
+    request_id: int
+    submitted_at: float
+    size_bytes: int
+    client_id: int = 0
+
+
+class Mempool:
+    """Pending client requests shared by all replicas.
+
+    A real deployment would gossip requests among replicas; since that is
+    orthogonal to vote aggregation, the simulation uses one logical pool,
+    which is equivalent to every replica having seen every request.
+    """
+
+    def __init__(self, metrics: Optional[MetricsCollector] = None) -> None:
+        self.metrics = metrics or MetricsCollector()
+        self._pending: List[Request] = []
+        self._in_flight: Dict[str, Tuple[Request, ...]] = {}
+        self._requests: Dict[int, Request] = {}
+        self._committed: Set[int] = set()
+        self._committed_blocks: Set[str] = set()
+        self._next_id = 0
+
+    # -- client side -----------------------------------------------------------
+    def submit(self, time: float, size_bytes: int, client_id: int = 0) -> Request:
+        request = Request(
+            request_id=self._next_id,
+            submitted_at=time,
+            size_bytes=size_bytes,
+            client_id=client_id,
+        )
+        self._next_id += 1
+        self._pending.append(request)
+        self._requests[request.request_id] = request
+        return request
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    @property
+    def submitted_count(self) -> int:
+        return self._next_id
+
+    @property
+    def committed_count(self) -> int:
+        return len(self._committed)
+
+    # -- leader side --------------------------------------------------------------
+    def next_batch(self, max_size: int) -> Tuple[Request, ...]:
+        """Remove and return up to ``max_size`` pending requests."""
+        batch = tuple(self._pending[:max_size])
+        del self._pending[: len(batch)]
+        return batch
+
+    def track_block(self, block_id: str, batch: Tuple[Request, ...]) -> None:
+        """Remember which requests a proposed block carries."""
+        self._in_flight[block_id] = batch
+
+    def requeue_block(self, block_id: str) -> None:
+        """Return a failed block's requests to the pending queue."""
+        batch = self._in_flight.pop(block_id, ())
+        uncommitted = [r for r in batch if r.request_id not in self._committed]
+        self._pending = uncommitted + self._pending
+
+    # -- commit notifications --------------------------------------------------------
+    def mark_committed(self, block_id: str, payload: Tuple[int, ...], time: float) -> bool:
+        """Record the first commit of ``block_id``.
+
+        Returns True if this call was the first commit (latency and
+        throughput are recorded exactly once per block).
+        """
+        if block_id in self._committed_blocks:
+            return False
+        self._committed_blocks.add(block_id)
+        batch = self._in_flight.pop(block_id, None)
+        if batch is None:
+            batch = tuple(
+                self._requests[rid] for rid in payload if rid in self._requests
+            )
+        newly_committed = [r for r in batch if r.request_id not in self._committed]
+        for request in newly_committed:
+            self._committed.add(request.request_id)
+            self.metrics.record_latency(time, time - request.submitted_at)
+        self.metrics.record_commit(time, len(newly_committed))
+        return True

@@ -1,0 +1,282 @@
+"""Game-theoretic incentive analysis of the reward scheme (Section VI).
+
+The system is modelled as a two-player game between an honest player
+``p_h`` and an attacker ``p_a`` controlling a fraction ``m < 0.5`` of the
+processes.  A strategy ``S(e_l, e_v, e_a, e_p)`` describes which fraction
+of votes the attacker omits as leader (``e_l``), withholds as a voter
+(``e_v``), refuses to aggregate as a leaf (``e_a``, "aggregation denial")
+or skips aggregating as an internal node (``e_p``, "aggregation
+omission").
+
+For every deviation the attacker loses some direct reward ``L[S']`` while
+a pot ``R[S']`` is redistributed over the whole committee, of which the
+attacker recovers the fraction ``m``.  The honest strategy dominates iff
+``m · R[S'] < L[S']`` for every attack, which reduces to the paper's
+conditions (3), (5) and (6) on the bonus parameters ``b_l`` and ``b_a``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.rewards import RewardParams
+
+__all__ = [
+    "Strategy",
+    "AttackOutcome",
+    "IncentiveAnalysis",
+    "vote_omission_condition",
+    "vote_denial_condition",
+    "aggregation_denial_condition",
+    "recommended_bonus_range",
+]
+
+
+@dataclass(frozen=True)
+class Strategy:
+    """An attacker strategy ``S(e_l, e_v, e_a, e_p)``.
+
+    All parameters are fractions of the committee size ``n``; the honest
+    strategy is ``Strategy(0, 0, 0, 0)``.
+    """
+
+    leader_omission: float = 0.0
+    vote_denial: float = 0.0
+    aggregation_denial: float = 0.0
+    aggregation_omission: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name, value in (
+            ("leader_omission", self.leader_omission),
+            ("vote_denial", self.vote_denial),
+            ("aggregation_denial", self.aggregation_denial),
+            ("aggregation_omission", self.aggregation_omission),
+        ):
+            if value < 0 or value > 1:
+                raise ValueError(f"{name} must lie in [0, 1]")
+
+    @property
+    def is_honest(self) -> bool:
+        return (
+            self.leader_omission == 0
+            and self.vote_denial == 0
+            and self.aggregation_denial == 0
+            and self.aggregation_omission == 0
+        )
+
+
+@dataclass(frozen=True)
+class AttackOutcome:
+    """Expected per-round loss and redistribution caused by a strategy.
+
+    ``attacker_loss`` is ``L[S']`` — the reward the attacker directly
+    forfeits; ``redistributed`` is ``R[S']`` — the total pot returned to
+    the committee, of which the attacker recovers a fraction ``m``.  The
+    strategy is profitable iff ``net_gain > 0``.
+    """
+
+    attacker_loss: float
+    redistributed: float
+    attacker_power: float
+
+    @property
+    def attacker_recovered(self) -> float:
+        return self.attacker_power * self.redistributed
+
+    @property
+    def net_gain(self) -> float:
+        return self.attacker_recovered - self.attacker_loss
+
+    @property
+    def dominated_by_honest(self) -> bool:
+        return self.net_gain <= 0
+
+
+# ---------------------------------------------------------------------------
+# Closed-form dominance conditions (Equations 3, 5 and 6 of the paper)
+# ---------------------------------------------------------------------------
+
+def vote_omission_condition(attacker_power: float, fault_fraction: float = 1 / 3) -> float:
+    """Lower bound on ``b_l`` from Equation (3): ``b_l > m·f / (1 - m + m·f)``.
+
+    If the leader bonus is at least this large, omitting votes as the
+    leader costs the attacker more (in lost variational bonus) than it can
+    recover from the redistribution pool.
+    """
+    m, f = attacker_power, fault_fraction
+    return (m * f) / (1 - m + m * f)
+
+
+def vote_denial_condition(
+    attacker_power: float,
+    aggregation_bonus: float,
+    fault_fraction: float = 1 / 3,
+) -> float:
+    """Upper bound on ``b_l`` from Equation (5): ``b_l < f(1 - b_a - m)/(m + f - m·f)``.
+
+    If the leader bonus stays below this value, withholding votes loses the
+    attacker more voting reward than its share of the redistributed leader
+    and aggregation bonuses.
+    """
+    m, f, ba = attacker_power, fault_fraction, aggregation_bonus
+    return f * (1 - ba - m) / (m + f - m * f)
+
+
+def aggregation_denial_condition(attacker_power: float) -> bool:
+    """Equation (6): ``m² e_a b_a < e_a b_a`` — always true for ``m < 1``.
+
+    Refusing to aggregate (or to be aggregated) punishes the attacker by
+    the same aggregation bonus it tries to save, so it can never profit.
+    """
+    return attacker_power < 1.0
+
+
+def recommended_bonus_range(
+    attacker_power: float,
+    aggregation_bonus: float,
+    fault_fraction: float = 1 / 3,
+) -> Tuple[float, float]:
+    """The interval of leader bonuses ``b_l`` that is incentive compatible."""
+    return (
+        vote_omission_condition(attacker_power, fault_fraction),
+        vote_denial_condition(attacker_power, aggregation_bonus, fault_fraction),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Full analysis object
+# ---------------------------------------------------------------------------
+
+class IncentiveAnalysis:
+    """Expected-utility analysis of attacker strategies under Iniva rewards.
+
+    The closed forms follow Section VI: rewards are expressed per round
+    with total reward ``R``; the attacker controls a fraction ``m`` of the
+    committee and the honest player follows the protocol.
+    """
+
+    def __init__(self, params: Optional[RewardParams] = None, attacker_power: float = 0.1) -> None:
+        if not 0 < attacker_power < 0.5:
+            raise ValueError("the analysis requires an attacker power m in (0, 0.5)")
+        self.params = params or RewardParams()
+        self.attacker_power = attacker_power
+
+    # -- per-attack outcomes -----------------------------------------------------
+    def vote_omission(self, leader_omission: float) -> AttackOutcome:
+        """The leader omits ``e_l·n`` votes belonging to the other player."""
+        params, m = self.params, self.attacker_power
+        el = min(leader_omission, params.fault_fraction)
+        reward = params.total_reward
+        lost_leader_bonus = (el / params.fault_fraction) * params.leader_bonus * reward
+        redistributed = (
+            lost_leader_bonus
+            + el * params.aggregation_bonus * reward
+            + el * params.voting_fraction * reward
+        )
+        return AttackOutcome(
+            attacker_loss=lost_leader_bonus, redistributed=redistributed, attacker_power=m
+        )
+
+    def vote_denial(self, vote_denial: float) -> AttackOutcome:
+        """``e_v·n`` attacker processes withhold their votes."""
+        params, m = self.params, self.attacker_power
+        ev = vote_denial
+        reward = params.total_reward
+        lost_voting = ev * params.voting_fraction * reward
+        redistributed = (
+            (ev / params.fault_fraction) * params.leader_bonus * reward
+            + ev * params.aggregation_bonus * reward
+            + lost_voting
+        )
+        return AttackOutcome(
+            attacker_loss=lost_voting, redistributed=redistributed, attacker_power=m
+        )
+
+    def aggregation_denial(self, fraction: float) -> AttackOutcome:
+        """``e_a·n`` attacker leaves bypass their parents via 2ND-CHANCE."""
+        params, m = self.params, self.attacker_power
+        reward = params.total_reward
+        punished = fraction * params.aggregation_bonus * reward
+        redistributed = 2 * punished  # the punishment plus the denied parent bonus
+        return AttackOutcome(
+            attacker_loss=punished, redistributed=redistributed, attacker_power=m
+        )
+
+    def aggregation_omission(self, fraction: float) -> AttackOutcome:
+        """Attacker internal nodes skip aggregating ``e_p·n`` honest leaves."""
+        params, m = self.params, self.attacker_power
+        reward = params.total_reward
+        lost_bonus = fraction * params.aggregation_bonus * reward
+        redistributed = 2 * lost_bonus  # lost bonus plus the leaves' punishment
+        return AttackOutcome(
+            attacker_loss=lost_bonus, redistributed=redistributed, attacker_power=m
+        )
+
+    # -- aggregate checks ------------------------------------------------------------
+    def evaluate(self, strategy: Strategy) -> AttackOutcome:
+        """The combined outcome of a mixed strategy (losses and pools add up)."""
+        outcomes = [
+            self.vote_omission(strategy.leader_omission),
+            self.vote_denial(strategy.vote_denial),
+            self.aggregation_denial(strategy.aggregation_denial),
+            self.aggregation_omission(strategy.aggregation_omission),
+        ]
+        return AttackOutcome(
+            attacker_loss=sum(o.attacker_loss for o in outcomes),
+            redistributed=sum(o.redistributed for o in outcomes),
+            attacker_power=self.attacker_power,
+        )
+
+    def is_incentive_compatible(self) -> bool:
+        """Check the paper's conditions (3) and (5) for the configured ``b_l``/``b_a``."""
+        lower = vote_omission_condition(self.attacker_power, self.params.fault_fraction)
+        upper = vote_denial_condition(
+            self.attacker_power, self.params.aggregation_bonus, self.params.fault_fraction
+        )
+        return lower < self.params.leader_bonus < upper
+
+    def honest_strategy_dominates(
+        self, strategies: Optional[Iterable[Strategy]] = None, tolerance: float = 1e-12
+    ) -> bool:
+        """Theorem 3: every strategy in ``strategies`` is dominated by honesty.
+
+        Defaults to a grid over the strategy space.
+        """
+        if strategies is None:
+            strategies = self.strategy_grid()
+        for strategy in strategies:
+            if strategy.is_honest:
+                continue
+            if self.evaluate(strategy).net_gain > tolerance:
+                return False
+        return True
+
+    def strategy_grid(self, steps: int = 4) -> List[Strategy]:
+        """A coarse grid over the strategy space used for dominance checks."""
+        fractions = [i / steps * self.params.fault_fraction for i in range(steps + 1)]
+        grid = []
+        for el, ev, ea, ep in itertools.product(fractions, repeat=4):
+            grid.append(
+                Strategy(
+                    leader_omission=el,
+                    vote_denial=ev,
+                    aggregation_denial=ea,
+                    aggregation_omission=ep,
+                )
+            )
+        return grid
+
+    def summary(self) -> Dict[str, float]:
+        lower, upper = recommended_bonus_range(
+            self.attacker_power, self.params.aggregation_bonus, self.params.fault_fraction
+        )
+        return {
+            "attacker_power": self.attacker_power,
+            "leader_bonus": self.params.leader_bonus,
+            "aggregation_bonus": self.params.aggregation_bonus,
+            "required_leader_bonus_min": lower,
+            "allowed_leader_bonus_max": upper,
+            "incentive_compatible": float(self.is_incentive_compatible()),
+        }

@@ -1,0 +1,212 @@
+"""The Iniva vote aggregation protocol (Algorithm 1 of the paper).
+
+Iniva extends plain tree aggregation with two fallback mechanisms that
+make it *inclusive* without redundant work in the fault-free case:
+
+* **ACK** — after an internal node forwards its aggregate to the root it
+  acknowledges its children with that aggregate.  The ack doubles as proof
+  of inclusion and as the safe reply to later 2ND-CHANCE messages
+  (answering with an individual signature would let a malicious collector
+  exclude the replier's siblings, so processes answer with the aggregate).
+
+* **2ND-CHANCE** — the root (the next leader) contacts every process whose
+  signature is still missing, either once it holds a quorum or when its
+  aggregation timer fires.  Replies are folded into the final QC before
+  the second-chance timer ``δ`` expires.
+
+Together with the indivisibility of the multi-signature scheme this
+reduces the probability of a targeted 0-collateral vote omission from
+``m`` to ``m²`` (Theorem 4) while guaranteeing Inclusiveness within
+``7Δ`` (Theorem 2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Union
+
+from repro.aggregation.base import register_aggregator
+from repro.aggregation.messages import (
+    AckMessage,
+    SecondChanceMessage,
+    SecondChanceReply,
+)
+from repro.aggregation.tree_agg import TreeAggregator
+from repro.consensus.block import Block
+from repro.crypto.multisig import AggregateSignature, SignatureShare
+from repro.tree.overlay import AggregationTree
+
+__all__ = ["InivaAggregator"]
+
+
+@register_aggregator
+class InivaAggregator(TreeAggregator):
+    """Tree aggregation with ACK confirmations and 2ND-CHANCE fallback."""
+
+    name = "iniva"
+    uses_fallback_paths = True
+
+    # -- message handling -------------------------------------------------------
+    def handle(self, sender: int, message: Any) -> bool:
+        if isinstance(message, AckMessage):
+            self._on_ack(sender, message)
+            return True
+        if isinstance(message, SecondChanceMessage):
+            self._on_second_chance(sender, message)
+            return True
+        if isinstance(message, SecondChanceReply):
+            self._on_second_chance_reply(sender, message)
+            return True
+        return super().handle(sender, message)
+
+    # -- internal node: acknowledge aggregated children ---------------------------
+    def _after_internal_send(
+        self, block: Block, aggregate: AggregateSignature, aggregated_children: List[int]
+    ) -> None:
+        ack = AckMessage(block_id=block.block_id, view=block.view, aggregate=aggregate)
+        self.replica.multicast(aggregated_children, ack, size_bytes=ack.size_bytes)
+
+    # -- child: store the parent's ack as proof of inclusion ------------------------
+    def _on_ack(self, sender: int, message: AckMessage) -> None:
+        state = self._state.get(message.block_id)
+        if state is None or state["tree"] is None:
+            return
+        tree: AggregationTree = state["tree"]
+        if tree.is_root(self.process_id):
+            return
+        if tree.parent(self.process_id) != sender:
+            return
+        aggregate = message.aggregate
+        if self.process_id not in aggregate:
+            # An ack that does not include our own signature is useless as a
+            # 2ND-CHANCE reply; ignore it (Algorithm 1, line 30 asserts validity).
+            return
+        # The ack is stored without an eager pairing check: it is only ever
+        # replayed to the root, which verifies it before inclusion, so a bad
+        # ack cannot do damage and the common case saves a verification.
+        state["parent_ack"] = aggregate
+
+    # -- root: quorum / timeout → give missing processes a second chance --------------
+    def _root_on_quorum(self, block: Block) -> None:
+        state = self._collection(block)
+        if not state["second_chance_sent"]:
+            self._send_second_chances(block)
+        elif state.get("second_chance_expired"):
+            # The fallback window is over and we (now) hold a quorum:
+            # finalise with whatever arrived late.
+            self._root_finalise(block)
+
+    def _root_timeout(self, block: Block) -> None:
+        state = self._collection(block)
+        if state["done"]:
+            return
+        # Unlike the plain tree, Iniva also falls back below quorum: the
+        # 2ND-CHANCE replies may be what completes the quorum.
+        self._send_second_chances(block)
+
+    def _send_second_chances(self, block: Block) -> None:
+        state = self._collection(block)
+        if state["done"] or state["second_chance_sent"]:
+            return
+        state["second_chance_sent"] = True
+        missing = [
+            pid
+            for pid in range(self.config.committee_size)
+            if pid not in state["included"]
+        ]
+        if not missing:
+            self._root_finalise(block)
+            return
+        proof = None
+        if state["contributions"]:
+            proof = self.scheme.aggregate(state["contributions"])
+        message = SecondChanceMessage(block=block, proof=proof)
+        self.replica.multicast(missing, message, size_bytes=message.size_bytes)
+        self.replica.set_timer(
+            self.config.second_chance_timeout, self._second_chance_timeout, block
+        )
+
+    def _second_chance_timeout(self, block: Block) -> None:
+        state = self._collection(block)
+        state["second_chance_expired"] = True
+        if state["done"]:
+            return
+        self._root_finalise(block)
+
+    # -- recipient of a 2ND-CHANCE ------------------------------------------------------
+    def _on_second_chance(self, sender: int, message: SecondChanceMessage) -> None:
+        block = message.block
+        state = self._collection(block)
+        tree: AggregationTree = state["tree"]
+        if sender != tree.root:
+            return
+        if not self._second_chance_is_valid(message, state):
+            return
+        if not state["proposal_handled"]:
+            # The block never reached us through the tree: deliver it now
+            # (Algorithm 1, lines 34-37).
+            share = self.replica.process_proposal(block)
+            if share is None:
+                return
+            state["proposal_handled"] = True
+            state["own_share"] = share
+        reply_signature: Union[SignatureShare, AggregateSignature]
+        if state["parent_ack"] is not None:
+            # Reply with the parent's aggregate so the collector cannot use the
+            # 2ND-CHANCE path to strip our siblings out of the certificate.
+            reply_signature = state["parent_ack"]
+        else:
+            reply_signature = state["own_share"]
+        reply = SecondChanceReply(
+            block_id=block.block_id, view=block.view, signature=reply_signature
+        )
+        self.replica.send(sender, reply, size_bytes=reply.size_bytes)
+
+    def _second_chance_is_valid(self, message: SecondChanceMessage, state: dict) -> bool:
+        """The ``isValid`` predicate of Algorithm 1 (line 33)."""
+        proof = message.proof
+        if proof is not None:
+            if self.process_id in proof:
+                # Our signature is already included — a correct root would not
+                # ask us again, so this is an exclusion attempt.
+                return False
+            if len(proof.signers) >= self.config.quorum_size:
+                return True
+            tree: AggregationTree = state["tree"]
+            parent = tree.parent(self.process_id) if not tree.is_root(self.process_id) else None
+            if parent is not None and parent in proof:
+                return True
+        # Fallback: sufficient time has passed since block creation.
+        elapsed = self.replica.simulator.now - message.block.timestamp
+        return elapsed >= 2.0 * self.config.delta
+
+    # -- root: fold 2ND-CHANCE replies into the aggregate -----------------------------------
+    def _on_second_chance_reply(self, sender: int, message: SecondChanceReply) -> None:
+        if self._is_done(message.block_id):
+            return
+        block = self.replica.known_block(message.block_id)
+        state = self._state.get(message.block_id)
+        if block is None or state is None or state["tree"] is None:
+            return
+        tree: AggregationTree = state["tree"]
+        if not tree.is_root(self.process_id):
+            return
+        signature = message.signature
+        if isinstance(signature, SignatureShare):
+            if signature.signer != sender:
+                return
+            self.replica.consume_cpu(self.config.cpu_model.verify_share)
+            if not self.committee.verify_share(signature, block.signing_payload()):
+                return
+        elif isinstance(signature, AggregateSignature):
+            self.replica.consume_cpu(
+                self.config.cpu_model.aggregate_verify_cost(len(signature.signers))
+            )
+            if not self.committee.verify_aggregate(signature, block.signing_payload()):
+                return
+        else:
+            return
+        included_before = len(state["included"])
+        self._root_add_contribution(block, signature, weight=1, source=sender)
+        added = len(state["included"]) - included_before
+        if added > 0:
+            self.replica.metrics.record_second_chance_inclusion(added)

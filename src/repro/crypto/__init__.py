@@ -1,0 +1,53 @@
+"""Cryptographic substrate: indivisible multi-signature schemes.
+
+The paper relies on an *indivisible* multi-signature scheme (BLS) in which
+
+* signatures on the same message can be aggregated,
+* the same signature may be included with a *multiplicity* larger than one,
+* it is infeasible to remove an individual signature from an aggregate.
+
+Two interchangeable backends implement the
+:class:`~repro.crypto.multisig.MultiSignatureScheme` interface:
+
+``BlsMultiSig``
+    A real pairing-based BLS multi-signature over a supersingular curve
+    (the original Boneh-Lynn-Shacham construction), implemented from
+    scratch in pure Python (:mod:`repro.crypto.field`,
+    :mod:`repro.crypto.curve`, :mod:`repro.crypto.pairing`).
+
+``HashMultiSig``
+    A deterministic simulation backend with identical aggregation and
+    multiplicity semantics, suitable for large Monte-Carlo and
+    discrete-event experiments where real pairings would dominate the
+    runtime.  It is *not* cryptographically secure and is clearly
+    documented as a simulation substitute (see DESIGN.md).
+"""
+
+from repro.crypto.keys import Committee, KeyPair
+from repro.crypto.multisig import (
+    AggregateSignature,
+    MultiSignatureScheme,
+    SignatureShare,
+    get_scheme,
+)
+from repro.crypto.hash_backend import HashMultiSig
+from repro.crypto.bls import BlsMultiSig
+from repro.crypto.params import CurveParams, DEFAULT_PARAMS, TOY_PARAMS
+from repro.crypto.vrf import VRF, VRFOutput, vrf_view_seed
+
+__all__ = [
+    "AggregateSignature",
+    "BlsMultiSig",
+    "Committee",
+    "CurveParams",
+    "DEFAULT_PARAMS",
+    "HashMultiSig",
+    "KeyPair",
+    "MultiSignatureScheme",
+    "SignatureShare",
+    "TOY_PARAMS",
+    "VRF",
+    "VRFOutput",
+    "get_scheme",
+    "vrf_view_seed",
+]

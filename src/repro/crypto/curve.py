@@ -1,0 +1,178 @@
+"""Elliptic-curve group operations for the BLS signature backend.
+
+The curve is the supersingular curve ``E : y^2 = x^3 + 1``.  Points can
+live over ``F_p`` (signatures, public keys) or over ``F_{p^2}`` (images of
+the distortion map used inside the pairing).  The same :class:`Point`
+class handles both by storing generic field elements.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.crypto.field import Fp, Fp2, cube_root_of_unity
+from repro.crypto.params import CurveParams
+
+__all__ = ["Point", "generator", "hash_to_point", "distortion_map"]
+
+FieldElement = Union[Fp, Fp2]
+
+
+@dataclass(frozen=True)
+class Point:
+    """An affine point on ``y^2 = x^3 + 1`` or the point at infinity.
+
+    ``x`` and ``y`` are ``None`` exactly when the point is the identity.
+    """
+
+    x: Optional[FieldElement]
+    y: Optional[FieldElement]
+    params: CurveParams
+
+    # -- construction -----------------------------------------------------
+    @classmethod
+    def infinity(cls, params: CurveParams) -> "Point":
+        return cls(None, None, params)
+
+    @classmethod
+    def from_ints(cls, x: int, y: int, params: CurveParams) -> "Point":
+        return cls(Fp(x, params.p), Fp(y, params.p), params)
+
+    # -- predicates -------------------------------------------------------
+    @property
+    def is_infinity(self) -> bool:
+        return self.x is None
+
+    def is_on_curve(self) -> bool:
+        if self.is_infinity:
+            return True
+        lhs = self.y * self.y
+        rhs = self.x * self.x * self.x + 1
+        return lhs == rhs
+
+    def has_order_r(self) -> bool:
+        """Check membership in the prime-order subgroup."""
+        return (self * self.params.r).is_infinity and not self.is_infinity
+
+    # -- group law --------------------------------------------------------
+    def __neg__(self) -> "Point":
+        if self.is_infinity:
+            return self
+        return Point(self.x, -self.y, self.params)
+
+    def __add__(self, other: "Point") -> "Point":
+        if not isinstance(other, Point):
+            return NotImplemented
+        if self.is_infinity:
+            return other
+        if other.is_infinity:
+            return self
+        x1, y1, x2, y2 = self.x, self.y, other.x, other.y
+        if x1 == x2:
+            if (y1 + y2).is_zero():
+                return Point.infinity(self.params)
+            # Doubling.
+            slope = (x1 * x1 * 3) / (y1 * 2)
+        else:
+            slope = (y2 - y1) / (x2 - x1)
+        x3 = slope * slope - x1 - x2
+        y3 = slope * (x1 - x3) - y1
+        return Point(x3, y3, self.params)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return self + (-other)
+
+    def __mul__(self, scalar: int) -> "Point":
+        if not isinstance(scalar, int):
+            return NotImplemented
+        if scalar < 0:
+            return (-self) * (-scalar)
+        result = Point.infinity(self.params)
+        addend = self
+        while scalar:
+            if scalar & 1:
+                result = result + addend
+            addend = addend + addend
+            scalar >>= 1
+        return result
+
+    __rmul__ = __mul__
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Point):
+            return NotImplemented
+        if self.is_infinity or other.is_infinity:
+            return self.is_infinity and other.is_infinity
+        return self.x == other.x and self.y == other.y
+
+    def __hash__(self) -> int:
+        if self.is_infinity:
+            return hash(("inf", self.params.p))
+        return hash((self.x, self.y, self.params.p))
+
+    # -- serialisation ----------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """A canonical byte encoding used for hashing and equality checks."""
+        byte_len = (self.params.p.bit_length() + 7) // 8
+        if self.is_infinity:
+            return b"\x00" * (2 * byte_len + 1)
+        parts = [b"\x01"]
+        for coordinate in (self.x, self.y):
+            if isinstance(coordinate, Fp):
+                parts.append(coordinate.value.to_bytes(byte_len, "big"))
+                parts.append((0).to_bytes(byte_len, "big"))
+            else:
+                parts.append(coordinate.c0.to_bytes(byte_len, "big"))
+                parts.append(coordinate.c1.to_bytes(byte_len, "big"))
+        return b"".join(parts)
+
+
+def generator(params: CurveParams) -> Point:
+    """The canonical generator of the order-``r`` subgroup."""
+    return Point.from_ints(params.gx, params.gy, params)
+
+
+def hash_to_point(message: bytes, params: CurveParams, domain: bytes = b"iniva-bls") -> Point:
+    """Hash a message onto the prime-order subgroup.
+
+    Uses hash-and-check on x-coordinates followed by cofactor clearing.
+    This is deterministic and, modelling SHA-256 as a random oracle, lands
+    uniformly in the curve group before the cofactor multiplication.
+    """
+    p = params.p
+    byte_len = (p.bit_length() + 7) // 8 + 16
+    counter = 0
+    while True:
+        digest = b""
+        block = 0
+        while len(digest) < byte_len:
+            digest += hashlib.sha256(
+                domain + counter.to_bytes(4, "big") + block.to_bytes(4, "big") + message
+            ).digest()
+            block += 1
+        x = Fp(int.from_bytes(digest[:byte_len], "big"), p)
+        rhs = x * x * x + 1
+        y = rhs.sqrt()
+        if y is not None:
+            candidate = Point(x, y, params) * params.cofactor
+            if not candidate.is_infinity:
+                return candidate
+        counter += 1
+
+
+def distortion_map(point: Point) -> Point:
+    """The distortion map ``phi(x, y) = (zeta * x, y)`` into ``E(F_{p^2})``.
+
+    ``zeta`` is a primitive cube root of unity in ``F_{p^2}``; the image of
+    a subgroup point is linearly independent from the original subgroup,
+    which makes the modified Tate pairing non-degenerate.
+    """
+    if point.is_infinity:
+        return point
+    p = point.params.p
+    zeta = cube_root_of_unity(p)
+    x = point.x if isinstance(point.x, Fp2) else Fp2.from_fp(point.x)
+    y = point.y if isinstance(point.y, Fp2) else Fp2.from_fp(point.y)
+    return Point(zeta * x, y, point.params)

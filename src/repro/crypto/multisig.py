@@ -1,0 +1,158 @@
+"""Abstract interface for indivisible multi-signature schemes.
+
+The paper's protocols only require four operations: sign a message,
+verify an individual share, aggregate shares/aggregates *with
+multiplicities*, and verify an aggregate against the claimed
+multiplicities.  Crucially the interface exposes **no** operation that
+removes a signer from an aggregate — that is the *indivisibility*
+property Iniva relies on (Section III of the paper).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Mapping, Tuple, Union
+
+__all__ = [
+    "SignatureShare",
+    "AggregateSignature",
+    "MultiSignatureScheme",
+    "get_scheme",
+    "register_scheme",
+]
+
+
+@dataclass(frozen=True)
+class SignatureShare:
+    """A single signer's signature on a message.
+
+    Attributes:
+        signer: The integer identity of the signing process.
+        value: Backend-specific opaque signature value.
+    """
+
+    signer: int
+    value: Any
+
+
+@dataclass(frozen=True)
+class AggregateSignature:
+    """An aggregate of signature shares on one message.
+
+    Attributes:
+        value: Backend-specific opaque aggregate value.  By the
+            indivisibility assumption no component share can be recovered
+            from it.
+        multiplicities: Mapping ``signer -> multiplicity`` describing how
+            many times each signer's share was folded into the aggregate.
+            This is the metadata Iniva's reward scheme inspects to tell
+            tree aggregation apart from 2ND-CHANCE fallback inclusion.
+    """
+
+    value: Any
+    multiplicities: Mapping[int, int] = field(default_factory=dict)
+
+    @property
+    def signers(self) -> frozenset[int]:
+        """The set of signers with non-zero multiplicity."""
+        return frozenset(s for s, m in self.multiplicities.items() if m > 0)
+
+    def multiplicity(self, signer: int) -> int:
+        return self.multiplicities.get(signer, 0)
+
+    def __contains__(self, signer: int) -> bool:
+        return self.multiplicity(signer) > 0
+
+    def __len__(self) -> int:
+        return len(self.signers)
+
+
+Contribution = Tuple[Union[SignatureShare, AggregateSignature], int]
+
+
+def combined_multiplicities(parts: Iterable[Contribution]) -> Dict[int, int]:
+    """Sum the signer multiplicities of weighted contributions.
+
+    Each contribution is a pair ``(share_or_aggregate, weight)``; an
+    individual share counts as multiplicity one before weighting.
+    """
+    total: Counter[int] = Counter()
+    for part, weight in parts:
+        if weight <= 0:
+            raise ValueError("contribution weights must be positive integers")
+        if isinstance(part, SignatureShare):
+            total[part.signer] += weight
+        elif isinstance(part, AggregateSignature):
+            for signer, mult in part.multiplicities.items():
+                total[signer] += mult * weight
+        else:
+            raise TypeError(f"unsupported contribution type: {type(part)!r}")
+    return dict(total)
+
+
+class MultiSignatureScheme(ABC):
+    """Interface shared by the BLS and hash-based backends."""
+
+    #: Human-readable backend name used by :func:`get_scheme`.
+    name: str = "abstract"
+
+    @abstractmethod
+    def keygen(self, seed: int) -> "KeyPair":
+        """Deterministically derive a key pair from ``seed``."""
+
+    @abstractmethod
+    def sign(self, secret_key: Any, message: bytes, signer: int) -> SignatureShare:
+        """Sign ``message`` with ``secret_key`` on behalf of ``signer``."""
+
+    @abstractmethod
+    def verify_share(self, share: SignatureShare, message: bytes, public_key: Any) -> bool:
+        """Verify an individual signature share."""
+
+    @abstractmethod
+    def aggregate(self, parts: Iterable[Contribution]) -> AggregateSignature:
+        """Aggregate weighted shares and aggregates into one signature.
+
+        The returned aggregate's multiplicities are the weighted sums of
+        the inputs' multiplicities; the opaque value is combined in a way
+        the backend can later verify against those multiplicities.
+        """
+
+    @abstractmethod
+    def verify_aggregate(
+        self,
+        aggregate: AggregateSignature,
+        message: bytes,
+        public_keys: Mapping[int, Any],
+    ) -> bool:
+        """Verify an aggregate against the claimed signer multiplicities."""
+
+
+_SCHEME_REGISTRY: Dict[str, type] = {}
+
+
+def register_scheme(cls: type) -> type:
+    """Class decorator adding a backend to the scheme registry."""
+    _SCHEME_REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_scheme(name: str, **kwargs: Any) -> MultiSignatureScheme:
+    """Instantiate a registered multi-signature backend by name.
+
+    Args:
+        name: ``"hash"`` for the fast simulation backend or ``"bls"`` for
+            the pairing-based backend.
+        **kwargs: Forwarded to the backend constructor.
+    """
+    try:
+        cls = _SCHEME_REGISTRY[name]
+    except KeyError as exc:
+        known = ", ".join(sorted(_SCHEME_REGISTRY))
+        raise KeyError(f"unknown multi-signature scheme {name!r}; known: {known}") from exc
+    return cls(**kwargs)
+
+
+# Imported at the bottom to avoid a circular import with keys.py.
+from repro.crypto.keys import KeyPair  # noqa: E402  (re-export for typing)

@@ -1,0 +1,140 @@
+"""Verifiable random functions built on the multi-signature backends.
+
+The paper's system model (Section III) requires an *unpredictable*
+deterministic shuffle of the committee every round and suggests
+implementing it with a VRF.  This module provides that VRF: a unique
+signature on the VRF input acts as the proof, and the hash of the proof is
+the pseudorandom output.  With the BLS backend this is the classic
+BLS-VRF construction (signatures are unique, so the output is both
+deterministic and unpredictable without the secret key); with the hash
+backend it has the same interface and determinism for simulations.
+
+Typical use::
+
+    scheme = get_scheme("hash")
+    committee = Committee(scheme, size=21, seed=1)
+    vrf = VRF(scheme)
+    out = vrf.evaluate(committee.secret_key(3), b"view|42", signer=3)
+    assert vrf.verify(committee.public_key(3), b"view|42", out)
+    seed = out.as_int() % 2**63
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.crypto.multisig import MultiSignatureScheme, SignatureShare
+
+__all__ = ["VRFOutput", "VRF", "vrf_view_seed"]
+
+
+def _canonical_bytes(value: Any) -> bytes:
+    """A deterministic byte encoding of a backend-specific signature value."""
+    if isinstance(value, bytes):
+        return value
+    if isinstance(value, str):
+        return value.encode("utf-8")
+    if isinstance(value, int):
+        return value.to_bytes((value.bit_length() + 15) // 8 or 1, "big", signed=True)
+    # Curve points and other structured values: rely on their repr, which the
+    # backends keep stable (coordinates in a fixed order).
+    return repr(value).encode("utf-8")
+
+
+@dataclass(frozen=True)
+class VRFOutput:
+    """The result of one VRF evaluation.
+
+    Attributes:
+        value: The 32-byte pseudorandom output ``H(proof)``.
+        proof: The signature share proving that ``value`` was derived from
+            the evaluator's secret key and the public input.
+        alpha: The VRF input the output was computed for.
+    """
+
+    value: bytes
+    proof: SignatureShare
+    alpha: bytes
+
+    def as_int(self) -> int:
+        """The output interpreted as a big-endian integer."""
+        return int.from_bytes(self.value, "big")
+
+    def as_unit_float(self) -> float:
+        """The output mapped uniformly into ``[0, 1)``."""
+        return self.as_int() / float(1 << (8 * len(self.value)))
+
+
+class VRF:
+    """A verifiable random function over a multi-signature backend.
+
+    The evaluation signs ``domain || alpha`` and hashes the signature; any
+    holder of the matching public key can verify the proof and recompute
+    the output.  Unpredictability follows from the unforgeability of the
+    underlying signature scheme (genuinely so for the BLS backend, by
+    construction for the simulation backend).
+    """
+
+    def __init__(self, scheme: MultiSignatureScheme, domain: bytes = b"iniva-vrf") -> None:
+        self._scheme = scheme
+        self._domain = domain
+
+    # -- evaluation -----------------------------------------------------------
+    def _input(self, alpha: bytes) -> bytes:
+        return self._domain + b"|" + alpha
+
+    def _output(self, proof: SignatureShare) -> bytes:
+        digest = hashlib.sha256()
+        digest.update(self._domain)
+        digest.update(_canonical_bytes(proof.value))
+        return digest.digest()
+
+    def evaluate(self, secret_key: Any, alpha: bytes, signer: int = 0) -> VRFOutput:
+        """Evaluate the VRF on ``alpha`` with ``secret_key``."""
+        proof = self._scheme.sign(secret_key, self._input(alpha), signer)
+        return VRFOutput(value=self._output(proof), proof=proof, alpha=alpha)
+
+    def verify(self, public_key: Any, alpha: bytes, output: VRFOutput) -> bool:
+        """Check that ``output`` is the unique VRF value of ``alpha``."""
+        if output.alpha != alpha:
+            return False
+        if not self._scheme.verify_share(output.proof, self._input(alpha), public_key):
+            return False
+        return output.value == self._output(output.proof)
+
+    # -- convenience mappings ----------------------------------------------------
+    def select_index(self, output: VRFOutput, population: int) -> int:
+        """Map a VRF output to an index in ``range(population)``."""
+        if population <= 0:
+            raise ValueError("population must be positive")
+        return output.as_int() % population
+
+    def weighted_choice(self, output: VRFOutput, weights: Sequence[float]) -> int:
+        """Pick an index with probability proportional to ``weights``.
+
+        Used for stake-weighted sortition: the VRF output provides the
+        uniform sample, the cumulative weights define the bins.
+        """
+        if not weights:
+            raise ValueError("weights must be non-empty")
+        total = float(sum(weights))
+        if total <= 0:
+            raise ValueError("total weight must be positive")
+        point = output.as_unit_float() * total
+        cumulative = 0.0
+        for index, weight in enumerate(weights):
+            if weight < 0:
+                raise ValueError("weights must be non-negative")
+            cumulative += weight
+            if point < cumulative:
+                return index
+        return len(weights) - 1
+
+
+def vrf_view_seed(output: VRFOutput, bits: int = 63) -> int:
+    """Derive a shuffle seed for :func:`repro.tree.shuffle.view_seed` from a VRF output."""
+    if bits <= 0 or bits > 256:
+        raise ValueError("bits must be in (0, 256]")
+    return output.as_int() % (1 << bits)

@@ -1,0 +1,35 @@
+"""Experiment harness reproducing the paper's evaluation (Figures 3 and 4).
+
+Every figure has a dedicated module that defines the paper's
+configurations, runs them on the discrete-event simulator and returns the
+same series the paper plots:
+
+* :mod:`repro.experiments.throughput` — Figure 3a (throughput vs latency).
+* :mod:`repro.experiments.cpu` — Figure 3b (CPU usage).
+* :mod:`repro.experiments.scalability` — Figure 3c (throughput vs replicas).
+* :mod:`repro.experiments.resiliency` — Figure 4 (throughput, latency,
+  failed views and QC sizes under crash faults).
+
+:mod:`repro.experiments.runner` provides the generic building blocks:
+deploy a committee on the simulator, attach a client workload and fault
+plan, run for a configured duration and collect metrics.
+:mod:`repro.experiments.export` turns result rows into CSV/JSON/Markdown
+artifacts and terminal plots; the same machinery backs the
+``python -m repro`` command-line interface.
+"""
+
+from repro.experiments.runner import ExperimentResult, build_deployment, run_experiment
+from repro.experiments.workloads import ClientWorkload
+from repro.experiments.report import format_rows, series
+from repro.experiments.export import FigureArtifact, ascii_plot
+
+__all__ = [
+    "ClientWorkload",
+    "ExperimentResult",
+    "FigureArtifact",
+    "ascii_plot",
+    "build_deployment",
+    "format_rows",
+    "run_experiment",
+    "series",
+]

@@ -1,0 +1,170 @@
+"""Export and terminal plotting of experiment results.
+
+The benchmark harness prints aligned tables; this module adds the pieces a
+downstream user needs to get figures out of the library:
+
+* :func:`ascii_plot` — a dependency-free scatter/line plot for the terminal,
+  enough to eyeball the shape of every figure in the paper.
+* :class:`FigureArtifact` — bundles the rows of one figure/table with its
+  metadata and writes them as CSV, JSON, Markdown and a plain-text table
+  into an output directory, so the data can be re-plotted with any
+  external tool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.experiments.report import format_rows, rows_to_csv, rows_to_json, series
+
+__all__ = ["ascii_plot", "FigureArtifact"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_plot(
+    named_series: Mapping[str, Sequence[Tuple[float, float]]],
+    width: int = 70,
+    height: int = 20,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render one or more (x, y) series as a terminal scatter plot.
+
+    Args:
+        named_series: Mapping from series name to its (x, y) points, e.g.
+            the output of :func:`repro.experiments.report.series`.
+        width: Plot area width in characters.
+        height: Plot area height in characters.
+        title: Optional title line.
+        x_label: Label printed under the x axis.
+        y_label: Label printed above the y axis.
+
+    Returns:
+        The plot as a multi-line string (also suitable for writing to a
+        ``.txt`` artifact).
+    """
+    points = [
+        (float(x), float(y))
+        for values in named_series.values()
+        for x, y in values
+        if x is not None and y is not None
+    ]
+    if not points or width < 10 or height < 4:
+        return f"{title}\n(no data to plot)" if title else "(no data to plot)"
+
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(x: float, y: float, marker: str) -> None:
+        column = int(round((x - x_min) / x_span * (width - 1)))
+        row = int(round((y - y_min) / y_span * (height - 1)))
+        grid[height - 1 - row][column] = marker
+
+    legend: List[str] = []
+    for index, (name, values) in enumerate(named_series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        legend.append(f"  {marker} {name}")
+        for x, y in values:
+            if x is None or y is None:
+                continue
+            place(float(x), float(y), marker)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label} (min {y_min:g}, max {y_max:g})")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {x_min:g} .. {x_max:g}")
+    lines.append("legend:")
+    lines.extend(legend)
+    return "\n".join(lines)
+
+
+@dataclass
+class FigureArtifact:
+    """The data behind one reproduced table or figure, ready to export.
+
+    Attributes:
+        name: Short identifier used for file names (e.g. ``"fig2a"``).
+        title: Human-readable title (printed above tables and plots).
+        rows: Uniform row dictionaries (one per data point).
+        series_key: Optional column distinguishing the series of a plot.
+        x: Optional column used as the plot's x axis.
+        y: Optional column used as the plot's y axis.
+    """
+
+    name: str
+    title: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    series_key: Optional[str] = None
+    x: Optional[str] = None
+    y: Optional[str] = None
+
+    # -- rendering ----------------------------------------------------------
+    def to_table(self) -> str:
+        return format_rows(self.rows, title=self.title)
+
+    def to_markdown(self) -> str:
+        """A GitHub-flavoured Markdown table of the rows."""
+        if not self.rows:
+            return f"### {self.title}\n\n(no data)\n"
+        columns = list(self.rows[0].keys())
+        lines = [f"### {self.title}", ""]
+        lines.append("| " + " | ".join(str(column) for column in columns) + " |")
+        lines.append("|" + "|".join("---" for _ in columns) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(_cell(row.get(column)) for column in columns) + " |")
+        lines.append("")
+        return "\n".join(lines)
+
+    def to_plot(self, width: int = 70, height: int = 18) -> str:
+        """An ASCII plot, when the artifact declares plottable columns."""
+        if not (self.series_key and self.x and self.y):
+            return self.to_table()
+        grouped = series(self.rows, key=self.series_key, x=self.x, y=self.y)
+        return ascii_plot(
+            {str(name): points for name, points in grouped.items()},
+            width=width,
+            height=height,
+            title=self.title,
+            x_label=self.x,
+            y_label=self.y,
+        )
+
+    # -- persistence -----------------------------------------------------------
+    def write(self, out_dir: Union[str, Path]) -> Dict[str, Path]:
+        """Write CSV, JSON, Markdown, table and plot files; returns the paths."""
+        directory = Path(out_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        paths = {
+            "csv": directory / f"{self.name}.csv",
+            "json": directory / f"{self.name}.json",
+            "md": directory / f"{self.name}.md",
+            "txt": directory / f"{self.name}.txt",
+        }
+        rows_to_csv(self.rows, paths["csv"])
+        rows_to_json(self.rows, paths["json"])
+        paths["md"].write_text(self.to_markdown(), encoding="utf-8")
+        text = self.to_table()
+        if self.series_key and self.x and self.y:
+            text += "\n\n" + self.to_plot()
+        paths["txt"].write_text(text + "\n", encoding="utf-8")
+        return paths
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,77 @@
+"""Reporting helpers for the experiment and benchmark harness.
+
+Provides aligned plain-text tables (what the benchmarks print), grouping
+into per-series point lists (the paper's plot format) and CSV/JSON export
+so figure data can be post-processed or plotted outside this repository.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+__all__ = ["format_rows", "series", "rows_to_csv", "rows_to_json"]
+
+
+def format_rows(rows: Sequence[Dict[str, object]], title: str = "") -> str:
+    """Render a list of uniform dictionaries as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no data)" if title else "(no data)"
+    columns = list(rows[0].keys())
+    widths = {
+        column: max(len(str(column)), *(len(_fmt(row.get(column))) for row in rows))
+        for column in columns
+    }
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(column).ljust(widths[column]) for column in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append("  ".join(_fmt(row.get(column)).ljust(widths[column]) for column in columns))
+    return "\n".join(lines)
+
+
+def series(rows: Iterable[Dict[str, object]], key: str, x: str, y: str) -> Dict[object, List[tuple]]:
+    """Group rows into named (x, y) series, mirroring the paper's plots."""
+    grouped: Dict[object, List[tuple]] = {}
+    for row in rows:
+        grouped.setdefault(row[key], []).append((row[x], row[y]))
+    for points in grouped.values():
+        points.sort()
+    return grouped
+
+
+def rows_to_csv(
+    rows: Sequence[Dict[str, object]], path: Optional[Union[str, Path]] = None
+) -> str:
+    """Serialise figure rows as CSV; optionally also write them to ``path``."""
+    buffer = io.StringIO()
+    if rows:
+        writer = csv.DictWriter(buffer, fieldnames=list(rows[0].keys()), lineterminator="\n")
+        writer.writeheader()
+        writer.writerows(rows)
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text, encoding="utf-8")
+    return text
+
+
+def rows_to_json(
+    rows: Sequence[Dict[str, object]], path: Optional[Union[str, Path]] = None
+) -> str:
+    """Serialise figure rows as pretty-printed JSON; optionally write to ``path``."""
+    text = json.dumps(list(rows), indent=2, sort_keys=False, default=str)
+    if path is not None:
+        Path(path).write_text(text, encoding="utf-8")
+    return text
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}" if abs(value) < 1000 else f"{value:.1f}"
+    return str(value)

@@ -1,0 +1,201 @@
+"""Generic experiment runner: deploy, load, fail, run, measure."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.consensus.config import ConsensusConfig
+from repro.consensus.leader import make_leader_election
+from repro.consensus.mempool import Mempool
+from repro.consensus.replica import HotStuffReplica
+from repro.crypto.keys import Committee
+from repro.crypto.multisig import MultiSignatureScheme, get_scheme
+from repro.crypto.params import TOY_PARAMS
+from repro.experiments.workloads import ClientWorkload
+from repro.simnet.events import Simulator
+from repro.simnet.failures import FailureInjector, FailurePlan
+from repro.simnet.latency import NormalLatency
+from repro.simnet.metrics import LatencyStats, MetricsCollector
+from repro.simnet.network import Network
+
+__all__ = ["Deployment", "ExperimentResult", "build_deployment", "run_experiment"]
+
+
+@dataclass
+class Deployment:
+    """A fully wired simulated committee, ready to run."""
+
+    config: ConsensusConfig
+    simulator: Simulator
+    network: Network
+    committee: Committee
+    mempool: Mempool
+    metrics: MetricsCollector
+    replicas: List[HotStuffReplica]
+
+    def start(self) -> None:
+        for replica in self.replicas:
+            replica.start()
+
+    def correct_replicas(self) -> List[HotStuffReplica]:
+        return [replica for replica in self.replicas if not replica.crashed]
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Headline metrics of one experiment run.
+
+    The fields mirror what the paper reports: throughput (ops/sec), client
+    latency, failed-view percentage, average QC size (vote inclusion) and
+    mean CPU utilisation, plus message counters for the overhead analysis.
+    """
+
+    config_label: str
+    duration: float
+    throughput: float
+    latency: LatencyStats
+    failed_view_fraction: float
+    total_views: int
+    successful_views: int
+    average_qc_size: float
+    second_chance_inclusions: int
+    cpu_utilisation_mean: float
+    cpu_utilisation_max: float
+    committed_operations: int
+    committed_blocks: int
+    message_counters: Dict[str, int] = field(default_factory=dict)
+
+    def row(self) -> Dict[str, float]:
+        """A flat representation used by the benchmark reporting."""
+        return {
+            "throughput_ops_per_sec": round(self.throughput, 1),
+            "latency_mean_ms": round(self.latency.mean * 1000, 2),
+            "latency_p90_ms": round(self.latency.p90 * 1000, 2),
+            "failed_views_pct": round(self.failed_view_fraction * 100, 2),
+            "avg_qc_size": round(self.average_qc_size, 2),
+            "cpu_mean_pct": round(self.cpu_utilisation_mean * 100, 2),
+            "cpu_max_pct": round(self.cpu_utilisation_max * 100, 2),
+        }
+
+
+def _make_signature_scheme(config: ConsensusConfig) -> MultiSignatureScheme:
+    if config.signature_scheme == "bls":
+        # The toy curve keeps pairings fast enough for small integration runs.
+        return get_scheme("bls", params=TOY_PARAMS)
+    return get_scheme(config.signature_scheme)
+
+
+def build_deployment(
+    config: ConsensusConfig,
+    warmup: float = 0.0,
+    latency_model=None,
+    loss_probability: float = 0.0,
+) -> Deployment:
+    """Instantiate simulator, network, keys and replicas for ``config``."""
+    simulator = Simulator()
+    network = Network(
+        simulator,
+        # The paper's cluster has sub-millisecond latency; Δ (config.delta)
+        # is the protocol's synchrony assumption and includes processing
+        # headroom, so the raw network latency is configured independently.
+        latency_model=latency_model or NormalLatency(mean=0.0005, std=0.0001),
+        seed=config.seed,
+        loss_probability=loss_probability,
+    )
+    scheme = _make_signature_scheme(config)
+    committee = Committee(scheme, config.committee_size, seed=config.seed)
+    metrics = MetricsCollector(warmup=warmup)
+    mempool = Mempool(metrics=metrics)
+    election = make_leader_election(config.leader_policy, config.committee_size)
+    replicas = [
+        HotStuffReplica(
+            process_id=pid,
+            simulator=simulator,
+            network=network,
+            committee=committee,
+            config=config,
+            mempool=mempool,
+            election=election,
+            metrics=metrics,
+        )
+        for pid in range(config.committee_size)
+    ]
+    return Deployment(
+        config=config,
+        simulator=simulator,
+        network=network,
+        committee=committee,
+        mempool=mempool,
+        metrics=metrics,
+        replicas=replicas,
+    )
+
+
+def run_experiment(
+    config: ConsensusConfig,
+    duration: float = 10.0,
+    warmup: float = 1.0,
+    workload: Optional[ClientWorkload] = None,
+    failure_plan: Optional[FailurePlan] = None,
+    latency_model=None,
+    loss_probability: float = 0.0,
+    label: Optional[str] = None,
+) -> ExperimentResult:
+    """Run one full experiment and summarise its metrics.
+
+    Args:
+        config: The deployment configuration (scheme, committee size, ...).
+        duration: Virtual seconds to simulate (the paper runs 150 s; the
+            benches use shorter windows since the simulator is deterministic).
+        warmup: Virtual seconds excluded from rate/latency statistics.
+        workload: Client workload; defaults to a load high enough to keep
+            every block full at the configured batch size.
+        failure_plan: Optional crash-fault schedule.
+        latency_model: Override for the network latency distribution.
+        loss_probability: Probability of dropping any individual message.
+        label: Human-readable label for reporting.
+    """
+    deployment = build_deployment(
+        config, warmup=warmup, latency_model=latency_model, loss_probability=loss_probability
+    )
+    if workload is None:
+        # Default: enough load to fill batches at the expected block rate.
+        workload = ClientWorkload(rate=config.batch_size * 120, payload_size=config.payload_size)
+    workload.attach(deployment.simulator, deployment.mempool, duration)
+    if failure_plan is not None:
+        FailureInjector(deployment.simulator, deployment.network).apply(failure_plan)
+    deployment.start()
+    deployment.simulator.run(until=duration)
+    return summarise(deployment, duration, label=label)
+
+
+def summarise(deployment: Deployment, duration: float, label: Optional[str] = None) -> ExperimentResult:
+    """Collect the post-run metrics from a deployment."""
+    metrics = deployment.metrics
+    metrics.mark_window(0.0, duration)
+    correct = deployment.correct_replicas()
+    max_view = max((replica.current_view for replica in correct), default=0)
+    successful_views = metrics.total_views()  # record_view(True) per formed QC
+    total_views = max(max_view - 1, successful_views)
+    failed_fraction = 0.0
+    if total_views > 0:
+        failed_fraction = max(0.0, 1.0 - successful_views / total_views)
+    cpu = [replica.cpu_utilisation(duration) for replica in deployment.replicas]
+    latency = metrics.latency_stats()
+    return ExperimentResult(
+        config_label=label or deployment.config.describe(),
+        duration=duration,
+        throughput=metrics.throughput(),
+        latency=latency,
+        failed_view_fraction=failed_fraction,
+        total_views=total_views,
+        successful_views=successful_views,
+        average_qc_size=metrics.average_qc_size(),
+        second_chance_inclusions=metrics.second_chance_inclusions(),
+        cpu_utilisation_mean=sum(cpu) / len(cpu) if cpu else 0.0,
+        cpu_utilisation_max=max(cpu) if cpu else 0.0,
+        committed_operations=metrics.committed_operations(),
+        committed_blocks=metrics.committed_blocks(),
+        message_counters=deployment.network.counters(),
+    )

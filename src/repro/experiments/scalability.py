@@ -1,0 +1,68 @@
+"""Figure 3c: throughput as the committee grows (20 to 140 replicas).
+
+The paper keeps the tree height constant and increases its branching
+factor with the configuration size, using batch size 100 and payloads of 0
+and 64 bytes.  Throughput decreases gradually for both HotStuff and Iniva
+as the committee grows.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.consensus.config import ConsensusConfig
+from repro.experiments.runner import run_experiment
+from repro.experiments.workloads import ClientWorkload
+
+__all__ = ["figure_3c", "default_replica_counts"]
+
+
+def default_replica_counts() -> List[int]:
+    """Committee sizes roughly matching the paper's 20-140 replica sweep."""
+    return [21, 41, 61, 91, 131]
+
+
+def figure_3c(
+    replica_counts: Optional[Sequence[int]] = None,
+    payload_sizes: Sequence[int] = (0, 64),
+    batch_size: int = 100,
+    schemes: Optional[Dict[str, str]] = None,
+    load: float = 30_000.0,
+    duration: float = 3.0,
+    warmup: float = 0.5,
+    seed: int = 1,
+) -> List[Dict[str, object]]:
+    """Throughput versus committee size.  One row per (scheme, payload, n)."""
+    schemes = schemes or {"HotStuff": "star", "Iniva": "iniva"}
+    counts = list(replica_counts) if replica_counts is not None else default_replica_counts()
+    rows: List[Dict[str, object]] = []
+    for label, aggregation in schemes.items():
+        for payload in payload_sizes:
+            for count in counts:
+                config = ConsensusConfig(
+                    committee_size=count,
+                    batch_size=batch_size,
+                    payload_size=payload,
+                    aggregation=aggregation,
+                    num_internal=max(2, round(math.sqrt(count - 1))),
+                    seed=seed,
+                )
+                result = run_experiment(
+                    config,
+                    duration=duration,
+                    warmup=warmup,
+                    workload=ClientWorkload(rate=load, payload_size=payload),
+                    label=f"{label} {payload}b n={count}",
+                )
+                rows.append(
+                    {
+                        "scheme": label,
+                        "payload_bytes": payload,
+                        "replicas": count,
+                        "throughput_ops": round(result.throughput, 1),
+                        "latency_ms": round(result.latency.mean * 1000, 2),
+                        "cpu_mean_pct": round(result.cpu_utilisation_mean * 100, 2),
+                    }
+                )
+    return rows

@@ -1,0 +1,191 @@
+"""Figure 2: security simulations (targeted vote omission and reward loss).
+
+These wrappers assemble the same series the paper plots in Figure 2 from
+the attack simulators in :mod:`repro.attacks`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.attacks.gosig_sim import GosigConfig, GosigSimulator
+from repro.attacks.omission import analytic_star_omission, omission_probability
+from repro.attacks.reward_sim import RewardAttackSimulator
+from repro.core.rewards import RewardParams
+
+__all__ = ["figure_2a", "figure_2b", "figure_2c", "figure_2d"]
+
+#: The Gosig variants plotted in Figures 2a and 2b.
+GOSIG_VARIANTS = [
+    {"label": "Gosig k=2", "k": 2, "free_riding": 0.0, "greedy": False},
+    {"label": "Gosig k=2, free-riding", "k": 2, "free_riding": 0.3, "greedy": False},
+    {"label": "Gosig k=2, greedy", "k": 2, "free_riding": 0.0, "greedy": True},
+    {"label": "Gosig k=3", "k": 3, "free_riding": 0.0, "greedy": False},
+    {"label": "Gosig k=3, free-riding", "k": 3, "free_riding": 0.3, "greedy": False},
+]
+
+
+def figure_2a(
+    attacker_powers: Sequence[float] = (0.05, 0.10, 0.15),
+    gosig_trials: int = 600,
+    iniva_trials: int = 8000,
+    committee_size_iniva: int = 111,
+    committee_size_gosig: int = 100,
+    num_internal: int = 10,
+    seed: int = 1,
+) -> List[Dict[str, object]]:
+    """Vote-omission probability with collateral 0 (Figure 2a).
+
+    Returns one row per (protocol variant, attacker power).
+    """
+    rows: List[Dict[str, object]] = []
+    for m in attacker_powers:
+        for variant in GOSIG_VARIANTS:
+            config = GosigConfig(
+                committee_size=committee_size_gosig,
+                gossip_fanout=int(variant["k"]),
+                attacker_power=m,
+                free_riding_fraction=float(variant["free_riding"]),
+                greedy_leader=bool(variant["greedy"]),
+            )
+            outcome = GosigSimulator(config, seed=seed).omission_probability(trials=gosig_trials)
+            rows.append(
+                {"protocol": variant["label"], "attacker_power": m, "omission_probability": round(outcome.probability, 4)}
+            )
+        rows.append(
+            {
+                "protocol": "Star protocol (round robin)",
+                "attacker_power": m,
+                "omission_probability": round(analytic_star_omission(m), 4),
+            }
+        )
+        iniva = omission_probability(
+            m,
+            collateral=0,
+            committee_size=committee_size_iniva,
+            num_internal=num_internal,
+            trials=iniva_trials,
+            seed=seed,
+        )
+        rows.append(
+            {"protocol": "Iniva", "attacker_power": m, "omission_probability": round(iniva.probability, 4)}
+        )
+    return rows
+
+
+def figure_2b(
+    collaterals: Sequence[int] = (0, 1, 2, 3, 4, 5, 6, 7, 8, 9),
+    attacker_power: float = 0.05,
+    gosig_trials: int = 500,
+    iniva_trials: int = 6000,
+    seed: int = 1,
+) -> List[Dict[str, object]]:
+    """Vote omission with larger collateral, m = 5 % (Figure 2b)."""
+    rows: List[Dict[str, object]] = []
+    gosig_variants = [v for v in GOSIG_VARIANTS if not v["greedy"]]
+    for collateral in collaterals:
+        for variant in gosig_variants:
+            config = GosigConfig(
+                gossip_fanout=int(variant["k"]),
+                attacker_power=attacker_power,
+                free_riding_fraction=float(variant["free_riding"]),
+            )
+            outcome = GosigSimulator(config, seed=seed).omission_probability(
+                trials=gosig_trials, collateral=collateral
+            )
+            rows.append(
+                {"protocol": variant["label"], "collateral": collateral, "omission_probability": round(outcome.probability, 4)}
+            )
+        rows.append(
+            {
+                "protocol": "Star protocol (round robin)",
+                "collateral": collateral,
+                "omission_probability": round(analytic_star_omission(attacker_power), 4),
+            }
+        )
+        iniva = omission_probability(
+            attacker_power, collateral=collateral, trials=iniva_trials, seed=seed
+        )
+        rows.append(
+            {"protocol": "Iniva", "collateral": collateral, "omission_probability": round(iniva.probability, 4)}
+        )
+    return rows
+
+
+def figure_2c(
+    attacker_powers: Sequence[float] = (0.05, 0.10, 0.15, 0.20, 0.25, 0.30),
+    trials: int = 800,
+    committee_size: int = 111,
+    num_internal: int = 10,
+    params: Optional[RewardParams] = None,
+    seed: int = 1,
+) -> List[Dict[str, object]]:
+    """Reward lost by victim and attacker under collateral-0 attacks (Figure 2c)."""
+    params = params or RewardParams(leader_bonus=0.15, aggregation_bonus=0.02)
+    attacks = [("vote omission", "vote-omission"), ("no vote", "vote-denial"), ("all attacks", "all")]
+    rows: List[Dict[str, object]] = []
+    for m in attacker_powers:
+        simulator = RewardAttackSimulator(
+            committee_size=committee_size,
+            num_internal=num_internal,
+            attacker_power=m,
+            params=params,
+            seed=seed,
+        )
+        for attack_label, attack in attacks:
+            iniva = simulator.run_iniva(attack, trials=trials)
+            star = simulator.run_star(attack, trials=trials)
+            rows.append(
+                {
+                    "attack": attack_label,
+                    "attacker_power": m,
+                    "victim_fraction_iniva": round(iniva.victim_fraction_of_fair_share, 4),
+                    "victim_fraction_star": round(star.victim_fraction_of_fair_share, 4),
+                    "attacker_fraction_iniva": round(iniva.attacker_fraction_of_fair_share, 4),
+                    "attacker_fraction_star": round(star.attacker_fraction_of_fair_share, 4),
+                }
+            )
+    return rows
+
+
+def figure_2d(
+    attacker_powers: Sequence[float] = (0.10, 0.30),
+    trials: int = 800,
+    params: Optional[RewardParams] = None,
+    seed: int = 1,
+) -> List[Dict[str, object]]:
+    """Reward lost under large-collateral vote omission (Figure 2d).
+
+    Compares Iniva with 4 and 10 internal nodes against the star baseline.
+    """
+    params = params or RewardParams(leader_bonus=0.15, aggregation_bonus=0.02)
+    configurations = [
+        ("Iniva (fanout=4)", 109, 4),
+        ("Iniva (fanout=10)", 111, 10),
+        ("Star", 111, None),
+    ]
+    rows: List[Dict[str, object]] = []
+    for m in attacker_powers:
+        for label, committee_size, num_internal in configurations:
+            simulator = RewardAttackSimulator(
+                committee_size=committee_size,
+                num_internal=num_internal or 10,
+                attacker_power=m,
+                params=params,
+                seed=seed,
+            )
+            if num_internal is None:
+                result = simulator.run_star("vote-omission", trials=trials)
+            else:
+                result = simulator.run_iniva(
+                    "vote-omission", trials=trials, unlimited_collateral=True
+                )
+            rows.append(
+                {
+                    "configuration": label,
+                    "attacker_power": m,
+                    "victim_lost_pct_of_R": round(result.victim_lost_reward * 100, 3),
+                    "attacker_lost_pct_of_R": round(result.attacker_lost_reward * 100, 3),
+                }
+            )
+    return rows

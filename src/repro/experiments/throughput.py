@@ -1,0 +1,81 @@
+"""Figure 3a: throughput versus latency under increasing client load.
+
+The paper drives 21 replicas and 4 clients with 64 B and 128 B payloads
+and batch sizes 100 and 800, comparing HotStuff (star), Iniva and
+Iniva-No2C.  The simulated experiment sweeps the client request rate and
+reports one (throughput, latency) point per load level, which is exactly
+the curve the paper plots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.consensus.config import ConsensusConfig
+from repro.experiments.runner import run_experiment
+from repro.experiments.workloads import ClientWorkload
+
+__all__ = ["SCHEME_LABELS", "figure_3a", "default_loads"]
+
+#: Mapping from the paper's protocol names to configuration values.
+SCHEME_LABELS = {"HotStuff": "star", "Iniva-No2C": "tree", "Iniva": "iniva"}
+
+
+def default_loads(batch_size: int) -> List[float]:
+    """Client request rates (requests/second) swept for a batch size."""
+    base = [5_000, 15_000, 30_000, 45_000]
+    if batch_size >= 800:
+        base.append(60_000)
+    return [float(rate) for rate in base]
+
+
+def figure_3a(
+    committee_size: int = 21,
+    payload_sizes: Sequence[int] = (64,),
+    batch_sizes: Sequence[int] = (100,),
+    schemes: Optional[Dict[str, str]] = None,
+    loads: Optional[Iterable[float]] = None,
+    duration: float = 4.0,
+    warmup: float = 1.0,
+    seed: int = 1,
+) -> List[Dict[str, object]]:
+    """Run the throughput/latency sweep and return one row per data point.
+
+    The defaults are a reduced version of the paper's grid (64 B payload,
+    batch 100) so the benchmark completes in minutes; pass
+    ``payload_sizes=(64, 128)`` and ``batch_sizes=(100, 800)`` for the full
+    figure.
+    """
+    schemes = schemes or SCHEME_LABELS
+    rows: List[Dict[str, object]] = []
+    for label, aggregation in schemes.items():
+        for payload in payload_sizes:
+            for batch in batch_sizes:
+                load_points = list(loads) if loads is not None else default_loads(batch)
+                for rate in load_points:
+                    config = ConsensusConfig(
+                        committee_size=committee_size,
+                        batch_size=batch,
+                        payload_size=payload,
+                        aggregation=aggregation,
+                        seed=seed,
+                    )
+                    result = run_experiment(
+                        config,
+                        duration=duration,
+                        warmup=warmup,
+                        workload=ClientWorkload(rate=rate, payload_size=payload),
+                        label=f"{label} {payload}b B={batch} load={rate:.0f}",
+                    )
+                    rows.append(
+                        {
+                            "scheme": label,
+                            "payload_bytes": payload,
+                            "batch_size": batch,
+                            "offered_load_ops": rate,
+                            "throughput_ops": round(result.throughput, 1),
+                            "latency_ms": round(result.latency.mean * 1000, 2),
+                            "latency_p90_ms": round(result.latency.p90 * 1000, 2),
+                        }
+                    )
+    return rows

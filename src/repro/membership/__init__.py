@@ -1,0 +1,27 @@
+"""Dynamic committee membership: stake, selection and epochs.
+
+The paper's analysis assumes a fixed committee but explicitly allows
+dynamic committees whose membership is known a priori for every view.
+This subpackage provides that substrate: a :class:`StakeRegistry` of
+bonded validators, deterministic stake-weighted selection or VRF
+sortition of per-epoch committees, and a :class:`MembershipManager` that
+maps views to committees and feeds block rewards back into stake.
+"""
+
+from repro.membership.epochs import EpochSchedule, MembershipManager
+from repro.membership.selection import (
+    CommitteeDescriptor,
+    SortitionSelector,
+    StakeWeightedSelector,
+)
+from repro.membership.stake import StakeRegistry, Validator
+
+__all__ = [
+    "CommitteeDescriptor",
+    "EpochSchedule",
+    "MembershipManager",
+    "SortitionSelector",
+    "StakeRegistry",
+    "StakeWeightedSelector",
+    "Validator",
+]

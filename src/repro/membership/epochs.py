@@ -1,0 +1,139 @@
+"""Epoch schedules and dynamic committee management.
+
+Ties the stake registry and committee selection together: views are
+grouped into fixed-length epochs, each epoch is served by one committee,
+and the committee of the *next* epoch is always derivable from public
+state — which satisfies the paper's requirement that committee members of
+a view are known a priori (Section III).  Block rewards computed by
+:mod:`repro.core.rewards` can be fed back into the registry, so repeated
+vote omission visibly compounds into lower stake and a lower chance of
+future selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Protocol
+
+from repro.membership.selection import CommitteeDescriptor, StakeWeightedSelector
+from repro.membership.stake import StakeRegistry
+
+__all__ = ["EpochSchedule", "MembershipManager"]
+
+
+@dataclass(frozen=True)
+class EpochSchedule:
+    """Maps view numbers to epoch indices.
+
+    Attributes:
+        views_per_epoch: Number of consecutive views served by one
+            committee.
+        first_view: The view number the first epoch starts at.
+    """
+
+    views_per_epoch: int = 100
+    first_view: int = 1
+
+    def __post_init__(self) -> None:
+        if self.views_per_epoch <= 0:
+            raise ValueError("views_per_epoch must be positive")
+
+    def epoch_of(self, view: int) -> int:
+        """The epoch serving ``view`` (views before ``first_view`` map to 0)."""
+        if view < self.first_view:
+            return 0
+        return (view - self.first_view) // self.views_per_epoch
+
+    def first_view_of(self, epoch: int) -> int:
+        if epoch < 0:
+            raise ValueError("epoch must be non-negative")
+        return self.first_view + epoch * self.views_per_epoch
+
+    def last_view_of(self, epoch: int) -> int:
+        return self.first_view_of(epoch + 1) - 1
+
+    def is_epoch_boundary(self, view: int) -> bool:
+        """True when ``view`` is the last view of its epoch."""
+        return view == self.last_view_of(self.epoch_of(view))
+
+
+class _Selector(Protocol):  # pragma: no cover - typing helper
+    def select(self, epoch: int, context: bytes = b"") -> CommitteeDescriptor: ...
+
+
+class MembershipManager:
+    """Derives and caches the committee of every epoch.
+
+    The manager is deterministic: two replicas constructing managers over
+    equal registries and seeds derive identical committees for every
+    epoch, which is what lets the whole network agree on membership
+    without extra communication.
+    """
+
+    def __init__(
+        self,
+        registry: StakeRegistry,
+        schedule: EpochSchedule,
+        selector: Optional[_Selector] = None,
+        committee_size: int = 21,
+        base_seed: int = 0,
+    ) -> None:
+        self.registry = registry
+        self.schedule = schedule
+        self.selector = selector or StakeWeightedSelector(
+            registry, committee_size=committee_size, base_seed=base_seed
+        )
+        self._committees: Dict[int, CommitteeDescriptor] = {}
+        self._contexts: Dict[int, bytes] = {}
+
+    # -- committee derivation -------------------------------------------------
+    def set_epoch_context(self, epoch: int, context: bytes) -> None:
+        """Pin extra entropy (e.g. the last QC digest of the previous epoch).
+
+        Must be called before the epoch's committee is first derived;
+        changing the context afterwards would let replicas diverge, so it
+        is rejected once the committee is cached.
+        """
+        if epoch in self._committees:
+            raise ValueError(f"committee for epoch {epoch} already derived")
+        self._contexts[epoch] = context
+
+    def committee_for_epoch(self, epoch: int) -> CommitteeDescriptor:
+        if epoch < 0:
+            raise ValueError("epoch must be non-negative")
+        cached = self._committees.get(epoch)
+        if cached is None:
+            cached = self.selector.select(epoch, self._contexts.get(epoch, b""))
+            self._committees[epoch] = cached
+        return cached
+
+    def committee_for_view(self, view: int) -> CommitteeDescriptor:
+        return self.committee_for_epoch(self.schedule.epoch_of(view))
+
+    def known_epochs(self) -> List[int]:
+        return sorted(self._committees)
+
+    # -- reward / punishment feedback --------------------------------------------
+    def apply_block_rewards(self, view: int, payouts: Mapping[int, float]) -> float:
+        """Credit a block's reward distribution back into the stake registry.
+
+        ``payouts`` is keyed by committee process id (as produced by
+        :class:`repro.core.rewards.RewardDistribution`); the epoch's
+        descriptor translates them to validator ids.
+        """
+        descriptor = self.committee_for_view(view)
+        id_map = {
+            process_id: descriptor.validator_of(process_id)
+            for process_id in range(descriptor.size)
+        }
+        return self.registry.apply_rewards(payouts, id_map=id_map)
+
+    def selection_probability(self, validator_id: int) -> float:
+        """The validator's share of active stake (its per-seat selection weight)."""
+        total = self.registry.total_stake()
+        if total <= 0:
+            return 0.0
+        validator = self.registry.get(validator_id)
+        if not validator.active:
+            return 0.0
+        return validator.stake / total

@@ -1,0 +1,205 @@
+"""Committee selection: stake-weighted sampling and VRF sortition.
+
+The paper treats the committee-selection protocol as out of scope, but a
+usable library needs one so that dynamic committees (which the paper
+explicitly allows as long as the membership of a view is known a priori)
+can be exercised end to end.  Two selectors are provided:
+
+* :class:`StakeWeightedSelector` — samples a committee of fixed size
+  without replacement, each draw weighted by bonded stake, from a seed
+  derived from the chain state.  Deterministic and verifiable by everyone.
+* :class:`SortitionSelector` — Algorand-style private sortition: every
+  validator locally evaluates a VRF on the epoch seed and is selected if
+  its output falls under a stake-proportional threshold.  Membership is
+  revealed (and verified) by publishing the VRF proofs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.crypto.vrf import VRF, VRFOutput
+from repro.membership.stake import StakeRegistry, Validator
+
+__all__ = [
+    "CommitteeDescriptor",
+    "StakeWeightedSelector",
+    "SortitionSelector",
+]
+
+
+@dataclass(frozen=True)
+class CommitteeDescriptor:
+    """The committee serving one epoch.
+
+    Attributes:
+        epoch: The epoch index the committee serves.
+        members: Validator ids in committee order; the committee-internal
+            process id of a member is its index in this tuple.
+        seed: The randomness the selection was derived from.
+    """
+
+    epoch: int
+    members: Tuple[int, ...]
+    seed: int = 0
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    def process_id_of(self, validator_id: int) -> int:
+        """The committee-internal process id of ``validator_id``."""
+        try:
+            return self.members.index(validator_id)
+        except ValueError as exc:
+            raise KeyError(f"validator {validator_id} is not in epoch {self.epoch}") from exc
+
+    def validator_of(self, process_id: int) -> int:
+        return self.members[process_id]
+
+    def __contains__(self, validator_id: int) -> bool:
+        return validator_id in self.members
+
+    def __len__(self) -> int:
+        return self.size
+
+
+def _epoch_seed(base_seed: int, epoch: int, context: bytes = b"") -> int:
+    digest = hashlib.sha256()
+    digest.update(b"iniva-committee-seed")
+    digest.update(base_seed.to_bytes(16, "big", signed=True))
+    digest.update(epoch.to_bytes(8, "big", signed=True))
+    digest.update(context)
+    return int.from_bytes(digest.digest()[:8], "big")
+
+
+class StakeWeightedSelector:
+    """Deterministic stake-weighted committee sampling without replacement."""
+
+    def __init__(self, registry: StakeRegistry, committee_size: int, base_seed: int = 0) -> None:
+        if committee_size <= 0:
+            raise ValueError("committee size must be positive")
+        self.registry = registry
+        self.committee_size = committee_size
+        self.base_seed = base_seed
+
+    def select(self, epoch: int, context: bytes = b"") -> CommitteeDescriptor:
+        """Draw the committee for ``epoch``.
+
+        Every validator's chance of filling each seat is proportional to
+        its bonded stake among the validators not yet selected.  If fewer
+        active validators exist than seats, all of them are selected.
+        """
+        candidates = self.registry.active_validators()
+        if not candidates:
+            raise ValueError("no active validators to select from")
+        seed = _epoch_seed(self.base_seed, epoch, context)
+        rng = random.Random(seed)
+        pool: List[Validator] = list(candidates)
+        members: List[int] = []
+        seats = min(self.committee_size, len(pool))
+        for _ in range(seats):
+            weights = [max(validator.stake, 0.0) for validator in pool]
+            total = sum(weights)
+            if total <= 0:
+                # All remaining validators have zero stake: fall back to
+                # uniform selection so the committee can still be filled.
+                index = rng.randrange(len(pool))
+            else:
+                point = rng.random() * total
+                cumulative = 0.0
+                index = len(pool) - 1
+                for position, weight in enumerate(weights):
+                    cumulative += weight
+                    if point < cumulative:
+                        index = position
+                        break
+            members.append(pool.pop(index).validator_id)
+        return CommitteeDescriptor(epoch=epoch, members=tuple(members), seed=seed)
+
+
+@dataclass(frozen=True)
+class SortitionTicket:
+    """A validator's claim to a committee seat, verifiable by everyone."""
+
+    validator_id: int
+    output: VRFOutput
+    priority: float
+
+
+class SortitionSelector:
+    """Algorand-style VRF sortition over the stake registry.
+
+    Each validator evaluates the VRF on ``(epoch, context)``; it wins a
+    seat when its output, normalised to ``[0, 1)``, is below
+    ``expected_size * stake / total_stake`` — so the expected committee
+    size is ``expected_size`` and seats are stake proportional.  Ties and
+    ordering are broken by the VRF output itself.
+    """
+
+    def __init__(
+        self,
+        registry: StakeRegistry,
+        vrf: VRF,
+        secret_keys: Mapping[int, object],
+        expected_size: int,
+        base_seed: int = 0,
+    ) -> None:
+        if expected_size <= 0:
+            raise ValueError("expected committee size must be positive")
+        self.registry = registry
+        self.vrf = vrf
+        self.secret_keys = dict(secret_keys)
+        self.expected_size = expected_size
+        self.base_seed = base_seed
+
+    def _alpha(self, epoch: int, context: bytes) -> bytes:
+        return b"sortition|%d|%d|" % (self.base_seed, epoch) + context
+
+    def ticket(self, validator_id: int, epoch: int, context: bytes = b"") -> Optional[SortitionTicket]:
+        """Evaluate the local lottery for one validator (None = not selected)."""
+        validator = self.registry.get(validator_id)
+        if not validator.active or validator.stake <= 0:
+            return None
+        total = self.registry.total_stake()
+        if total <= 0:
+            return None
+        secret = self.secret_keys[validator_id]
+        output = self.vrf.evaluate(secret, self._alpha(epoch, context), signer=validator_id)
+        threshold = self.expected_size * validator.stake / total
+        priority = output.as_unit_float()
+        if priority >= min(threshold, 1.0):
+            return None
+        return SortitionTicket(validator_id=validator_id, output=output, priority=priority)
+
+    def verify_ticket(
+        self, ticket: SortitionTicket, epoch: int, context: bytes = b""
+    ) -> bool:
+        """Re-check someone else's claim to a seat."""
+        validator = self.registry.get(ticket.validator_id)
+        public_key = validator.public_key
+        if public_key is None:
+            return False
+        if not self.vrf.verify(public_key, self._alpha(epoch, context), ticket.output):
+            return False
+        total = self.registry.total_stake()
+        threshold = self.expected_size * validator.stake / total if total > 0 else 0.0
+        return ticket.output.as_unit_float() < min(threshold, 1.0)
+
+    def select(self, epoch: int, context: bytes = b"") -> CommitteeDescriptor:
+        """Run the lottery for every validator and assemble the committee."""
+        tickets: List[SortitionTicket] = []
+        for validator in self.registry.active_validators():
+            if validator.validator_id not in self.secret_keys:
+                continue
+            ticket = self.ticket(validator.validator_id, epoch, context)
+            if ticket is not None:
+                tickets.append(ticket)
+        tickets.sort(key=lambda ticket: (ticket.priority, ticket.validator_id))
+        members = tuple(ticket.validator_id for ticket in tickets)
+        return CommitteeDescriptor(
+            epoch=epoch, members=members, seed=_epoch_seed(self.base_seed, epoch, context)
+        )

@@ -1,0 +1,167 @@
+"""Stake registry for proof-of-stake committee selection.
+
+The paper fixes the committee membership for the analysis (Section III)
+but notes that Iniva also works with dynamic committees as long as the
+membership of a view is known a priori.  This module provides the stake
+substrate that the selection and epoch machinery build on: validators bond
+stake, earn rewards, get slashed, and can be deactivated.  All mutation
+paths keep the registry's accounting invariant (total stake equals the sum
+of individual stakes) so property tests can pin it down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional
+
+__all__ = ["Validator", "StakeRegistry"]
+
+
+@dataclass
+class Validator:
+    """One staked participant eligible for committee selection.
+
+    Attributes:
+        validator_id: Globally unique integer identity.
+        stake: Currently bonded stake (non-negative).
+        public_key: Backend-specific public key material.
+        active: Whether the validator is eligible for selection.
+        rewards_earned: Cumulative rewards credited (informational).
+        slashed: Cumulative stake removed by slashing (informational).
+    """
+
+    validator_id: int
+    stake: float
+    public_key: object = None
+    active: bool = True
+    rewards_earned: float = 0.0
+    slashed: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.validator_id < 0:
+            raise ValueError("validator id must be non-negative")
+        if self.stake < 0:
+            raise ValueError("stake must be non-negative")
+
+
+class StakeRegistry:
+    """The global registry of validators and their bonded stake."""
+
+    def __init__(self) -> None:
+        self._validators: Dict[int, Validator] = {}
+
+    # -- membership ---------------------------------------------------------
+    def register(
+        self, validator_id: int, stake: float, public_key: object = None
+    ) -> Validator:
+        """Add a new validator with an initial bonded stake."""
+        if validator_id in self._validators:
+            raise ValueError(f"validator {validator_id} already registered")
+        if stake < 0:
+            raise ValueError("initial stake must be non-negative")
+        validator = Validator(validator_id=validator_id, stake=float(stake), public_key=public_key)
+        self._validators[validator_id] = validator
+        return validator
+
+    def deregister(self, validator_id: int) -> Validator:
+        """Remove a validator entirely (e.g. after full unbonding)."""
+        return self._validators.pop(validator_id)
+
+    def __contains__(self, validator_id: int) -> bool:
+        return validator_id in self._validators
+
+    def __len__(self) -> int:
+        return len(self._validators)
+
+    def __iter__(self) -> Iterator[Validator]:
+        return iter(self._validators.values())
+
+    def get(self, validator_id: int) -> Validator:
+        try:
+            return self._validators[validator_id]
+        except KeyError as exc:
+            raise KeyError(f"unknown validator {validator_id}") from exc
+
+    # -- stake changes ------------------------------------------------------------
+    def bond(self, validator_id: int, amount: float) -> float:
+        """Add ``amount`` of stake; returns the new bonded stake."""
+        if amount < 0:
+            raise ValueError("bond amount must be non-negative")
+        validator = self.get(validator_id)
+        validator.stake += amount
+        return validator.stake
+
+    def unbond(self, validator_id: int, amount: float) -> float:
+        """Withdraw ``amount`` of stake; returns the new bonded stake."""
+        validator = self.get(validator_id)
+        if amount < 0 or amount > validator.stake + 1e-12:
+            raise ValueError("cannot unbond more than the bonded stake")
+        validator.stake = max(0.0, validator.stake - amount)
+        return validator.stake
+
+    def credit_reward(self, validator_id: int, amount: float, compound: bool = True) -> float:
+        """Credit a block reward; with ``compound`` the reward is re-bonded."""
+        if amount < 0:
+            raise ValueError("reward must be non-negative")
+        validator = self.get(validator_id)
+        validator.rewards_earned += amount
+        if compound:
+            validator.stake += amount
+        return validator.stake
+
+    def slash(self, validator_id: int, fraction: float) -> float:
+        """Slash a fraction of the bonded stake; returns the amount removed."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("slash fraction must be in [0, 1]")
+        validator = self.get(validator_id)
+        penalty = validator.stake * fraction
+        validator.stake -= penalty
+        validator.slashed += penalty
+        return penalty
+
+    def set_active(self, validator_id: int, active: bool) -> None:
+        self.get(validator_id).active = active
+
+    # -- queries --------------------------------------------------------------------
+    def active_validators(self, minimum_stake: float = 0.0) -> List[Validator]:
+        """Validators eligible for selection, ordered by identity."""
+        return sorted(
+            (v for v in self._validators.values() if v.active and v.stake >= minimum_stake),
+            key=lambda validator: validator.validator_id,
+        )
+
+    def total_stake(self, active_only: bool = True) -> float:
+        return sum(
+            validator.stake
+            for validator in self._validators.values()
+            if validator.active or not active_only
+        )
+
+    def stake_of(self, validator_id: int) -> float:
+        return self.get(validator_id).stake
+
+    def stake_distribution(self) -> Mapping[int, float]:
+        """``validator id -> stake`` for all registered validators."""
+        return {vid: validator.stake for vid, validator in self._validators.items()}
+
+    def apply_rewards(
+        self, rewards: Mapping[int, float], id_map: Optional[Mapping[int, int]] = None
+    ) -> float:
+        """Credit a per-process reward distribution to the registry.
+
+        Args:
+            rewards: Mapping from committee process id to reward amount
+                (e.g. :attr:`RewardDistribution.payouts`).
+            id_map: Optional mapping from committee process id to validator
+                id; defaults to the identity mapping.
+
+        Returns:
+            The total amount credited.
+        """
+        total = 0.0
+        for process_id, amount in rewards.items():
+            validator_id = id_map.get(process_id, process_id) if id_map else process_id
+            if validator_id in self._validators and amount > 0:
+                self.credit_reward(validator_id, amount)
+                total += amount
+        return total

@@ -1,0 +1,130 @@
+"""Event queue and virtual clock for the discrete-event simulator."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+__all__ = ["EventHandle", "EventQueue", "Simulator"]
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    sequence: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+
+@dataclass
+class EventHandle:
+    """A handle to a scheduled event, usable for cancellation."""
+
+    _event: _Event
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+
+class EventQueue:
+    """A deterministic min-heap of timestamped events.
+
+    Ties are broken by insertion order so runs are fully reproducible.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[_Event] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, callback: Callable[..., None], *args: Any) -> EventHandle:
+        event = _Event(time=time, sequence=next(self._counter), callback=callback, args=args)
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def pop(self) -> _Event:
+        return heapq.heappop(self._heap)
+
+    def peek_time(self) -> Optional[float]:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+class Simulator:
+    """The virtual clock driving all processes and the network.
+
+    Typical usage::
+
+        sim = Simulator()
+        sim.schedule(0.5, callback, arg1)
+        sim.run(until=10.0)
+    """
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise ValueError("cannot schedule events in the past")
+        return self._queue.push(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` at an absolute virtual time."""
+        if time < self._now:
+            raise ValueError("cannot schedule events in the past")
+        return self._queue.push(time, callback, *args)
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Process events until the queue drains, ``until``, or ``max_events``.
+
+        Returns the virtual time at which the run stopped.
+        """
+        processed = 0
+        while self._queue:
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self._now = until
+                return self._now
+            event = self._queue.pop()
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback(*event.args)
+            self._events_processed += 1
+            processed += 1
+            if max_events is not None and processed >= max_events:
+                break
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now

@@ -1,0 +1,99 @@
+"""Fault injection: crash schedules and targeted message suppression.
+
+The resiliency evaluation (Figure 4) crashes up to ``f`` replicas that are
+then randomly placed in the aggregation tree each view; the security
+analysis additionally needs Byzantine behaviours, which are implemented as
+protocol-level strategy objects (see :mod:`repro.attacks`) rather than
+here — this module only provides the *mechanics* of failing processes and
+links.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.simnet.events import Simulator
+from repro.simnet.network import Network
+
+__all__ = ["FailurePlan", "FailureInjector"]
+
+
+@dataclass(frozen=True)
+class FailurePlan:
+    """A declarative description of which processes crash and when.
+
+    Attributes:
+        crashes: Mapping ``process id -> crash time`` (seconds of virtual
+            time).  A time of ``0.0`` means crashed from the start.
+    """
+
+    crashes: Dict[int, float] = field(default_factory=dict)
+
+    @classmethod
+    def crash_from_start(cls, process_ids: Iterable[int]) -> "FailurePlan":
+        return cls(crashes={pid: 0.0 for pid in process_ids})
+
+    @classmethod
+    def random_crashes(
+        cls,
+        committee_size: int,
+        count: int,
+        seed: int = 0,
+        at_time: float = 0.0,
+        exclude: Sequence[int] = (),
+    ) -> "FailurePlan":
+        """Crash ``count`` random processes (excluding ``exclude``) at ``at_time``."""
+        rng = random.Random(seed)
+        candidates = [pid for pid in range(committee_size) if pid not in set(exclude)]
+        if count > len(candidates):
+            raise ValueError("cannot crash more processes than are available")
+        chosen = rng.sample(candidates, count)
+        return cls(crashes={pid: at_time for pid in chosen})
+
+    @property
+    def faulty_ids(self) -> List[int]:
+        return sorted(self.crashes)
+
+    def __len__(self) -> int:
+        return len(self.crashes)
+
+
+class FailureInjector:
+    """Applies a :class:`FailurePlan` to a running simulation."""
+
+    def __init__(self, simulator: Simulator, network: Network) -> None:
+        self.simulator = simulator
+        self.network = network
+        self._applied: List[int] = []
+
+    def apply(self, plan: FailurePlan) -> None:
+        """Schedule every crash in ``plan``."""
+        for process_id, crash_time in plan.crashes.items():
+            if crash_time <= self.simulator.now:
+                self._crash_now(process_id)
+            else:
+                self.simulator.schedule_at(crash_time, self._crash_now, process_id)
+
+    def _crash_now(self, process_id: int) -> None:
+        process = self.network.process(process_id)
+        if not process.crashed:
+            process.crash()
+            self._applied.append(process_id)
+
+    def crash_link(self, src: int, dst: int, bidirectional: bool = True) -> None:
+        """Permanently drop all messages on a link (models a broken cable)."""
+
+        def rule(message_src: int, message_dst: int, _message) -> bool:
+            if message_src == src and message_dst == dst:
+                return True
+            if bidirectional and message_src == dst and message_dst == src:
+                return True
+            return False
+
+        self.network.add_drop_rule(rule)
+
+    @property
+    def crashed_processes(self) -> List[int]:
+        return sorted(self._applied)

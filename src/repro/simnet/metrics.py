@@ -1,0 +1,152 @@
+"""Metric collection for protocol experiments.
+
+Collects the quantities reported in the paper's evaluation: throughput
+(committed operations per second), client-perceived latency, view
+outcomes (successful / failed), quorum-certificate sizes (vote inclusion)
+and per-process CPU utilisation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["MetricsCollector", "LatencyStats"]
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary statistics over a set of latency samples (seconds)."""
+
+    count: int
+    mean: float
+    median: float
+    p90: float
+    p99: float
+    maximum: float
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "LatencyStats":
+        if not samples:
+            return cls(count=0, mean=0.0, median=0.0, p90=0.0, p99=0.0, maximum=0.0)
+        ordered = sorted(samples)
+
+        def percentile(fraction: float) -> float:
+            index = min(len(ordered) - 1, max(0, math.ceil(fraction * len(ordered)) - 1))
+            return ordered[index]
+
+        return cls(
+            count=len(ordered),
+            mean=sum(ordered) / len(ordered),
+            median=percentile(0.5),
+            p90=percentile(0.9),
+            p99=percentile(0.99),
+            maximum=ordered[-1],
+        )
+
+
+class MetricsCollector:
+    """Accumulates measurements during a simulation run."""
+
+    def __init__(self, warmup: float = 0.0) -> None:
+        #: Samples recorded before ``warmup`` virtual seconds are discarded,
+        #: mirroring the paper's 5-second warm-up period.
+        self.warmup = warmup
+        self._commit_events: List[tuple[float, int]] = []
+        self._latencies: List[float] = []
+        self._view_outcomes: List[tuple[int, bool]] = []
+        self._qc_sizes: List[int] = []
+        self._second_chance_inclusions = 0
+        self._counters: Dict[str, int] = {}
+        self.start_time = 0.0
+        self.end_time = 0.0
+
+    # -- recording -------------------------------------------------------------
+    def record_commit(self, time: float, operation_count: int) -> None:
+        """A block with ``operation_count`` client operations committed."""
+        if time >= self.warmup:
+            self._commit_events.append((time, operation_count))
+
+    def record_latency(self, time: float, latency: float) -> None:
+        if time >= self.warmup:
+            self._latencies.append(latency)
+
+    def record_view(self, view: int, succeeded: bool) -> None:
+        self._view_outcomes.append((view, succeeded))
+
+    def record_qc_size(self, size: int) -> None:
+        self._qc_sizes.append(size)
+
+    def record_second_chance_inclusion(self, count: int = 1) -> None:
+        self._second_chance_inclusions += count
+
+    def increment(self, counter: str, amount: int = 1) -> None:
+        self._counters[counter] = self._counters.get(counter, 0) + amount
+
+    def mark_window(self, start_time: float, end_time: float) -> None:
+        """Record the measurement window used for rate computations."""
+        self.start_time = start_time
+        self.end_time = end_time
+
+    # -- summaries --------------------------------------------------------------
+    @property
+    def measurement_duration(self) -> float:
+        duration = self.end_time - max(self.start_time, self.warmup)
+        return max(duration, 0.0)
+
+    def throughput(self) -> float:
+        """Committed operations per second over the measurement window."""
+        duration = self.measurement_duration
+        if duration <= 0:
+            return 0.0
+        operations = sum(count for _time, count in self._commit_events)
+        return operations / duration
+
+    def committed_operations(self) -> int:
+        return sum(count for _time, count in self._commit_events)
+
+    def committed_blocks(self) -> int:
+        return len(self._commit_events)
+
+    def latency_stats(self) -> LatencyStats:
+        return LatencyStats.from_samples(self._latencies)
+
+    def failed_view_fraction(self) -> float:
+        if not self._view_outcomes:
+            return 0.0
+        failed = sum(1 for _view, ok in self._view_outcomes if not ok)
+        return failed / len(self._view_outcomes)
+
+    def total_views(self) -> int:
+        return len(self._view_outcomes)
+
+    def average_qc_size(self) -> float:
+        if not self._qc_sizes:
+            return 0.0
+        return sum(self._qc_sizes) / len(self._qc_sizes)
+
+    def qc_sizes(self) -> List[int]:
+        return list(self._qc_sizes)
+
+    def second_chance_inclusions(self) -> int:
+        return self._second_chance_inclusions
+
+    def counter(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def summary(self) -> Dict[str, float]:
+        """A flat dictionary of headline metrics (used by the bench harness)."""
+        latency = self.latency_stats()
+        return {
+            "throughput_ops_per_sec": self.throughput(),
+            "committed_operations": float(self.committed_operations()),
+            "committed_blocks": float(self.committed_blocks()),
+            "latency_mean_sec": latency.mean,
+            "latency_p90_sec": latency.p90,
+            "latency_p99_sec": latency.p99,
+            "failed_view_fraction": self.failed_view_fraction(),
+            "total_views": float(self.total_views()),
+            "average_qc_size": self.average_qc_size(),
+            "second_chance_inclusions": float(self.second_chance_inclusions()),
+        }

@@ -1,0 +1,154 @@
+"""The simulated network connecting processes.
+
+Supports per-link latency sampling, bandwidth-proportional transmission
+delay, probabilistic message loss, explicit drop rules (used by Byzantine
+scenarios) and partitions.  All randomness is drawn from a seeded RNG so
+experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, Iterable, Optional, Set, Tuple
+
+from repro.simnet.events import Simulator
+from repro.simnet.latency import ConstantLatency, LatencyModel
+from repro.simnet.process import Process
+
+__all__ = ["Network"]
+
+DropRule = Callable[[int, int, Any], bool]
+
+
+class Network:
+    """Message transport between registered processes."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        latency_model: Optional[LatencyModel] = None,
+        seed: int = 0,
+        loss_probability: float = 0.0,
+        bandwidth_bytes_per_sec: Optional[float] = None,
+    ) -> None:
+        if not 0 <= loss_probability < 1:
+            raise ValueError("loss probability must be in [0, 1)")
+        self.simulator = simulator
+        self.latency_model = latency_model or ConstantLatency()
+        self.rng = random.Random(seed)
+        self.loss_probability = loss_probability
+        self.bandwidth = bandwidth_bytes_per_sec
+        self._processes: Dict[int, Process] = {}
+        self._drop_rules: list[DropRule] = []
+        self._partitions: list[Set[int]] = []
+        # Observers get (event, time, src, dst, message) for every transport
+        # event; used by repro.simnet.trace for debugging and analysis.
+        self._observers: list = []
+        # Counters for the evaluation harness.
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.bytes_sent = 0
+
+    # -- observation -----------------------------------------------------------
+    def add_observer(self, observer) -> None:
+        """Register a callback ``observer(event, time, src, dst, message)``.
+
+        ``event`` is one of ``"send"``, ``"drop"`` or ``"deliver"``.
+        """
+        self._observers.append(observer)
+
+    def remove_observer(self, observer) -> None:
+        self._observers.remove(observer)
+
+    def _notify(self, event: str, src: int, dst: int, message: Any) -> None:
+        if not self._observers:
+            return
+        now = self.simulator.now
+        for observer in self._observers:
+            observer(event, now, src, dst, message)
+
+    # -- membership -----------------------------------------------------------
+    def register(self, process: Process) -> None:
+        if process.process_id in self._processes:
+            raise ValueError(f"process id {process.process_id} already registered")
+        self._processes[process.process_id] = process
+
+    def process(self, process_id: int) -> Process:
+        return self._processes[process_id]
+
+    @property
+    def process_ids(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._processes))
+
+    # -- failure / partition configuration --------------------------------------
+    def add_drop_rule(self, rule: DropRule) -> None:
+        """Drop messages for which ``rule(src, dst, message)`` returns True."""
+        self._drop_rules.append(rule)
+
+    def clear_drop_rules(self) -> None:
+        self._drop_rules.clear()
+
+    def partition(self, groups: Iterable[Iterable[int]]) -> None:
+        """Partition the network; messages only flow within a group."""
+        self._partitions = [set(group) for group in groups]
+
+    def heal_partition(self) -> None:
+        self._partitions = []
+
+    def _partitioned(self, src: int, dst: int) -> bool:
+        if not self._partitions:
+            return False
+        for group in self._partitions:
+            if src in group and dst in group:
+                return False
+        return True
+
+    # -- transport ----------------------------------------------------------------
+    def send(self, src: int, dst: int, message: Any, size_bytes: int = 0) -> None:
+        """Send ``message`` from ``src`` to ``dst`` with simulated delays."""
+        self.messages_sent += 1
+        self.bytes_sent += size_bytes
+        self._notify("send", src, dst, message)
+        destination = self._processes.get(dst)
+        if destination is None or destination.crashed:
+            self.messages_dropped += 1
+            self._notify("drop", src, dst, message)
+            return
+        if self._partitioned(src, dst):
+            self.messages_dropped += 1
+            self._notify("drop", src, dst, message)
+            return
+        if any(rule(src, dst, message) for rule in self._drop_rules):
+            self.messages_dropped += 1
+            self._notify("drop", src, dst, message)
+            return
+        if self.loss_probability and self.rng.random() < self.loss_probability:
+            self.messages_dropped += 1
+            self._notify("drop", src, dst, message)
+            return
+        delay = self.latency_model.sample(self.rng, src, dst)
+        if self.bandwidth and size_bytes:
+            delay += size_bytes / self.bandwidth
+        if src == dst:
+            delay = 0.0
+        self.simulator.schedule(delay, self._finalise_delivery, src, dst, message)
+
+    def _finalise_delivery(self, src: int, dst: int, message: Any) -> None:
+        destination = self._processes.get(dst)
+        if destination is None or destination.crashed:
+            self.messages_dropped += 1
+            self._notify("drop", src, dst, message)
+            return
+        self.messages_delivered += 1
+        self._notify("deliver", src, dst, message)
+        destination._deliver(src, message)
+
+    # -- reporting -----------------------------------------------------------------
+    def counters(self) -> Dict[str, int]:
+        return {
+            "messages_sent": self.messages_sent,
+            "messages_delivered": self.messages_delivered,
+            "messages_dropped": self.messages_dropped,
+            "bytes_sent": self.bytes_sent,
+        }

@@ -1,0 +1,162 @@
+"""Simulated processes: message handling, timers and a CPU model.
+
+Each process models a single-core machine: handling a message or signing a
+block consumes CPU time, and work queued while the CPU is busy is delayed.
+This is what lets the simulator reproduce the paper's throughput
+saturation and CPU-usage comparisons (Figures 3a and 3b) without real
+hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, TYPE_CHECKING
+
+from repro.simnet.events import EventHandle, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simnet.network import Network
+
+__all__ = ["CpuCostModel", "Process", "Timer"]
+
+
+@dataclass(frozen=True)
+class CpuCostModel:
+    """CPU time (seconds) charged for cryptographic and protocol work.
+
+    The defaults approximate BLS-style pairing signatures on commodity
+    hardware and are deliberately conservative; the *relative* costs are
+    what shapes the reproduced figures.
+
+    Attributes:
+        sign: Producing one signature share.
+        verify_share: Verifying one individual share.
+        verify_aggregate_base: Fixed cost of verifying an aggregate.
+        verify_aggregate_per_signer: Added per distinct signer (aggregating
+            the public keys).
+        aggregate_per_share: Folding one share into an aggregate.
+        message_overhead: Fixed cost of handling any message.
+        per_byte: Serialisation/hashing cost per payload byte.
+    """
+
+    sign: float = 0.00005
+    verify_share: float = 0.00005
+    verify_aggregate_base: float = 0.0003
+    verify_aggregate_per_signer: float = 0.00001
+    aggregate_per_share: float = 0.00001
+    message_overhead: float = 0.000002
+    per_byte: float = 1e-9
+
+    def proposal_cost(self, payload_bytes: int) -> float:
+        """Cost of validating a proposal with ``payload_bytes`` of payload."""
+        return self.message_overhead + self.per_byte * payload_bytes
+
+    def aggregate_verify_cost(self, signer_count: int) -> float:
+        return self.verify_aggregate_base + self.verify_aggregate_per_signer * max(signer_count, 0)
+
+
+@dataclass
+class Timer:
+    """A cancellable timer owned by a process."""
+
+    handle: EventHandle
+
+    def cancel(self) -> None:
+        self.handle.cancel()
+
+    @property
+    def cancelled(self) -> bool:
+        return self.handle.cancelled
+
+
+class Process:
+    """Base class for all simulated protocol participants."""
+
+    def __init__(
+        self,
+        process_id: int,
+        simulator: Simulator,
+        network: "Network",
+        cpu_model: Optional[CpuCostModel] = None,
+    ) -> None:
+        self.process_id = process_id
+        self.simulator = simulator
+        self.network = network
+        self.cpu_model = cpu_model or CpuCostModel()
+        self.crashed = False
+        self.busy_time = 0.0
+        self._cpu_available_at = 0.0
+        network.register(self)
+
+    # -- messaging ----------------------------------------------------------
+    def send(self, destination: int, message: Any, size_bytes: int = 0) -> None:
+        """Send a message unless this process has crashed.
+
+        Serialisation and transmission work is charged to the sender's CPU,
+        which is what makes a star leader pushing large batched proposals to
+        the whole committee a bottleneck at scale.
+        """
+        if self.crashed:
+            return
+        self.consume_cpu(self.cpu_model.message_overhead + self.cpu_model.per_byte * size_bytes)
+        self.network.send(self.process_id, destination, message, size_bytes)
+
+    def multicast(self, destinations, message: Any, size_bytes: int = 0) -> None:
+        for destination in destinations:
+            self.send(destination, message, size_bytes)
+
+    def _deliver(self, sender: int, message: Any) -> None:
+        """Internal delivery hook called by the network.
+
+        Queues the message behind any CPU work in progress, then invokes
+        :meth:`on_message`.
+        """
+        if self.crashed:
+            return
+        now = self.simulator.now
+        if now < self._cpu_available_at:
+            self.simulator.schedule_at(self._cpu_available_at, self._deliver, sender, message)
+            return
+        self.on_message(sender, message)
+
+    def on_message(self, sender: int, message: Any) -> None:  # pragma: no cover - abstract
+        """Handle a delivered message.  Subclasses override this."""
+        raise NotImplementedError
+
+    # -- CPU accounting -------------------------------------------------------
+    def consume_cpu(self, seconds: float) -> None:
+        """Charge ``seconds`` of CPU time to this process.
+
+        Subsequent message deliveries are delayed until the CPU is free
+        again, which models processing backlog under load.
+        """
+        if seconds <= 0:
+            return
+        start = max(self.simulator.now, self._cpu_available_at)
+        self._cpu_available_at = start + seconds
+        self.busy_time += seconds
+
+    def cpu_utilisation(self, elapsed: float) -> float:
+        """Fraction of wall-clock (virtual) time this process was busy."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)
+
+    # -- timers ---------------------------------------------------------------
+    def set_timer(self, delay: float, callback: Callable[..., None], *args: Any) -> Timer:
+        """Schedule ``callback`` after ``delay`` seconds unless crashed by then."""
+
+        def fire() -> None:
+            if not self.crashed:
+                callback(*args)
+
+        return Timer(self.simulator.schedule(delay, fire))
+
+    # -- fault injection --------------------------------------------------------
+    def crash(self) -> None:
+        """Crash-stop this process: it neither sends nor receives afterwards."""
+        self.crashed = True
+
+    def __repr__(self) -> str:
+        status = "crashed" if self.crashed else "up"
+        return f"{type(self).__name__}(id={self.process_id}, {status})"

@@ -1,0 +1,119 @@
+"""Topology-aware latency models.
+
+The paper's testbed is a single rack behind one 10 Gbps top-of-rack switch
+with sub-millisecond latency.  To study how Iniva behaves on less uniform
+networks (geo-distributed committees are the norm for public blockchains)
+the simulator also provides latency models in which the delay depends on
+*where* the two processes sit:
+
+* :class:`RackTopologyLatency` — processes grouped into racks / regions;
+  intra-group messages are fast, inter-group messages pay a larger, noisy
+  delay.
+* :class:`MatrixLatency` — an explicit all-pairs latency matrix, e.g. one
+  measured between cloud regions.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.simnet.latency import LatencyModel
+
+__all__ = ["RackTopologyLatency", "MatrixLatency"]
+
+
+class RackTopologyLatency(LatencyModel):
+    """Two-tier latency: cheap within a rack/region, expensive across.
+
+    Args:
+        group_of: Mapping from process id to its rack/region index.
+            Processes missing from the mapping share the implicit group
+            ``-1``.
+        intra_delay: Mean one-way delay between processes in the same group.
+        inter_delay: Mean one-way delay between processes in different groups.
+        jitter: Relative standard deviation applied to either mean.
+    """
+
+    def __init__(
+        self,
+        group_of: Mapping[int, int],
+        intra_delay: float = 0.0003,
+        inter_delay: float = 0.02,
+        jitter: float = 0.1,
+    ) -> None:
+        if intra_delay <= 0 or inter_delay <= 0:
+            raise ValueError("delays must be positive")
+        if not 0 <= jitter < 1:
+            raise ValueError("jitter must be in [0, 1)")
+        self._group_of: Dict[int, int] = dict(group_of)
+        self.intra_delay = intra_delay
+        self.inter_delay = inter_delay
+        self.jitter = jitter
+
+    @classmethod
+    def evenly_spread(
+        cls,
+        committee_size: int,
+        num_groups: int,
+        intra_delay: float = 0.0003,
+        inter_delay: float = 0.02,
+        jitter: float = 0.1,
+    ) -> "RackTopologyLatency":
+        """Assign processes round-robin to ``num_groups`` groups."""
+        if num_groups <= 0:
+            raise ValueError("need at least one group")
+        mapping = {pid: pid % num_groups for pid in range(committee_size)}
+        return cls(mapping, intra_delay=intra_delay, inter_delay=inter_delay, jitter=jitter)
+
+    def group(self, process_id: int) -> int:
+        return self._group_of.get(process_id, -1)
+
+    def sample(self, rng: random.Random, src: int, dst: int) -> float:
+        base = self.intra_delay if self.group(src) == self.group(dst) else self.inter_delay
+        if not self.jitter:
+            return base
+        sampled = rng.gauss(base, base * self.jitter)
+        return max(sampled, base * 0.1)
+
+    def upper_bound(self) -> float:
+        return self.inter_delay * (1.0 + 4.0 * self.jitter)
+
+
+class MatrixLatency(LatencyModel):
+    """Latency drawn from an explicit all-pairs matrix.
+
+    Args:
+        matrix: ``matrix[src][dst]`` is the mean one-way delay; the matrix
+            must be square and cover every process id used on the network.
+        jitter: Relative standard deviation applied to each entry.
+    """
+
+    def __init__(self, matrix: Sequence[Sequence[float]], jitter: float = 0.0) -> None:
+        size = len(matrix)
+        if size == 0 or any(len(row) != size for row in matrix):
+            raise ValueError("latency matrix must be square and non-empty")
+        if any(value < 0 for row in matrix for value in row):
+            raise ValueError("latencies cannot be negative")
+        if not 0 <= jitter < 1:
+            raise ValueError("jitter must be in [0, 1)")
+        self._matrix = [list(row) for row in matrix]
+        self.jitter = jitter
+
+    @property
+    def size(self) -> int:
+        return len(self._matrix)
+
+    def mean(self, src: int, dst: int) -> float:
+        return self._matrix[src][dst]
+
+    def sample(self, rng: random.Random, src: int, dst: int) -> float:
+        base = self._matrix[src][dst]
+        if not self.jitter or base == 0:
+            return base
+        sampled = rng.gauss(base, base * self.jitter)
+        return max(sampled, base * 0.1)
+
+    def upper_bound(self) -> float:
+        worst = max(max(row) for row in self._matrix)
+        return worst * (1.0 + 4.0 * self.jitter)

@@ -1,0 +1,162 @@
+"""Structured message tracing for simulated runs.
+
+A :class:`MessageTracer` attaches to a :class:`~repro.simnet.network.Network`
+and records every transport event (send, deliver, drop) with its virtual
+timestamp and message type.  Traces answer the questions one keeps asking
+when debugging an aggregation protocol — "did the 2ND-CHANCE ever reach
+the victim?", "how many signature messages did view 17 need?" — without
+instrumenting the protocol code itself, and they back the message-count
+overhead numbers in the experiment reports.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.simnet.network import Network
+
+__all__ = ["TraceRecord", "MessageTracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One transport event observed on the network.
+
+    Attributes:
+        event: ``"send"``, ``"deliver"`` or ``"drop"``.
+        time: Virtual time of the event.
+        src: Sending process id.
+        dst: Destination process id.
+        message_type: Class name of the message object.
+        view: The message's view, when it carries one.
+    """
+
+    event: str
+    time: float
+    src: int
+    dst: int
+    message_type: str
+    view: Optional[int] = None
+
+
+def _view_of(message: object) -> Optional[int]:
+    view = getattr(message, "view", None)
+    if isinstance(view, int):
+        return view
+    block = getattr(message, "block", None)
+    if block is not None:
+        block_view = getattr(block, "view", None)
+        if isinstance(block_view, int):
+            return block_view
+    return None
+
+
+class MessageTracer:
+    """Records transport events from a network, with optional filtering.
+
+    Args:
+        network: The network to observe; the tracer registers itself.
+        predicate: Optional filter ``predicate(record) -> bool``; only
+            matching records are kept.
+        max_records: Upper bound on stored records (oldest dropped first is
+            *not* implemented — recording simply stops — so the bound also
+            acts as a safety valve for very long runs).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        predicate: Optional[Callable[[TraceRecord], bool]] = None,
+        max_records: int = 1_000_000,
+    ) -> None:
+        self._network = network
+        self._predicate = predicate
+        self._max_records = max_records
+        self.records: List[TraceRecord] = []
+        self.truncated = False
+        network.add_observer(self._observe)
+
+    # -- collection --------------------------------------------------------------
+    def _observe(self, event: str, time: float, src: int, dst: int, message: object) -> None:
+        if len(self.records) >= self._max_records:
+            self.truncated = True
+            return
+        record = TraceRecord(
+            event=event,
+            time=time,
+            src=src,
+            dst=dst,
+            message_type=type(message).__name__,
+            view=_view_of(message),
+        )
+        if self._predicate is not None and not self._predicate(record):
+            return
+        self.records.append(record)
+
+    def detach(self) -> None:
+        """Stop observing the network (records are kept)."""
+        self._network.remove_observer(self._observe)
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.truncated = False
+
+    # -- queries -------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def filter(
+        self,
+        event: Optional[str] = None,
+        message_type: Optional[str] = None,
+        view: Optional[int] = None,
+        src: Optional[int] = None,
+        dst: Optional[int] = None,
+    ) -> List[TraceRecord]:
+        """Records matching every given criterion."""
+        result = []
+        for record in self.records:
+            if event is not None and record.event != event:
+                continue
+            if message_type is not None and record.message_type != message_type:
+                continue
+            if view is not None and record.view != view:
+                continue
+            if src is not None and record.src != src:
+                continue
+            if dst is not None and record.dst != dst:
+                continue
+            result.append(record)
+        return result
+
+    def counts_by_type(self, event: str = "send") -> Dict[str, int]:
+        """``message type -> count`` for one event kind."""
+        counter: Counter[str] = Counter(
+            record.message_type for record in self.records if record.event == event
+        )
+        return dict(counter)
+
+    def counts_by_view(self, event: str = "send") -> Dict[int, int]:
+        counter: Counter[int] = Counter(
+            record.view
+            for record in self.records
+            if record.event == event and record.view is not None
+        )
+        return dict(counter)
+
+    def messages_between(self, src: int, dst: int) -> List[TraceRecord]:
+        return self.filter(src=src, dst=dst)
+
+    def timeline(self, view: int) -> List[TraceRecord]:
+        """All events of one view, in time order."""
+        return sorted(self.filter(view=view), key=lambda record: record.time)
+
+    def summary(self) -> Dict[str, int]:
+        """Total event counts plus the per-type send breakdown."""
+        totals: Counter[str] = Counter(record.event for record in self.records)
+        summary: Dict[str, int] = {f"total_{event}": count for event, count in totals.items()}
+        for message_type, count in sorted(self.counts_by_type().items()):
+            summary[f"sent_{message_type}"] = count
+        return summary

@@ -1,0 +1,18 @@
+"""Tree overlay substrate: deterministic shuffling and aggregation trees.
+
+Every view, all processes deterministically derive the same two-level
+aggregation tree from public information (the view number, a shared seed
+derived from the chain, and the identity of the next leader, who becomes
+the tree root).  The shuffle is unpredictable across views, which is what
+the paper requires of its VRF-based assignment.
+"""
+
+from repro.tree.shuffle import deterministic_shuffle, view_seed
+from repro.tree.overlay import AggregationTree, default_internal_count
+
+__all__ = [
+    "AggregationTree",
+    "default_internal_count",
+    "deterministic_shuffle",
+    "view_seed",
+]

@@ -1,0 +1,197 @@
+"""Two-level aggregation trees (root, internal aggregators, leaves).
+
+Iniva organises the committee in a tree of height two: the root is the
+*next* leader (it collects the final aggregate and sends 2ND-CHANCE
+messages), a configurable number of internal processes aggregate their
+leaf children, and the remaining processes are leaves.  The assignment of
+processes to positions is re-drawn every view by the deterministic
+shuffle, so an attacker cannot park itself above a chosen victim.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.tree.shuffle import deterministic_shuffle, view_seed
+
+__all__ = ["AggregationTree", "default_internal_count"]
+
+
+def default_internal_count(committee_size: int) -> int:
+    """A balanced choice of internal-node count, roughly ``sqrt(n - 1)``.
+
+    Matches the paper's configurations: 21 processes -> 4 internal nodes,
+    111 processes -> 10 internal nodes.
+    """
+    if committee_size < 3:
+        return max(committee_size - 2, 0)
+    balanced = max(1, round(math.sqrt(committee_size - 1)))
+    return min(balanced, committee_size - 2)
+
+
+@dataclass(frozen=True)
+class AggregationTree:
+    """An immutable two-level aggregation tree over process identities.
+
+    Attributes:
+        root: The root process (the collector / next leader).
+        internal_nodes: Internal aggregators, children of the root.
+        leaf_assignment: Mapping ``internal -> tuple of leaf children``.
+    """
+
+    root: int
+    internal_nodes: Tuple[int, ...]
+    leaf_assignment: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        committee_size: int,
+        view: int,
+        seed: int = 0,
+        num_internal: Optional[int] = None,
+        root: Optional[int] = None,
+        context: bytes = b"",
+    ) -> "AggregationTree":
+        """Build the deterministic tree for ``view``.
+
+        Args:
+            committee_size: Number of processes ``n``; identities are
+                ``0 .. n-1``.
+            view: The view number; combined with ``seed`` and ``context``
+                to key the shuffle.
+            seed: Base seed shared by all processes (e.g. genesis hash).
+            num_internal: Number of internal aggregators.  Defaults to the
+                balanced :func:`default_internal_count`.
+            root: The process that must sit at the root (the next leader).
+                Defaults to the first process of the shuffled order.
+            context: Extra seed context, e.g. the serialised previous QC.
+        """
+        if committee_size < 2:
+            raise ValueError("a tree needs at least two processes")
+        if num_internal is None:
+            num_internal = default_internal_count(committee_size)
+        if num_internal < 0 or num_internal > committee_size - 1:
+            raise ValueError("invalid number of internal nodes")
+        order = deterministic_shuffle(list(range(committee_size)), view_seed(seed, view, context))
+        if root is None:
+            root = order[0]
+        elif root not in range(committee_size):
+            raise ValueError("root must be a committee member")
+        remaining = [pid for pid in order if pid != root]
+        internals = tuple(remaining[:num_internal])
+        leaves = remaining[num_internal:]
+        assignment: Dict[int, Tuple[int, ...]] = {internal: () for internal in internals}
+        if internals:
+            per_parent = [[] for _ in internals]
+            for index, leaf in enumerate(leaves):
+                per_parent[index % len(internals)].append(leaf)
+            assignment = {
+                internal: tuple(children) for internal, children in zip(internals, per_parent)
+            }
+            orphan_leaves: Tuple[int, ...] = ()
+        else:
+            # Degenerate configuration: no internal aggregators, every
+            # other process is a direct child of the root (star topology).
+            orphan_leaves = tuple(leaves)
+        tree = cls(root=root, internal_nodes=internals, leaf_assignment=assignment)
+        object.__setattr__(tree, "_direct_leaves", orphan_leaves)
+        return tree
+
+    @classmethod
+    def from_assignment(
+        cls, root: int, leaf_assignment: Dict[int, Sequence[int]]
+    ) -> "AggregationTree":
+        """Build a tree from an explicit assignment (used in tests/attacks)."""
+        assignment = {parent: tuple(children) for parent, children in leaf_assignment.items()}
+        tree = cls(root=root, internal_nodes=tuple(assignment), leaf_assignment=assignment)
+        object.__setattr__(tree, "_direct_leaves", ())
+        return tree
+
+    # -- structural queries --------------------------------------------------
+    @property
+    def direct_leaves(self) -> Tuple[int, ...]:
+        """Leaves attached directly to the root (star-degenerate trees)."""
+        return getattr(self, "_direct_leaves", ())
+
+    @property
+    def leaves(self) -> Tuple[int, ...]:
+        nested = tuple(
+            leaf for children in self.leaf_assignment.values() for leaf in children
+        )
+        return nested + self.direct_leaves
+
+    @property
+    def processes(self) -> Tuple[int, ...]:
+        return (self.root,) + self.internal_nodes + self.leaves
+
+    @property
+    def size(self) -> int:
+        return len(self.processes)
+
+    def children(self, process_id: int) -> Tuple[int, ...]:
+        if process_id == self.root:
+            return self.internal_nodes + self.direct_leaves
+        return self.leaf_assignment.get(process_id, ())
+
+    def parent(self, process_id: int) -> Optional[int]:
+        if process_id == self.root:
+            return None
+        if process_id in self.leaf_assignment or process_id in self.direct_leaves:
+            return self.root
+        for internal, children in self.leaf_assignment.items():
+            if process_id in children:
+                return internal
+        raise KeyError(f"process {process_id} is not part of the tree")
+
+    def is_root(self, process_id: int) -> bool:
+        return process_id == self.root
+
+    def is_internal(self, process_id: int) -> bool:
+        return process_id in self.leaf_assignment
+
+    def is_leaf(self, process_id: int) -> bool:
+        return process_id in self.leaves
+
+    def height_of(self, process_id: int) -> int:
+        """Height above the deepest level: leaves are 0, internals 1, root 2."""
+        if self.is_root(process_id):
+            return 2
+        if self.is_internal(process_id):
+            return 1
+        if self.is_leaf(process_id):
+            return 0
+        raise KeyError(f"process {process_id} is not part of the tree")
+
+    def subtree(self, process_id: int) -> Tuple[int, ...]:
+        """The processes whose votes flow through ``process_id`` (inclusive)."""
+        if self.is_root(process_id):
+            return self.processes
+        if self.is_internal(process_id):
+            return (process_id,) + self.leaf_assignment[process_id]
+        return (process_id,)
+
+    def branch_of(self, process_id: int) -> Tuple[int, ...]:
+        """The full branch (internal + its leaves) containing ``process_id``.
+
+        Used by the attack analysis: omitting a victim that is a leaf with
+        collateral requires dropping its whole branch.
+        """
+        if self.is_root(process_id):
+            return (process_id,)
+        if self.is_internal(process_id):
+            return self.subtree(process_id)
+        parent = self.parent(process_id)
+        if parent == self.root:
+            return (process_id,)
+        return self.subtree(parent)
+
+    def describe(self) -> str:
+        """A short human-readable summary used by examples and logs."""
+        return (
+            f"AggregationTree(root={self.root}, internals={len(self.internal_nodes)}, "
+            f"leaves={len(self.leaves)})"
+        )

@@ -1,0 +1,65 @@
+"""Deterministic, seed-keyed shuffling of process identities.
+
+The paper assumes "a deterministic shuffling algorithm, and Pi is shuffled
+every round so that the IDs will be different at each round", with the
+outcome unpredictable for future rounds (implementable with a VRF).  We
+model this with a SHA-256 keyed Fisher-Yates shuffle: deterministic given
+the seed material, and computationally unpredictable without it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["deterministic_shuffle", "view_seed"]
+
+
+def view_seed(base_seed: int, view: int, context: bytes = b"") -> int:
+    """Derive the per-view shuffle seed from chain state.
+
+    In a deployment ``context`` would be the previous QC (as Iniva
+    prescribes: "based on the QC and view number included in the block,
+    all processes generate the same tree"); in simulations it may be empty.
+    """
+    digest = hashlib.sha256(
+        b"iniva-view-seed"
+        + base_seed.to_bytes(16, "big", signed=True)
+        + view.to_bytes(16, "big", signed=True)
+        + context
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+def _hash_stream(seed: int):
+    """Yield an endless stream of pseudo-random 64-bit integers."""
+    counter = 0
+    seed_bytes = seed.to_bytes(32, "big", signed=False) if seed >= 0 else (-seed).to_bytes(32, "big")
+    while True:
+        block = hashlib.sha256(seed_bytes + counter.to_bytes(8, "big")).digest()
+        for offset in range(0, 32, 8):
+            yield int.from_bytes(block[offset : offset + 8], "big")
+        counter += 1
+
+
+def deterministic_shuffle(items: Sequence[T], seed: int) -> List[T]:
+    """Return a deterministic permutation of ``items`` keyed by ``seed``.
+
+    Implements Fisher-Yates with rejection sampling so every permutation is
+    (computationally) equally likely and the result does not depend on the
+    platform's ``random`` module.
+    """
+    result = list(items)
+    stream = _hash_stream(seed)
+    for i in range(len(result) - 1, 0, -1):
+        # Rejection-sample a uniform index in [0, i].
+        bound = i + 1
+        limit = (1 << 64) - ((1 << 64) % bound)
+        draw = next(stream)
+        while draw >= limit:
+            draw = next(stream)
+        j = draw % bound
+        result[i], result[j] = result[j], result[i]
+    return result

@@ -1,0 +1,103 @@
+"""Tests for the Gosig omission simulation (Section VII-B, Figure 2a/2b)."""
+
+import pytest
+
+from repro.attacks.gosig_sim import GosigConfig, GosigSimulator
+
+
+class TestGosigConfig:
+    def test_quorum_size(self):
+        assert GosigConfig(committee_size=100).quorum_size == 67
+
+    def test_effective_rounds_grow_with_committee(self):
+        small = GosigConfig(committee_size=30)
+        large = GosigConfig(committee_size=300)
+        assert large.effective_rounds >= small.effective_rounds
+
+    def test_explicit_rounds_respected(self):
+        assert GosigConfig(rounds=9).effective_rounds == 9
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            GosigConfig(committee_size=2)
+        with pytest.raises(ValueError):
+            GosigConfig(gossip_fanout=0)
+        with pytest.raises(ValueError):
+            GosigConfig(attacker_power=0.7)
+        with pytest.raises(ValueError):
+            GosigConfig(free_riding_fraction=1.0)
+
+
+class TestGosigInstance:
+    def test_instance_structure(self):
+        simulator = GosigSimulator(GosigConfig(committee_size=40, attacker_power=0.1), seed=1)
+        result = simulator.run_instance()
+        assert result.victim not in result.attacker
+        assert len(result.attacker) == 4
+        if result.valid:
+            assert len(result.certificate) >= GosigConfig(committee_size=40).quorum_size
+
+    def test_no_attacker_means_no_omission(self):
+        config = GosigConfig(committee_size=40, attacker_power=0.0, rounds=8)
+        simulator = GosigSimulator(config, seed=2)
+        outcome = simulator.omission_probability(trials=100)
+        assert outcome.probability == 0.0
+
+    def test_inclusion_rate_high_without_attack(self):
+        config = GosigConfig(committee_size=50, attacker_power=0.0, rounds=8)
+        assert GosigSimulator(config, seed=3).inclusion_rate(trials=100) > 0.95
+
+    def test_deterministic_given_seed(self):
+        config = GosigConfig(committee_size=40, attacker_power=0.1)
+        first = GosigSimulator(config, seed=5).omission_probability(trials=100)
+        second = GosigSimulator(config, seed=5).omission_probability(trials=100)
+        assert first == second
+
+    def test_collateral_accounting(self):
+        config = GosigConfig(committee_size=40, attacker_power=0.1)
+        simulator = GosigSimulator(config, seed=6)
+        result = simulator.run_instance()
+        collateral = result.collateral_against(40)
+        assert 0 <= collateral <= 40
+
+
+class TestGosigQualitativeClaims:
+    """The paper's qualitative findings about Gosig (Figure 2a)."""
+
+    TRIALS = 300
+
+    def test_omission_grows_with_attacker_power(self):
+        low = GosigSimulator(GosigConfig(attacker_power=0.05), seed=7).omission_probability(self.TRIALS)
+        high = GosigSimulator(GosigConfig(attacker_power=0.15), seed=7).omission_probability(self.TRIALS)
+        assert high.probability > low.probability
+
+    def test_free_riding_increases_omission(self):
+        base = GosigSimulator(
+            GosigConfig(attacker_power=0.10, free_riding_fraction=0.0), seed=8
+        ).omission_probability(self.TRIALS)
+        free_riding = GosigSimulator(
+            GosigConfig(attacker_power=0.10, free_riding_fraction=0.3), seed=8
+        ).omission_probability(self.TRIALS)
+        assert free_riding.probability > base.probability
+
+    def test_small_k_small_m_beats_star(self):
+        # Gosig with k=2 and m=5% defends better than the star protocol (m).
+        outcome = GosigSimulator(
+            GosigConfig(gossip_fanout=2, attacker_power=0.05), seed=9
+        ).omission_probability(trials=600)
+        assert outcome.probability < 0.05
+
+    def test_larger_m_approaches_or_exceeds_star(self):
+        outcome = GosigSimulator(
+            GosigConfig(gossip_fanout=3, attacker_power=0.15), seed=10
+        ).omission_probability(trials=400)
+        assert outcome.probability > 0.15 * 0.5
+
+    def test_collateral_budget_restricts_success(self):
+        config = GosigConfig(attacker_power=0.10)
+        simulator = GosigSimulator(config, seed=11)
+        unrestricted = simulator.omission_probability(trials=self.TRIALS)
+        restricted = GosigSimulator(config, seed=11).omission_probability(
+            trials=self.TRIALS, collateral=0
+        )
+        assert restricted.probability <= unrestricted.probability

@@ -1,0 +1,105 @@
+"""Tests for the reward-loss attack simulations (Figures 2c and 2d)."""
+
+import pytest
+
+from repro.attacks.reward_sim import RewardAttackSimulator, honest_multiplicities
+from repro.core.rewards import RewardParams, validate_multiplicities
+from repro.tree.overlay import AggregationTree
+
+PARAMS = RewardParams(leader_bonus=0.15, aggregation_bonus=0.02)
+
+
+class TestHonestMultiplicities:
+    def test_matches_validation_rules(self):
+        tree = AggregationTree.build(committee_size=21, view=1, num_internal=4)
+        multiplicities = honest_multiplicities(tree)
+        assert validate_multiplicities(tree, multiplicities) == []
+        assert set(multiplicities) == set(tree.processes)
+
+
+class TestRewardAttackSimulator:
+    def test_honest_campaign_changes_nothing(self):
+        simulator = RewardAttackSimulator(committee_size=31, num_internal=5,
+                                          attacker_power=0.2, params=PARAMS, seed=1)
+        result = simulator.run_iniva("honest", trials=100)
+        assert result.victim_fraction_of_fair_share == pytest.approx(0.0, abs=1e-9)
+        assert result.attacker_fraction_of_fair_share == pytest.approx(0.0, abs=1e-9)
+        assert result.attack_rounds == 0.0
+
+    def test_unknown_attack_rejected(self):
+        simulator = RewardAttackSimulator(seed=1)
+        with pytest.raises(ValueError):
+            simulator.run_iniva("bribe", trials=1)
+        with pytest.raises(ValueError):
+            simulator.run_star("bribe", trials=1)
+
+    def test_vote_omission_hurts_victim_less_in_iniva_than_star(self):
+        simulator = RewardAttackSimulator(attacker_power=0.3, params=PARAMS, seed=2)
+        iniva = simulator.run_iniva("vote-omission", trials=600)
+        star = simulator.run_star("vote-omission", trials=600)
+        assert iniva.victim_fraction_of_fair_share < 0
+        assert star.victim_fraction_of_fair_share < iniva.victim_fraction_of_fair_share
+        # Roughly the paper's numbers: star ~ -25 %, Iniva ~ -7 %.
+        assert star.victim_fraction_of_fair_share < -0.15
+        assert iniva.victim_fraction_of_fair_share > -0.15
+
+    def test_vote_denial_is_expensive_for_the_attacker(self):
+        simulator = RewardAttackSimulator(attacker_power=0.2, params=PARAMS, seed=3)
+        omission = simulator.run_iniva("vote-omission", trials=400)
+        denial = simulator.run_iniva("vote-denial", trials=400)
+        assert denial.attacker_fraction_of_fair_share < omission.attacker_fraction_of_fair_share
+        assert denial.attacker_fraction_of_fair_share < -0.4
+
+    def test_victim_delta_scales_with_attacker_power(self):
+        low = RewardAttackSimulator(attacker_power=0.1, params=PARAMS, seed=4).run_iniva(
+            "vote-omission", trials=600
+        )
+        high = RewardAttackSimulator(attacker_power=0.3, params=PARAMS, seed=4).run_iniva(
+            "vote-omission", trials=600
+        )
+        assert high.victim_fraction_of_fair_share < low.victim_fraction_of_fair_share
+
+    def test_large_collateral_attack_costs_attacker_more_in_iniva(self):
+        """Figure 2d: the attacker pays much more in Iniva than in the star."""
+        iniva_f10 = RewardAttackSimulator(111, 10, attacker_power=0.1, params=PARAMS, seed=5)
+        iniva_f4 = RewardAttackSimulator(109, 4, attacker_power=0.1, params=PARAMS, seed=5)
+        star = RewardAttackSimulator(111, 10, attacker_power=0.1, params=PARAMS, seed=5)
+        loss_f10 = iniva_f10.run_iniva("vote-omission", trials=600, unlimited_collateral=True)
+        loss_f4 = iniva_f4.run_iniva("vote-omission", trials=600, unlimited_collateral=True)
+        loss_star = star.run_star("vote-omission", trials=600)
+        assert loss_f10.attacker_lost_reward > 3 * max(loss_star.attacker_lost_reward, 1e-4)
+        assert loss_f4.attacker_lost_reward > loss_f10.attacker_lost_reward
+
+    def test_victims_lose_similar_amounts_across_protocols(self):
+        simulator = RewardAttackSimulator(attacker_power=0.3, params=PARAMS, seed=6)
+        iniva = simulator.run_iniva("vote-omission", trials=600, unlimited_collateral=True)
+        star = simulator.run_star("vote-omission", trials=600)
+        assert iniva.victim_lost_reward == pytest.approx(star.victim_lost_reward, rel=0.6)
+
+    def test_attack_rounds_fraction_bounded(self):
+        simulator = RewardAttackSimulator(attacker_power=0.2, params=PARAMS, seed=7)
+        result = simulator.run_iniva("vote-omission", trials=300)
+        assert 0.0 <= result.attack_rounds <= 1.0
+
+    def test_combined_attack_worse_for_attacker_than_omission_alone(self):
+        simulator = RewardAttackSimulator(attacker_power=0.2, params=PARAMS, seed=8)
+        omission = simulator.run_iniva("vote-omission", trials=400)
+        combined = simulator.run_iniva("all", trials=400)
+        assert combined.attacker_fraction_of_fair_share < omission.attacker_fraction_of_fair_share
+
+    def test_generated_attack_multiplicities_remain_verifiable(self):
+        """Attacked rounds still produce multiplicities the verifier accepts.
+
+        The attacks modelled here (omitting subtrees, silent processes,
+        2ND-CHANCE inclusion) all produce certificates that are *valid* —
+        that is what makes them dangerous — so the validation function must
+        not flag them.
+        """
+        simulator = RewardAttackSimulator(committee_size=21, num_internal=4,
+                                          attacker_power=0.3, params=PARAMS, seed=9)
+        for _ in range(50):
+            assignment = simulator.adversary.sample(build_tree=True)
+            multiplicities = simulator._iniva_multiplicities(
+                assignment, "vote-omission", unlimited_collateral=True
+            )
+            assert validate_multiplicities(assignment.tree, multiplicities) == []

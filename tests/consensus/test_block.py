@@ -1,0 +1,81 @@
+"""Tests for blocks and quorum certificates."""
+
+import pytest
+
+from repro.consensus.block import (
+    Block,
+    GENESIS_ID,
+    QuorumCertificate,
+    genesis_block,
+    genesis_qc,
+)
+from repro.crypto.multisig import AggregateSignature
+
+
+def make_block(view=1, height=1, payload=(1, 2, 3)):
+    return Block(
+        height=height,
+        view=view,
+        proposer=0,
+        parent_id=GENESIS_ID,
+        qc=genesis_qc(),
+        payload=payload,
+        payload_bytes=64 * len(payload),
+        timestamp=0.5,
+    )
+
+
+class TestBlock:
+    def test_genesis_identity(self):
+        genesis = genesis_block()
+        assert genesis.is_genesis
+        assert genesis.block_id == GENESIS_ID
+
+    def test_block_id_deterministic_and_unique(self):
+        assert make_block().block_id == make_block().block_id
+        assert make_block(payload=(1,)).block_id != make_block(payload=(2,)).block_id
+        assert make_block(view=1).block_id != make_block(view=2).block_id
+
+    def test_signing_payload_binds_block_id_and_view(self):
+        block = make_block()
+        payload = block.signing_payload()
+        assert block.block_id.encode() in payload
+        assert b"|1" in payload
+
+    def test_non_genesis_block(self):
+        assert not make_block().is_genesis
+
+
+class TestQuorumCertificate:
+    def test_genesis_qc(self):
+        qc = genesis_qc()
+        assert qc.is_genesis
+        assert qc.size == 0
+        assert qc.signers == frozenset()
+
+    def test_signers_and_size(self):
+        aggregate = AggregateSignature(value=b"agg", multiplicities={0: 2, 1: 2, 2: 3})
+        qc = QuorumCertificate(block_id="abc", view=4, height=3, aggregate=aggregate, collector=5)
+        assert qc.signers == frozenset({0, 1, 2})
+        assert qc.size == 3
+        assert not qc.is_genesis
+
+    def test_digest_changes_with_contents(self):
+        base = AggregateSignature(value=b"agg", multiplicities={0: 2})
+        other = AggregateSignature(value=b"agg", multiplicities={0: 1})
+        qc1 = QuorumCertificate("abc", 4, 3, base)
+        qc2 = QuorumCertificate("abc", 4, 3, other)
+        qc3 = QuorumCertificate("abd", 4, 3, base)
+        assert qc1.digest() != qc2.digest()
+        assert qc1.digest() != qc3.digest()
+        assert qc1.digest() == QuorumCertificate("abc", 4, 3, base).digest()
+
+    def test_qc_signing_payload_matches_block(self):
+        block = make_block(view=7, height=2)
+        qc = QuorumCertificate(
+            block_id=block.block_id,
+            view=block.view,
+            height=block.height,
+            aggregate=AggregateSignature(value=b"x", multiplicities={0: 1}),
+        )
+        assert qc.signing_payload() == block.signing_payload()

@@ -1,0 +1,69 @@
+"""Tests for leader-election policies."""
+
+import pytest
+
+from repro.consensus.block import QuorumCertificate, genesis_qc
+from repro.consensus.leader import CarouselElection, RoundRobinElection, make_leader_election
+from repro.crypto.multisig import AggregateSignature
+
+
+def make_qc(signers, collector=None):
+    aggregate = AggregateSignature(value=b"x", multiplicities={pid: 1 for pid in signers})
+    return QuorumCertificate(block_id="b", view=3, height=2, aggregate=aggregate, collector=collector)
+
+
+class TestRoundRobin:
+    def test_rotates_through_committee(self):
+        election = RoundRobinElection(5)
+        assert [election.leader(v) for v in range(10)] == [0, 1, 2, 3, 4, 0, 1, 2, 3, 4]
+
+    def test_ignores_qc(self):
+        election = RoundRobinElection(5)
+        assert election.leader(7, make_qc({1, 2})) == 2
+
+    def test_rejects_empty_committee(self):
+        with pytest.raises(ValueError):
+            RoundRobinElection(0)
+
+
+class TestCarousel:
+    def test_falls_back_to_round_robin_without_history(self):
+        election = CarouselElection(5)
+        assert election.leader(3) == 3
+        assert election.leader(3, genesis_qc()) == 3
+
+    def test_only_elects_recent_voters(self):
+        election = CarouselElection(10)
+        qc = make_qc({2, 4, 6}, collector=4)
+        for view in range(20):
+            assert election.leader(view, qc) in {2, 6}  # collector 4 excluded
+
+    def test_keeps_collector_if_it_is_the_only_voter(self):
+        election = CarouselElection(10)
+        qc = make_qc({4}, collector=4)
+        assert election.leader(5, qc) == 4
+
+    def test_deterministic_across_instances(self):
+        qc = make_qc({1, 3, 5, 7})
+        first = CarouselElection(10)
+        second = CarouselElection(10)
+        assert [first.leader(v, qc) for v in range(10)] == [second.leader(v, qc) for v in range(10)]
+
+    def test_crashed_processes_eventually_avoided(self):
+        # Once a QC excludes the crashed processes, they are never elected.
+        election = CarouselElection(7)
+        live_qc = make_qc({0, 1, 2, 3}, collector=0)
+        leaders = {election.leader(v, live_qc) for v in range(20)}
+        assert leaders <= {1, 2, 3}
+
+
+class TestFactory:
+    def test_round_robin(self):
+        assert isinstance(make_leader_election("round-robin", 4), RoundRobinElection)
+
+    def test_carousel(self):
+        assert isinstance(make_leader_election("carousel", 4), CarouselElection)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_leader_election("dictatorship", 4)

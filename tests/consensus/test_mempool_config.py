@@ -1,0 +1,103 @@
+"""Tests for the mempool/client model and the consensus configuration."""
+
+import pytest
+
+from repro.consensus.config import ConsensusConfig
+from repro.consensus.mempool import Mempool
+from repro.simnet.metrics import MetricsCollector
+
+
+class TestMempool:
+    def test_submit_and_batch(self):
+        pool = Mempool()
+        for i in range(5):
+            pool.submit(time=float(i), size_bytes=64)
+        batch = pool.next_batch(3)
+        assert [r.request_id for r in batch] == [0, 1, 2]
+        assert pool.pending_count == 2
+        assert pool.submitted_count == 5
+
+    def test_batch_larger_than_pending(self):
+        pool = Mempool()
+        pool.submit(0.0, 64)
+        assert len(pool.next_batch(10)) == 1
+        assert pool.next_batch(10) == ()
+
+    def test_commit_records_latency_once(self):
+        metrics = MetricsCollector()
+        pool = Mempool(metrics)
+        batch = tuple(pool.submit(0.0, 64) for _ in range(3))
+        pool.track_block("blk", batch)
+        assert pool.mark_committed("blk", tuple(r.request_id for r in batch), time=2.0)
+        assert not pool.mark_committed("blk", tuple(r.request_id for r in batch), time=3.0)
+        assert pool.committed_count == 3
+        assert metrics.committed_operations() == 3
+        assert metrics.latency_stats().mean == pytest.approx(2.0)
+
+    def test_commit_by_payload_lookup(self):
+        metrics = MetricsCollector()
+        pool = Mempool(metrics)
+        requests = [pool.submit(1.0, 64) for _ in range(2)]
+        pool.next_batch(2)
+        # No track_block call: committing by payload ids still works.
+        assert pool.mark_committed("blk", tuple(r.request_id for r in requests), time=4.0)
+        assert metrics.committed_operations() == 2
+
+    def test_requeue_failed_block(self):
+        pool = Mempool()
+        batch = tuple(pool.submit(0.0, 64) for _ in range(3))
+        pool.next_batch(3)
+        pool.track_block("blk", batch)
+        assert pool.pending_count == 0
+        pool.requeue_block("blk")
+        assert pool.pending_count == 3
+
+    def test_duplicate_request_not_double_counted(self):
+        metrics = MetricsCollector()
+        pool = Mempool(metrics)
+        request = pool.submit(0.0, 64)
+        pool.track_block("a", (request,))
+        pool.track_block("b", (request,))
+        pool.mark_committed("a", (request.request_id,), 1.0)
+        pool.mark_committed("b", (request.request_id,), 2.0)
+        assert metrics.committed_operations() == 1
+
+
+class TestConsensusConfig:
+    def test_quorum_sizes_match_paper(self):
+        assert ConsensusConfig(committee_size=21).quorum_size == 15
+        assert ConsensusConfig(committee_size=111).quorum_size == 75
+
+    def test_max_faulty(self):
+        config = ConsensusConfig(committee_size=21)
+        assert config.max_faulty == 6
+
+    def test_aggregation_timer_heuristic(self):
+        config = ConsensusConfig(delta=0.005)
+        assert config.aggregation_timer(1) == pytest.approx(0.010)
+        assert config.aggregation_timer(2) == pytest.approx(0.020)
+
+    def test_aggregation_timer_override(self):
+        config = ConsensusConfig(aggregation_timeout=0.003)
+        assert config.aggregation_timer(2) == pytest.approx(0.006)
+
+    def test_with_override(self):
+        config = ConsensusConfig()
+        other = config.with_(batch_size=800, aggregation="star")
+        assert other.batch_size == 800
+        assert other.aggregation == "star"
+        assert config.batch_size == 100  # original untouched
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            ConsensusConfig(committee_size=2)
+        with pytest.raises(ValueError):
+            ConsensusConfig(aggregation="gossip")
+        with pytest.raises(ValueError):
+            ConsensusConfig(batch_size=0)
+        with pytest.raises(ValueError):
+            ConsensusConfig(payload_size=-1)
+
+    def test_describe_mentions_key_parameters(self):
+        text = ConsensusConfig(aggregation="iniva", committee_size=21).describe()
+        assert "iniva" in text and "n=21" in text

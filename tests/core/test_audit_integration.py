@@ -1,0 +1,91 @@
+"""End-to-end audit: verify real certificates produced by a simulated run.
+
+Ties the verification path (S16) to the protocol: a short Iniva deployment
+produces quorum certificates, and every certificate is then audited the
+way a committee member (or light client) would — rebuild the view's tree,
+check the multiplicities and the aggregate signature, recompute the reward
+distribution and confirm it conserves the block reward.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consensus.config import ConsensusConfig
+from repro.core.rewards import RewardParams
+from repro.core.verification import BlockAuditor
+from repro.experiments.runner import build_deployment
+from repro.experiments.workloads import ClientWorkload
+
+
+def _run_deployment(aggregation: str = "iniva", duration: float = 1.0):
+    config = ConsensusConfig(
+        committee_size=9, batch_size=10, aggregation=aggregation, view_timeout=0.1
+    )
+    deployment = build_deployment(config)
+    ClientWorkload(rate=1_500, payload_size=32, seed=13).attach(
+        deployment.simulator, deployment.mempool, duration
+    )
+    deployment.start()
+    deployment.simulator.run(until=duration)
+    return deployment
+
+
+def _certified_pairs(deployment, limit: int = 10):
+    """(block, qc) pairs where ``qc`` certifies ``block``, from a correct replica."""
+    replica = deployment.replicas[0]
+    pairs = []
+    for child in replica.blocks.values():
+        qc = child.qc
+        if qc.is_genesis:
+            continue
+        certified = replica.blocks.get(qc.block_id)
+        if certified is None or certified.is_genesis:
+            continue
+        pairs.append((certified, qc, replica))
+        if len(pairs) >= limit:
+            break
+    return pairs
+
+
+def test_live_iniva_certificates_pass_the_auditor():
+    deployment = _run_deployment("iniva")
+    pairs = _certified_pairs(deployment)
+    assert pairs, "expected the run to certify at least one block"
+    auditor = BlockAuditor(deployment.committee, RewardParams())
+    for block, qc, replica in pairs:
+        tree = replica.build_tree(block)
+        verdict = auditor.verify_certificate(qc, tree)
+        assert verdict.valid, verdict.violations
+        assert len(verdict.included) >= deployment.config.quorum_size
+
+
+def test_live_rewards_conserve_the_block_reward():
+    deployment = _run_deployment("iniva")
+    params = RewardParams(leader_bonus=0.15, aggregation_bonus=0.02)
+    auditor = BlockAuditor(deployment.committee, params)
+    for block, qc, replica in _certified_pairs(deployment):
+        tree = replica.build_tree(block)
+        distribution = auditor.expected_rewards(qc, tree)
+        assert distribution.total_paid() == pytest.approx(params.total_reward)
+        assert all(amount >= 0 for amount in distribution.payouts.values())
+        # An honest leader's claim always passes its own audit.
+        report = auditor.audit_block(qc, tree, distribution.payouts)
+        assert report.consistent, (report.notes, report.discrepancies)
+
+
+def test_live_tree_certificates_use_iniva_multiplicity_encoding():
+    """Aggregated leaves appear with multiplicity 2, internals with 1 + children."""
+    deployment = _run_deployment("iniva")
+    for block, qc, replica in _certified_pairs(deployment):
+        tree = replica.build_tree(block)
+        multiplicities = qc.aggregate.multiplicities
+        for leaf in tree.leaves:
+            assert multiplicities.get(leaf, 0) in (0, 1, 2)
+        for internal in tree.internal_nodes:
+            mult = multiplicities.get(internal, 0)
+            if mult:
+                aggregated = sum(
+                    1 for child in tree.children(internal) if multiplicities.get(child, 0) == 2
+                )
+                assert mult == 1 + aggregated

@@ -1,0 +1,111 @@
+"""Tests for the game-theoretic incentive analysis (Section VI)."""
+
+import pytest
+
+from repro.core.incentives import (
+    IncentiveAnalysis,
+    Strategy,
+    aggregation_denial_condition,
+    recommended_bonus_range,
+    vote_denial_condition,
+    vote_omission_condition,
+)
+from repro.core.rewards import RewardParams
+
+
+class TestStrategy:
+    def test_honest_detection(self):
+        assert Strategy().is_honest
+        assert not Strategy(leader_omission=0.1).is_honest
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Strategy(vote_denial=1.5)
+        with pytest.raises(ValueError):
+            Strategy(aggregation_denial=-0.1)
+
+
+class TestClosedFormConditions:
+    def test_equation_3_value(self):
+        # m = 0.1, f = 1/3: m*f / (1 - m + m*f) = (0.0333..) / 0.9333.. ~= 0.0357
+        assert vote_omission_condition(0.1) == pytest.approx(0.0357, abs=1e-3)
+
+    def test_equation_5_value(self):
+        # f(1 - ba - m) / (m + f - mf) with ba=0.02, m=0.1, f=1/3 ~= 0.7333/1.1 ~= 0.7333
+        assert vote_denial_condition(0.1, 0.02) == pytest.approx(0.7333, abs=1e-3)
+
+    def test_equation_6_always_holds_below_one(self):
+        assert aggregation_denial_condition(0.49)
+        assert aggregation_denial_condition(0.0)
+        assert not aggregation_denial_condition(1.0)
+
+    def test_bounds_grow_with_attacker_power(self):
+        assert vote_omission_condition(0.3) > vote_omission_condition(0.1)
+        assert vote_denial_condition(0.3, 0.02) < vote_denial_condition(0.1, 0.02)
+
+    def test_papers_parameters_lie_in_recommended_range(self):
+        # b_l = 0.15, b_a = 0.02 from the paper's simulations, m up to 1/3.
+        lower, upper = recommended_bonus_range(1 / 3, 0.02)
+        assert lower < 0.15 < upper
+
+
+class TestIncentiveAnalysis:
+    @pytest.fixture(scope="class")
+    def analysis(self):
+        params = RewardParams(leader_bonus=0.15, aggregation_bonus=0.02)
+        return IncentiveAnalysis(params, attacker_power=0.2)
+
+    def test_rejects_majority_attacker(self):
+        with pytest.raises(ValueError):
+            IncentiveAnalysis(attacker_power=0.6)
+
+    def test_vote_omission_not_profitable(self, analysis):
+        outcome = analysis.vote_omission(leader_omission=0.2)
+        assert outcome.dominated_by_honest
+        assert outcome.attacker_loss > 0
+
+    def test_vote_denial_not_profitable(self, analysis):
+        assert analysis.vote_denial(0.2).dominated_by_honest
+
+    def test_aggregation_attacks_not_profitable(self, analysis):
+        assert analysis.aggregation_denial(0.1).dominated_by_honest
+        assert analysis.aggregation_omission(0.1).dominated_by_honest
+
+    def test_combined_strategy_dominated(self, analysis):
+        strategy = Strategy(0.1, 0.1, 0.05, 0.05)
+        assert analysis.evaluate(strategy).dominated_by_honest
+
+    def test_theorem3_dominance_over_grid(self, analysis):
+        assert analysis.honest_strategy_dominates()
+
+    def test_incentive_compatibility_of_paper_parameters(self, analysis):
+        assert analysis.is_incentive_compatible()
+
+    def test_too_small_leader_bonus_breaks_compatibility(self):
+        params = RewardParams(leader_bonus=0.01, aggregation_bonus=0.02)
+        analysis = IncentiveAnalysis(params, attacker_power=0.3)
+        assert not analysis.is_incentive_compatible()
+        # And vote omission indeed becomes profitable for the attacker.
+        assert not analysis.vote_omission(0.3).dominated_by_honest
+        assert not analysis.honest_strategy_dominates()
+
+    def test_excessive_leader_bonus_breaks_compatibility(self):
+        params = RewardParams(leader_bonus=0.8, aggregation_bonus=0.02)
+        analysis = IncentiveAnalysis(params, attacker_power=0.3)
+        assert not analysis.is_incentive_compatible()
+        assert not analysis.vote_denial(0.3).dominated_by_honest
+
+    def test_summary_keys(self, analysis):
+        summary = analysis.summary()
+        assert summary["incentive_compatible"] == 1.0
+        assert summary["required_leader_bonus_min"] < 0.15 < summary["allowed_leader_bonus_max"]
+
+    def test_honest_strategy_has_zero_outcome(self, analysis):
+        outcome = analysis.evaluate(Strategy())
+        assert outcome.attacker_loss == pytest.approx(0.0)
+        assert outcome.redistributed == pytest.approx(0.0)
+
+    def test_strategy_grid_contains_honest_and_extremes(self, analysis):
+        grid = analysis.strategy_grid(steps=2)
+        assert any(s.is_honest for s in grid)
+        assert len(grid) == 3 ** 4

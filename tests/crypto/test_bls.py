@@ -1,0 +1,112 @@
+"""Tests for the pairing-based BLS multi-signature backend."""
+
+import pytest
+
+from repro.crypto.bls import BlsMultiSig
+from repro.crypto.curve import Point
+from repro.crypto.multisig import AggregateSignature, SignatureShare
+from repro.crypto.params import TOY_PARAMS
+
+pytestmark = pytest.mark.pairing
+
+MESSAGE = b"vote|block-1|3|7"
+
+
+@pytest.fixture(scope="module")
+def scheme():
+    return BlsMultiSig(TOY_PARAMS)
+
+
+@pytest.fixture(scope="module")
+def keys(scheme):
+    return {pid: scheme.keygen(seed=pid) for pid in range(4)}
+
+
+@pytest.fixture(scope="module")
+def shares(scheme, keys):
+    return {
+        pid: scheme.sign(pair.secret_key, MESSAGE, signer=pid) for pid, pair in keys.items()
+    }
+
+
+class TestKeyGeneration:
+    def test_deterministic(self, scheme):
+        assert scheme.keygen(3).public_key == scheme.keygen(3).public_key
+
+    def test_distinct_seeds_distinct_keys(self, scheme):
+        assert scheme.keygen(1).public_key != scheme.keygen(2).public_key
+
+    def test_public_key_in_subgroup(self, scheme):
+        public = scheme.keygen(9).public_key
+        assert isinstance(public, Point)
+        assert (public * TOY_PARAMS.r).is_infinity
+
+
+class TestSignVerify:
+    def test_valid_share_verifies(self, scheme, keys, shares):
+        assert scheme.verify_share(shares[0], MESSAGE, keys[0].public_key)
+
+    def test_wrong_message_rejected(self, scheme, keys, shares):
+        assert not scheme.verify_share(shares[0], b"other message", keys[0].public_key)
+
+    def test_wrong_public_key_rejected(self, scheme, keys, shares):
+        assert not scheme.verify_share(shares[0], MESSAGE, keys[1].public_key)
+
+    def test_non_point_value_rejected(self, scheme, keys):
+        bogus = SignatureShare(signer=0, value=b"not a point")
+        assert not scheme.verify_share(bogus, MESSAGE, keys[0].public_key)
+
+    def test_infinity_signature_rejected(self, scheme, keys):
+        bogus = SignatureShare(signer=0, value=Point.infinity(TOY_PARAMS))
+        assert not scheme.verify_share(bogus, MESSAGE, keys[0].public_key)
+
+
+class TestAggregation:
+    def test_simple_aggregate_verifies(self, scheme, keys, shares):
+        aggregate = scheme.aggregate([(shares[0], 1), (shares[1], 1)])
+        assert scheme.verify_aggregate(aggregate, MESSAGE, {0: keys[0].public_key, 1: keys[1].public_key})
+
+    def test_multiplicities_tracked_and_verified(self, scheme, keys, shares):
+        aggregate = scheme.aggregate([(shares[0], 2), (shares[1], 2), (shares[2], 3)])
+        assert aggregate.multiplicities == {0: 2, 1: 2, 2: 3}
+        publics = {pid: pair.public_key for pid, pair in keys.items()}
+        assert scheme.verify_aggregate(aggregate, MESSAGE, publics)
+
+    def test_wrong_multiplicity_metadata_rejected(self, scheme, keys, shares):
+        aggregate = scheme.aggregate([(shares[0], 2), (shares[1], 2)])
+        forged = AggregateSignature(value=aggregate.value, multiplicities={0: 1, 1: 2})
+        publics = {pid: pair.public_key for pid, pair in keys.items()}
+        assert not scheme.verify_aggregate(forged, MESSAGE, publics)
+
+    def test_missing_signer_metadata_rejected(self, scheme, keys, shares):
+        aggregate = scheme.aggregate([(shares[0], 1), (shares[1], 1)])
+        forged = AggregateSignature(value=aggregate.value, multiplicities={0: 1})
+        publics = {pid: pair.public_key for pid, pair in keys.items()}
+        assert not scheme.verify_aggregate(forged, MESSAGE, publics)
+
+    def test_aggregate_of_aggregates(self, scheme, keys, shares):
+        inner = scheme.aggregate([(shares[0], 2), (shares[1], 2), (shares[2], 3)])
+        outer = scheme.aggregate([(inner, 1), (shares[3], 1)])
+        assert outer.multiplicities == {0: 2, 1: 2, 2: 3, 3: 1}
+        publics = {pid: pair.public_key for pid, pair in keys.items()}
+        assert scheme.verify_aggregate(outer, MESSAGE, publics)
+
+    def test_aggregation_order_invariance(self, scheme, keys, shares):
+        first = scheme.aggregate([(shares[0], 2), (shares[1], 3)])
+        second = scheme.aggregate([(shares[1], 3), (shares[0], 2)])
+        assert first.value == second.value
+        assert first.multiplicities == second.multiplicities
+
+    def test_empty_aggregate(self, scheme, keys):
+        aggregate = scheme.aggregate([])
+        assert aggregate.multiplicities == {}
+        assert scheme.verify_aggregate(aggregate, MESSAGE, {})
+
+    def test_zero_weight_rejected(self, scheme, shares):
+        with pytest.raises(ValueError):
+            scheme.aggregate([(shares[0], 0)])
+
+    def test_wrong_message_aggregate_rejected(self, scheme, keys, shares):
+        aggregate = scheme.aggregate([(shares[0], 1), (shares[1], 1)])
+        publics = {pid: pair.public_key for pid, pair in keys.items()}
+        assert not scheme.verify_aggregate(aggregate, b"another block", publics)

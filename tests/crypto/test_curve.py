@@ -1,0 +1,106 @@
+"""Tests for elliptic-curve group operations."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.curve import Point, distortion_map, generator, hash_to_point
+from repro.crypto.field import Fp2
+from repro.crypto.params import TOY_PARAMS
+
+G = generator(TOY_PARAMS)
+R = TOY_PARAMS.r
+
+scalars = st.integers(min_value=1, max_value=R - 1)
+
+
+class TestGroupLaw:
+    def test_generator_on_curve_and_order(self):
+        assert G.is_on_curve()
+        assert G.has_order_r()
+
+    def test_identity_element(self):
+        infinity = Point.infinity(TOY_PARAMS)
+        assert (G + infinity) == G
+        assert (infinity + G) == G
+        assert infinity.is_on_curve()
+
+    def test_inverse_element(self):
+        assert (G + (-G)).is_infinity
+        assert (G - G).is_infinity
+
+    def test_doubling_matches_addition(self):
+        assert (G + G) == G * 2
+
+    def test_scalar_multiplication_distributes(self):
+        assert G * 5 == G * 2 + G * 3
+
+    def test_negative_scalar(self):
+        assert G * -3 == -(G * 3)
+
+    def test_order_annihilates(self):
+        assert (G * R).is_infinity
+        assert (G * (R + 1)) == G
+
+    def test_zero_scalar(self):
+        assert (G * 0).is_infinity
+
+    def test_points_hashable_and_equal(self):
+        assert hash(G * 2) == hash(G + G)
+        assert len({G, G * 2, G + G}) == 2
+
+    def test_to_bytes_distinct(self):
+        assert G.to_bytes() != (G * 2).to_bytes()
+        assert Point.infinity(TOY_PARAMS).to_bytes() != G.to_bytes()
+
+    @given(a=scalars, b=scalars)
+    @settings(max_examples=25, deadline=None)
+    def test_scalar_mult_homomorphism(self, a, b):
+        assert G * a + G * b == G * ((a + b) % R)
+
+    @given(a=scalars)
+    @settings(max_examples=25, deadline=None)
+    def test_subgroup_membership(self, a):
+        point = G * a
+        assert point.is_on_curve()
+        assert (point * R).is_infinity
+
+
+class TestHashToPoint:
+    def test_deterministic(self):
+        assert hash_to_point(b"hello", TOY_PARAMS) == hash_to_point(b"hello", TOY_PARAMS)
+
+    def test_different_messages_differ(self):
+        assert hash_to_point(b"a", TOY_PARAMS) != hash_to_point(b"b", TOY_PARAMS)
+
+    def test_domain_separation(self):
+        assert hash_to_point(b"msg", TOY_PARAMS, domain=b"d1") != hash_to_point(
+            b"msg", TOY_PARAMS, domain=b"d2"
+        )
+
+    def test_lands_in_prime_order_subgroup(self):
+        for message in [b"", b"block-1", b"block-2", b"x" * 100]:
+            point = hash_to_point(message, TOY_PARAMS)
+            assert point.is_on_curve()
+            assert (point * R).is_infinity
+            assert not point.is_infinity
+
+
+class TestDistortionMap:
+    def test_image_is_on_curve(self):
+        image = distortion_map(G)
+        assert image.is_on_curve()
+        assert isinstance(image.x, Fp2)
+
+    def test_image_is_independent(self):
+        # The distorted generator must not be a multiple of G (otherwise the
+        # pairing would be degenerate); its x-coordinate leaves the base field.
+        image = distortion_map(G)
+        assert image != G
+        assert image.x.c1 != 0
+
+    def test_preserves_infinity(self):
+        infinity = Point.infinity(TOY_PARAMS)
+        assert distortion_map(infinity).is_infinity
+
+    def test_commutes_with_scalar_multiplication(self):
+        assert distortion_map(G * 7) == distortion_map(G) * 7

@@ -1,0 +1,115 @@
+"""Tests for the hash-based simulation backend."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.hash_backend import HashMultiSig
+from repro.crypto.multisig import AggregateSignature
+
+MESSAGE = b"vote|block-9|4|2"
+
+
+@pytest.fixture(scope="module")
+def scheme():
+    return HashMultiSig()
+
+
+@pytest.fixture(scope="module")
+def keys(scheme):
+    return {pid: scheme.keygen(seed=pid) for pid in range(6)}
+
+
+@pytest.fixture(scope="module")
+def shares(scheme, keys):
+    return {pid: scheme.sign(pair.secret_key, MESSAGE, signer=pid) for pid, pair in keys.items()}
+
+
+class TestHashShares:
+    def test_sign_verify_roundtrip(self, scheme, keys, shares):
+        for pid in keys:
+            assert scheme.verify_share(shares[pid], MESSAGE, keys[pid].public_key)
+
+    def test_wrong_message_rejected(self, scheme, keys, shares):
+        assert not scheme.verify_share(shares[0], b"other", keys[0].public_key)
+
+    def test_wrong_key_rejected(self, scheme, keys, shares):
+        assert not scheme.verify_share(shares[0], MESSAGE, keys[1].public_key)
+
+    def test_keygen_deterministic(self, scheme):
+        assert scheme.keygen(5) == scheme.keygen(5)
+        assert scheme.keygen(5) != scheme.keygen(6)
+
+    def test_domain_separation(self):
+        a = HashMultiSig(domain=b"domain-a")
+        b = HashMultiSig(domain=b"domain-b")
+        ka, kb = a.keygen(1), b.keygen(1)
+        assert a.sign(ka.secret_key, MESSAGE, 0).value != b.sign(kb.secret_key, MESSAGE, 0).value
+
+
+class TestHashAggregation:
+    def test_multiplicities_preserved(self, scheme, shares):
+        aggregate = scheme.aggregate([(shares[0], 2), (shares[1], 2), (shares[2], 3)])
+        assert aggregate.multiplicities == {0: 2, 1: 2, 2: 3}
+
+    def test_aggregate_verifies(self, scheme, keys, shares):
+        aggregate = scheme.aggregate([(shares[0], 2), (shares[1], 1)])
+        publics = {pid: pair.public_key for pid, pair in keys.items()}
+        assert scheme.verify_aggregate(aggregate, MESSAGE, publics)
+
+    def test_nested_aggregation(self, scheme, keys, shares):
+        inner = scheme.aggregate([(shares[0], 2), (shares[1], 2), (shares[2], 3)])
+        outer = scheme.aggregate([(inner, 1), (shares[3], 1), (shares[4], 1)])
+        assert outer.multiplicities == {0: 2, 1: 2, 2: 3, 3: 1, 4: 1}
+        publics = {pid: pair.public_key for pid, pair in keys.items()}
+        assert scheme.verify_aggregate(outer, MESSAGE, publics)
+
+    def test_weighted_nested_aggregation(self, scheme, shares):
+        inner = scheme.aggregate([(shares[0], 1), (shares[1], 1)])
+        outer = scheme.aggregate([(inner, 2)])
+        assert outer.multiplicities == {0: 2, 1: 2}
+
+    def test_canonical_value_independent_of_order(self, scheme, shares):
+        first = scheme.aggregate([(shares[0], 2), (shares[1], 3)])
+        second = scheme.aggregate([(shares[1], 3), (shares[0], 2)])
+        assert first.value["digest"] == second.value["digest"]
+
+    def test_tampered_multiplicities_rejected(self, scheme, keys, shares):
+        aggregate = scheme.aggregate([(shares[0], 2), (shares[1], 2)])
+        forged = AggregateSignature(value=aggregate.value, multiplicities={0: 1, 1: 2})
+        publics = {pid: pair.public_key for pid, pair in keys.items()}
+        assert not scheme.verify_aggregate(forged, MESSAGE, publics)
+
+    def test_unknown_signer_rejected(self, scheme, keys, shares):
+        aggregate = scheme.aggregate([(shares[0], 1)])
+        forged = AggregateSignature(
+            value=aggregate.value, multiplicities={0: 1, 99: 1}
+        )
+        publics = {pid: pair.public_key for pid, pair in keys.items()}
+        assert not scheme.verify_aggregate(forged, MESSAGE, publics)
+
+    def test_malformed_value_rejected(self, scheme, keys):
+        forged = AggregateSignature(value=b"garbage", multiplicities={0: 1})
+        publics = {pid: pair.public_key for pid, pair in keys.items()}
+        assert not scheme.verify_aggregate(forged, MESSAGE, publics)
+
+    def test_wrong_message_rejected(self, scheme, keys, shares):
+        aggregate = scheme.aggregate([(shares[0], 1), (shares[1], 1)])
+        publics = {pid: pair.public_key for pid, pair in keys.items()}
+        assert not scheme.verify_aggregate(aggregate, b"other", publics)
+
+    def test_negative_weight_rejected(self, scheme, shares):
+        with pytest.raises(ValueError):
+            scheme.aggregate([(shares[0], -1)])
+
+    @given(
+        weights=st.lists(st.integers(min_value=1, max_value=4), min_size=1, max_size=6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_multiplicity_bookkeeping_property(self, scheme, shares, weights):
+        parts = [(shares[i % len(shares)], w) for i, w in enumerate(weights)]
+        aggregate = scheme.aggregate(parts)
+        expected = {}
+        for i, w in enumerate(weights):
+            signer = i % len(shares)
+            expected[signer] = expected.get(signer, 0) + w
+        assert aggregate.multiplicities == expected

@@ -1,0 +1,72 @@
+"""Tests for the multi-signature interface helpers and registry."""
+
+import pytest
+
+from repro.crypto.bls import BlsMultiSig
+from repro.crypto.hash_backend import HashMultiSig
+from repro.crypto.multisig import (
+    AggregateSignature,
+    SignatureShare,
+    combined_multiplicities,
+    get_scheme,
+)
+
+
+class TestCombinedMultiplicities:
+    def test_shares_count_once_per_weight(self):
+        shares = [SignatureShare(signer=0, value=b"a"), SignatureShare(signer=1, value=b"b")]
+        result = combined_multiplicities([(shares[0], 2), (shares[1], 1)])
+        assert result == {0: 2, 1: 1}
+
+    def test_aggregates_scaled_by_weight(self):
+        aggregate = AggregateSignature(value=b"x", multiplicities={0: 2, 1: 1})
+        result = combined_multiplicities([(aggregate, 3)])
+        assert result == {0: 6, 1: 3}
+
+    def test_mixed_contributions(self):
+        aggregate = AggregateSignature(value=b"x", multiplicities={0: 2})
+        share = SignatureShare(signer=0, value=b"a")
+        assert combined_multiplicities([(aggregate, 1), (share, 1)]) == {0: 3}
+
+    def test_rejects_non_positive_weight(self):
+        share = SignatureShare(signer=0, value=b"a")
+        with pytest.raises(ValueError):
+            combined_multiplicities([(share, 0)])
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(TypeError):
+            combined_multiplicities([("not-a-share", 1)])
+
+
+class TestAggregateSignature:
+    def test_signers_excludes_zero_multiplicity(self):
+        aggregate = AggregateSignature(value=b"x", multiplicities={0: 2, 1: 0})
+        assert aggregate.signers == frozenset({0})
+
+    def test_contains_and_len(self):
+        aggregate = AggregateSignature(value=b"x", multiplicities={0: 2, 3: 1})
+        assert 0 in aggregate
+        assert 3 in aggregate
+        assert 5 not in aggregate
+        assert len(aggregate) == 2
+
+    def test_multiplicity_lookup(self):
+        aggregate = AggregateSignature(value=b"x", multiplicities={7: 4})
+        assert aggregate.multiplicity(7) == 4
+        assert aggregate.multiplicity(8) == 0
+
+
+class TestSchemeRegistry:
+    def test_get_hash_scheme(self):
+        assert isinstance(get_scheme("hash"), HashMultiSig)
+
+    def test_get_bls_scheme(self):
+        from repro.crypto.params import TOY_PARAMS
+
+        scheme = get_scheme("bls", params=TOY_PARAMS)
+        assert isinstance(scheme, BlsMultiSig)
+        assert scheme.params is TOY_PARAMS
+
+    def test_unknown_scheme_raises(self):
+        with pytest.raises(KeyError):
+            get_scheme("quantum")

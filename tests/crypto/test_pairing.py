@@ -1,0 +1,56 @@
+"""Tests for the Tate pairing (bilinearity is what BLS verification rests on)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.curve import Point, generator
+from repro.crypto.field import Fp2
+from repro.crypto.pairing import tate_pairing
+from repro.crypto.params import TOY_PARAMS
+
+pytestmark = pytest.mark.pairing
+
+G = generator(TOY_PARAMS)
+R = TOY_PARAMS.r
+
+small_scalars = st.integers(min_value=1, max_value=200)
+
+
+class TestTatePairing:
+    def test_non_degenerate(self):
+        assert not tate_pairing(G, G).is_one()
+
+    def test_result_has_order_r(self):
+        value = tate_pairing(G, G)
+        assert (value ** R).is_one()
+
+    def test_bilinearity_left(self):
+        base = tate_pairing(G, G)
+        assert tate_pairing(G * 3, G) == base ** 3
+
+    def test_bilinearity_right(self):
+        base = tate_pairing(G, G)
+        assert tate_pairing(G, G * 5) == base ** 5
+
+    def test_bilinearity_both(self):
+        base = tate_pairing(G, G)
+        assert tate_pairing(G * 4, G * 6) == base ** 24
+
+    def test_symmetry_of_exponents(self):
+        assert tate_pairing(G * 3, G * 7) == tate_pairing(G * 7, G * 3)
+
+    def test_infinity_maps_to_one(self):
+        infinity = Point.infinity(TOY_PARAMS)
+        assert tate_pairing(infinity, G).is_one()
+        assert tate_pairing(G, infinity).is_one()
+
+    def test_inverse_relationship(self):
+        # e(-P, Q) = e(P, Q)^-1
+        lhs = tate_pairing(-G, G)
+        rhs = tate_pairing(G, G)
+        assert (lhs * rhs).is_one()
+
+    @given(a=small_scalars, b=small_scalars)
+    @settings(max_examples=10, deadline=None)
+    def test_bilinearity_property(self, a, b):
+        assert tate_pairing(G * a, G * b) == tate_pairing(G, G) ** (a * b)

@@ -1,0 +1,91 @@
+"""Tests for curve parameter handling and generation."""
+
+import pytest
+
+from repro.crypto.params import (
+    CurveParams,
+    DEFAULT_PARAMS,
+    TOY_PARAMS,
+    generate_params,
+    is_probable_prime,
+)
+
+
+class TestPrimality:
+    def test_small_primes(self):
+        for prime in [2, 3, 5, 7, 11, 13, 101, 7919]:
+            assert is_probable_prime(prime)
+
+    def test_small_composites(self):
+        for composite in [0, 1, 4, 9, 15, 100, 561, 7917]:
+            assert not is_probable_prime(composite)
+
+    def test_carmichael_number_rejected(self):
+        # 561 = 3 * 11 * 17 is the smallest Carmichael number.
+        assert not is_probable_prime(561)
+        assert not is_probable_prime(41041)
+
+    def test_large_known_prime(self):
+        assert is_probable_prime(2**127 - 1)  # Mersenne prime
+
+    def test_default_params_are_prime(self):
+        assert is_probable_prime(DEFAULT_PARAMS.p)
+        assert is_probable_prime(DEFAULT_PARAMS.r)
+
+    def test_toy_params_are_prime(self):
+        assert is_probable_prime(TOY_PARAMS.p)
+        assert is_probable_prime(TOY_PARAMS.r)
+
+
+class TestCurveParams:
+    def test_default_congruences(self):
+        assert DEFAULT_PARAMS.p % 3 == 2
+        assert DEFAULT_PARAMS.p % 4 == 3
+
+    def test_toy_congruences(self):
+        assert TOY_PARAMS.p % 3 == 2
+        assert TOY_PARAMS.p % 4 == 3
+
+    def test_cofactor_relation(self):
+        assert DEFAULT_PARAMS.cofactor * DEFAULT_PARAMS.r == DEFAULT_PARAMS.p + 1
+        assert TOY_PARAMS.cofactor * TOY_PARAMS.r == TOY_PARAMS.p + 1
+
+    def test_rejects_bad_congruence(self):
+        with pytest.raises(ValueError):
+            CurveParams(p=13, r=7, cofactor=2, gx=1, gy=1)
+
+    def test_rejects_wrong_cofactor(self):
+        with pytest.raises(ValueError):
+            CurveParams(p=TOY_PARAMS.p, r=TOY_PARAMS.r, cofactor=TOY_PARAMS.cofactor + 1,
+                        gx=TOY_PARAMS.gx, gy=TOY_PARAMS.gy)
+
+    def test_security_bits(self):
+        assert DEFAULT_PARAMS.security_bits == DEFAULT_PARAMS.r.bit_length() // 2
+        assert TOY_PARAMS.security_bits < DEFAULT_PARAMS.security_bits
+
+    def test_generator_on_curve(self):
+        for params in (DEFAULT_PARAMS, TOY_PARAMS):
+            lhs = params.gy * params.gy % params.p
+            rhs = (params.gx ** 3 + 1) % params.p
+            assert lhs == rhs
+
+
+class TestGenerateParams:
+    def test_generates_consistent_small_params(self):
+        params = generate_params(r_bits=40, p_bits=96, seed=123)
+        assert is_probable_prime(params.p)
+        assert is_probable_prime(params.r)
+        assert params.p % 3 == 2
+        assert params.p % 4 == 3
+        assert params.cofactor * params.r == params.p + 1
+        # Generator lies on the curve.
+        assert params.gy * params.gy % params.p == (params.gx ** 3 + 1) % params.p
+
+    def test_deterministic_given_seed(self):
+        first = generate_params(r_bits=40, p_bits=96, seed=7)
+        second = generate_params(r_bits=40, p_bits=96, seed=7)
+        assert first == second
+
+    def test_rejects_tight_sizes(self):
+        with pytest.raises(ValueError):
+            generate_params(r_bits=64, p_bits=66)

@@ -1,0 +1,123 @@
+"""Tests for the VRF built on the multi-signature backends."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.vrf import VRF, VRFOutput, vrf_view_seed
+
+
+@pytest.fixture(scope="module")
+def vrf(hash_scheme) -> VRF:
+    return VRF(hash_scheme)
+
+
+def test_evaluate_is_deterministic(vrf, hash_committee):
+    alpha = b"view|7"
+    first = vrf.evaluate(hash_committee.secret_key(2), alpha, signer=2)
+    second = vrf.evaluate(hash_committee.secret_key(2), alpha, signer=2)
+    assert first.value == second.value
+    assert len(first.value) == 32
+
+
+def test_verify_accepts_honest_output(vrf, hash_committee):
+    alpha = b"view|9"
+    output = vrf.evaluate(hash_committee.secret_key(0), alpha, signer=0)
+    assert vrf.verify(hash_committee.public_key(0), alpha, output)
+
+
+def test_verify_rejects_wrong_public_key(vrf, hash_committee):
+    alpha = b"view|9"
+    output = vrf.evaluate(hash_committee.secret_key(0), alpha, signer=0)
+    assert not vrf.verify(hash_committee.public_key(1), alpha, output)
+
+
+def test_verify_rejects_wrong_input(vrf, hash_committee):
+    output = vrf.evaluate(hash_committee.secret_key(0), b"view|1", signer=0)
+    assert not vrf.verify(hash_committee.public_key(0), b"view|2", output)
+
+
+def test_verify_rejects_tampered_value(vrf, hash_committee):
+    alpha = b"view|3"
+    output = vrf.evaluate(hash_committee.secret_key(0), alpha, signer=0)
+    forged = VRFOutput(value=bytes(32), proof=output.proof, alpha=alpha)
+    assert not vrf.verify(hash_committee.public_key(0), alpha, forged)
+
+
+def test_different_inputs_give_different_outputs(vrf, hash_committee):
+    secret = hash_committee.secret_key(4)
+    outputs = {vrf.evaluate(secret, b"view|%d" % view, signer=4).value for view in range(20)}
+    assert len(outputs) == 20
+
+
+def test_different_keys_give_different_outputs(vrf, hash_committee):
+    alpha = b"epoch|0"
+    outputs = {
+        vrf.evaluate(hash_committee.secret_key(pid), alpha, signer=pid).value
+        for pid in range(len(hash_committee))
+    }
+    assert len(outputs) == len(hash_committee)
+
+
+def test_unit_float_in_range(vrf, hash_committee):
+    for view in range(50):
+        output = vrf.evaluate(hash_committee.secret_key(1), b"v|%d" % view, signer=1)
+        assert 0.0 <= output.as_unit_float() < 1.0
+
+
+def test_select_index_within_population(vrf, hash_committee):
+    output = vrf.evaluate(hash_committee.secret_key(1), b"x", signer=1)
+    for population in (1, 2, 7, 111):
+        assert 0 <= vrf.select_index(output, population) < population
+    with pytest.raises(ValueError):
+        vrf.select_index(output, 0)
+
+
+def test_weighted_choice_respects_zero_weights(vrf, hash_committee):
+    """An index with zero weight is only chosen if every weight is behind it."""
+    output = vrf.evaluate(hash_committee.secret_key(2), b"weighted", signer=2)
+    index = vrf.weighted_choice(output, [0.0, 1.0, 0.0])
+    assert index == 1
+
+
+def test_weighted_choice_rejects_bad_weights(vrf, hash_committee):
+    output = vrf.evaluate(hash_committee.secret_key(2), b"weighted", signer=2)
+    with pytest.raises(ValueError):
+        vrf.weighted_choice(output, [])
+    with pytest.raises(ValueError):
+        vrf.weighted_choice(output, [0.0, 0.0])
+    with pytest.raises(ValueError):
+        vrf.weighted_choice(output, [1.0, -1.0])
+
+
+def test_vrf_view_seed_bounds(vrf, hash_committee):
+    output = vrf.evaluate(hash_committee.secret_key(0), b"seed", signer=0)
+    assert 0 <= vrf_view_seed(output) < 2**63
+    assert 0 <= vrf_view_seed(output, bits=16) < 2**16
+    with pytest.raises(ValueError):
+        vrf_view_seed(output, bits=0)
+
+
+@pytest.mark.pairing
+def test_vrf_over_bls_backend(toy_bls_scheme, bls_committee):
+    """The BLS backend gives a genuine unique-signature VRF."""
+    vrf = VRF(toy_bls_scheme)
+    alpha = b"view|42"
+    output = vrf.evaluate(bls_committee.secret_key(1), alpha, signer=1)
+    assert vrf.verify(bls_committee.public_key(1), alpha, output)
+    assert not vrf.verify(bls_committee.public_key(0), alpha, output)
+
+
+@settings(max_examples=25, deadline=None)
+@given(view=st.integers(min_value=0, max_value=10**6), signer=st.integers(min_value=0, max_value=6))
+def test_property_roundtrip(view, signer, hash_scheme):
+    """Any honestly produced output verifies under the matching public key."""
+    from repro.crypto.keys import Committee
+
+    committee = Committee(hash_scheme, size=7, seed=3)
+    vrf = VRF(hash_scheme)
+    alpha = b"property|%d" % view
+    output = vrf.evaluate(committee.secret_key(signer), alpha, signer=signer)
+    assert vrf.verify(committee.public_key(signer), alpha, output)

@@ -1,0 +1,116 @@
+"""Smoke tests for the per-figure experiment harnesses.
+
+Each harness is run in a heavily reduced configuration (small committees,
+short durations, few trials) and checked for structure plus the key
+qualitative relationships the paper reports.  The full-size runs live in
+``benchmarks/``.
+"""
+
+import pytest
+
+from repro.experiments.cpu import figure_3b
+from repro.experiments.resiliency import default_variants, figure_4
+from repro.experiments.scalability import default_replica_counts, figure_3c
+from repro.experiments.security import figure_2a, figure_2b, figure_2c, figure_2d
+from repro.experiments.throughput import default_loads, figure_3a
+
+
+class TestSecurityFigures:
+    def test_figure_2a_structure_and_ordering(self):
+        rows = figure_2a(attacker_powers=(0.1,), gosig_trials=120, iniva_trials=2000, seed=3)
+        protocols = {row["protocol"] for row in rows}
+        assert "Iniva" in protocols and "Star protocol (round robin)" in protocols
+        by_protocol = {row["protocol"]: row["omission_probability"] for row in rows}
+        assert by_protocol["Iniva"] < by_protocol["Star protocol (round robin)"]
+
+    def test_figure_2b_structure(self):
+        rows = figure_2b(collaterals=(0, 5), gosig_trials=80, iniva_trials=1000, seed=3)
+        assert {row["collateral"] for row in rows} == {0, 5}
+        assert all(0 <= row["omission_probability"] <= 1 for row in rows)
+
+    def test_figure_2c_victim_hurt_more_in_star(self):
+        rows = figure_2c(attacker_powers=(0.3,), trials=300, seed=3)
+        omission = next(row for row in rows if row["attack"] == "vote omission")
+        assert omission["victim_fraction_star"] < omission["victim_fraction_iniva"] <= 0.01
+
+    def test_figure_2d_attacker_pays_more_in_iniva(self):
+        rows = figure_2d(attacker_powers=(0.1,), trials=300, seed=3)
+        by_config = {row["configuration"]: row for row in rows}
+        assert by_config["Iniva (fanout=4)"]["attacker_lost_pct_of_R"] >= by_config[
+            "Iniva (fanout=10)"
+        ]["attacker_lost_pct_of_R"]
+        assert by_config["Iniva (fanout=10)"]["attacker_lost_pct_of_R"] > by_config["Star"][
+            "attacker_lost_pct_of_R"
+        ]
+
+
+@pytest.mark.slow
+class TestPerformanceFigures:
+    def test_figure_3a_reduced(self):
+        rows = figure_3a(
+            committee_size=9,
+            payload_sizes=(64,),
+            batch_sizes=(20,),
+            loads=(1000,),
+            duration=1.2,
+            warmup=0.2,
+        )
+        assert {row["scheme"] for row in rows} == {"HotStuff", "Iniva", "Iniva-No2C"}
+        assert all(row["throughput_ops"] > 0 for row in rows)
+        assert all(row["latency_ms"] > 0 for row in rows)
+
+    def test_figure_3b_reduced(self):
+        rows = figure_3b(
+            committee_size=9,
+            payload_sizes=(64,),
+            batch_sizes=(20,),
+            saturation_load=4000,
+            duration=1.2,
+            warmup=0.2,
+        )
+        assert {row["scheme"] for row in rows} == {"HotStuff", "Iniva"}
+        assert all(0 < row["cpu_mean_pct"] <= 100 for row in rows)
+
+    def test_figure_3c_reduced(self):
+        rows = figure_3c(
+            replica_counts=(9, 15),
+            payload_sizes=(64,),
+            batch_size=20,
+            load=2000,
+            duration=1.0,
+            warmup=0.2,
+        )
+        assert {row["replicas"] for row in rows} == {9, 15}
+        assert all(row["throughput_ops"] > 0 for row in rows)
+
+    def test_figure_4_reduced(self):
+        rows = figure_4(
+            committee_size=9,
+            fault_counts=(0, 2),
+            variants=[{"label": "delta=5ms", "second_chance": 0.005, "leader_policy": "round-robin"}],
+            batch_size=20,
+            load=1500,
+            duration=2.0,
+            warmup=0.3,
+            view_timeout=0.1,
+        )
+        by_faults = {row["faulty_nodes"]: row for row in rows}
+        assert by_faults[2]["throughput_ops"] <= by_faults[0]["throughput_ops"]
+        assert by_faults[2]["avg_qc_size"] <= by_faults[0]["avg_qc_size"]
+        assert by_faults[0]["avg_qc_size"] == pytest.approx(9, abs=0.5)
+        # Inclusion stays near the maximum possible despite the crashes.
+        assert by_faults[2]["avg_qc_size"] >= by_faults[2]["quorum_minimum"] - 0.5
+        assert by_faults[2]["max_possible_votes"] == 7
+
+
+class TestDefaults:
+    def test_default_loads_scale_with_batch(self):
+        assert len(default_loads(800)) > len(default_loads(100)) - 1
+
+    def test_default_replica_counts_are_increasing(self):
+        counts = default_replica_counts()
+        assert counts == sorted(counts)
+
+    def test_default_variants_include_carousel(self):
+        labels = [variant["label"] for variant in default_variants()]
+        assert any("Carousel" in label for label in labels)

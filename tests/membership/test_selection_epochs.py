@@ -1,0 +1,221 @@
+"""Tests for committee selection, sortition and epoch management."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.hash_backend import HashMultiSig
+from repro.crypto.vrf import VRF
+from repro.membership.epochs import EpochSchedule, MembershipManager
+from repro.membership.selection import (
+    CommitteeDescriptor,
+    SortitionSelector,
+    StakeWeightedSelector,
+)
+from repro.membership.stake import StakeRegistry
+
+
+def _registry(count: int = 30, stake: float = 100.0) -> StakeRegistry:
+    registry = StakeRegistry()
+    for vid in range(count):
+        registry.register(vid, stake=stake)
+    return registry
+
+
+# ---------------------------------------------------------------------------
+# CommitteeDescriptor
+# ---------------------------------------------------------------------------
+def test_descriptor_process_id_round_trip():
+    descriptor = CommitteeDescriptor(epoch=3, members=(10, 4, 7))
+    assert descriptor.size == 3
+    assert descriptor.process_id_of(7) == 2
+    assert descriptor.validator_of(0) == 10
+    assert 4 in descriptor
+    assert 99 not in descriptor
+    with pytest.raises(KeyError):
+        descriptor.process_id_of(99)
+
+
+# ---------------------------------------------------------------------------
+# StakeWeightedSelector
+# ---------------------------------------------------------------------------
+def test_stake_weighted_selection_is_deterministic():
+    registry = _registry()
+    selector = StakeWeightedSelector(registry, committee_size=10, base_seed=7)
+    first = selector.select(epoch=2)
+    second = selector.select(epoch=2)
+    assert first.members == second.members
+    assert first.size == 10
+    assert len(set(first.members)) == 10
+
+
+def test_stake_weighted_selection_differs_across_epochs():
+    registry = _registry()
+    selector = StakeWeightedSelector(registry, committee_size=10, base_seed=7)
+    committees = {selector.select(epoch=epoch).members for epoch in range(6)}
+    assert len(committees) > 1
+
+
+def test_stake_weighted_selection_respects_committee_size_bounds():
+    registry = _registry(count=5)
+    selector = StakeWeightedSelector(registry, committee_size=21)
+    descriptor = selector.select(epoch=0)
+    assert descriptor.size == 5  # cannot exceed the validator population
+    with pytest.raises(ValueError):
+        StakeWeightedSelector(registry, committee_size=0)
+
+
+def test_stake_weighted_selection_prefers_large_stake():
+    registry = StakeRegistry()
+    registry.register(0, stake=10_000.0)
+    for vid in range(1, 40):
+        registry.register(vid, stake=1.0)
+    selector = StakeWeightedSelector(registry, committee_size=5, base_seed=1)
+    hits = sum(1 for epoch in range(40) if 0 in selector.select(epoch).members)
+    assert hits >= 35  # the whale is selected essentially always
+
+
+def test_stake_weighted_selection_with_zero_stake_pool():
+    registry = _registry(count=6, stake=0.0)
+    selector = StakeWeightedSelector(registry, committee_size=4, base_seed=2)
+    descriptor = selector.select(epoch=1)
+    assert descriptor.size == 4
+    assert len(set(descriptor.members)) == 4
+
+
+def test_stake_weighted_selection_requires_active_validators():
+    registry = _registry(count=3)
+    for vid in range(3):
+        registry.set_active(vid, False)
+    selector = StakeWeightedSelector(registry, committee_size=3)
+    with pytest.raises(ValueError):
+        selector.select(epoch=0)
+
+
+# ---------------------------------------------------------------------------
+# SortitionSelector
+# ---------------------------------------------------------------------------
+def _sortition_setup(count: int = 40, expected: int = 12):
+    scheme = HashMultiSig()
+    registry = StakeRegistry()
+    secrets = {}
+    for vid in range(count):
+        pair = scheme.keygen(vid + 1000)
+        registry.register(vid, stake=100.0, public_key=pair.public_key)
+        secrets[vid] = pair.secret_key
+    selector = SortitionSelector(
+        registry, VRF(scheme), secrets, expected_size=expected, base_seed=3
+    )
+    return registry, selector
+
+
+def test_sortition_expected_size_is_roughly_met():
+    _, selector = _sortition_setup(count=60, expected=15)
+    sizes = [selector.select(epoch).size for epoch in range(12)]
+    mean = sum(sizes) / len(sizes)
+    assert 7 <= mean <= 23  # concentration around the expected size
+
+
+def test_sortition_tickets_verify():
+    _, selector = _sortition_setup()
+    ticket = None
+    epoch = 0
+    while ticket is None:
+        for vid in range(40):
+            ticket = selector.ticket(vid, epoch)
+            if ticket is not None:
+                break
+        else:
+            epoch += 1
+            continue
+    assert selector.verify_ticket(ticket, epoch)
+    assert not selector.verify_ticket(ticket, epoch + 1)
+
+
+def test_sortition_excludes_inactive_and_zero_stake():
+    registry, selector = _sortition_setup(count=10, expected=10)
+    registry.set_active(0, False)
+    registry.unbond(1, 100.0)
+    assert selector.ticket(0, epoch=0) is None
+    assert selector.ticket(1, epoch=0) is None
+    descriptor = selector.select(epoch=0)
+    assert 0 not in descriptor.members
+    assert 1 not in descriptor.members
+
+
+# ---------------------------------------------------------------------------
+# EpochSchedule / MembershipManager
+# ---------------------------------------------------------------------------
+def test_epoch_schedule_mapping():
+    schedule = EpochSchedule(views_per_epoch=10, first_view=1)
+    assert schedule.epoch_of(1) == 0
+    assert schedule.epoch_of(10) == 0
+    assert schedule.epoch_of(11) == 1
+    assert schedule.first_view_of(2) == 21
+    assert schedule.last_view_of(0) == 10
+    assert schedule.is_epoch_boundary(10)
+    assert not schedule.is_epoch_boundary(9)
+    with pytest.raises(ValueError):
+        EpochSchedule(views_per_epoch=0)
+    with pytest.raises(ValueError):
+        schedule.first_view_of(-1)
+
+
+def test_membership_manager_is_deterministic():
+    schedule = EpochSchedule(views_per_epoch=50)
+    first = MembershipManager(_registry(), schedule, committee_size=11, base_seed=9)
+    second = MembershipManager(_registry(), schedule, committee_size=11, base_seed=9)
+    for epoch in range(4):
+        assert first.committee_for_epoch(epoch).members == second.committee_for_epoch(epoch).members
+    assert first.committee_for_view(1).epoch == 0
+    assert first.committee_for_view(51).epoch == 1
+    assert first.known_epochs() == [0, 1, 2, 3]
+
+
+def test_membership_manager_context_pinning():
+    manager = MembershipManager(_registry(), EpochSchedule(views_per_epoch=10), committee_size=7)
+    manager.set_epoch_context(1, b"qc-digest")
+    with_context = manager.committee_for_epoch(1)
+    with pytest.raises(ValueError):
+        manager.set_epoch_context(1, b"too late")
+    plain = MembershipManager(_registry(), EpochSchedule(views_per_epoch=10), committee_size=7)
+    assert with_context.members != plain.committee_for_epoch(1).members or with_context.seed != plain.committee_for_epoch(1).seed
+
+
+def test_membership_manager_applies_rewards_to_stake():
+    registry = _registry(count=10)
+    manager = MembershipManager(
+        registry, EpochSchedule(views_per_epoch=10), committee_size=5, base_seed=4
+    )
+    descriptor = manager.committee_for_view(3)
+    before = {vid: registry.stake_of(vid) for vid in descriptor.members}
+    payouts = {process_id: 2.0 for process_id in range(descriptor.size)}
+    credited = manager.apply_block_rewards(view=3, payouts=payouts)
+    assert credited == pytest.approx(2.0 * descriptor.size)
+    for vid in descriptor.members:
+        assert registry.stake_of(vid) == pytest.approx(before[vid] + 2.0)
+
+
+def test_selection_probability_sums_to_one():
+    registry = _registry(count=8)
+    manager = MembershipManager(registry, EpochSchedule(), committee_size=4)
+    total = sum(manager.selection_probability(vid) for vid in range(8))
+    assert total == pytest.approx(1.0)
+    registry.set_active(0, False)
+    assert manager.selection_probability(0) == 0.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    epoch=st.integers(min_value=0, max_value=50),
+    size=st.integers(min_value=1, max_value=20),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_property_selection_yields_distinct_members(epoch, size, seed):
+    registry = _registry(count=25)
+    selector = StakeWeightedSelector(registry, committee_size=size, base_seed=seed)
+    descriptor = selector.select(epoch)
+    assert len(set(descriptor.members)) == descriptor.size == min(size, 25)
+    assert all(0 <= member < 25 for member in descriptor.members)

@@ -1,0 +1,132 @@
+"""Tests for the stake registry."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.membership.stake import StakeRegistry, Validator
+
+
+@pytest.fixture()
+def registry() -> StakeRegistry:
+    reg = StakeRegistry()
+    for vid in range(5):
+        reg.register(vid, stake=100.0 * (vid + 1))
+    return reg
+
+
+def test_register_and_lookup(registry):
+    assert len(registry) == 5
+    assert 3 in registry
+    assert registry.stake_of(3) == pytest.approx(400.0)
+    assert registry.get(0).validator_id == 0
+
+
+def test_register_duplicate_rejected(registry):
+    with pytest.raises(ValueError):
+        registry.register(0, stake=1.0)
+
+
+def test_register_negative_stake_rejected():
+    registry = StakeRegistry()
+    with pytest.raises(ValueError):
+        registry.register(0, stake=-1.0)
+
+
+def test_validator_validation():
+    with pytest.raises(ValueError):
+        Validator(validator_id=-1, stake=1.0)
+    with pytest.raises(ValueError):
+        Validator(validator_id=0, stake=-1.0)
+
+
+def test_bond_and_unbond(registry):
+    assert registry.bond(0, 50.0) == pytest.approx(150.0)
+    assert registry.unbond(0, 100.0) == pytest.approx(50.0)
+    with pytest.raises(ValueError):
+        registry.unbond(0, 1000.0)
+    with pytest.raises(ValueError):
+        registry.bond(0, -5.0)
+
+
+def test_credit_reward_compounds_by_default(registry):
+    registry.credit_reward(1, 10.0)
+    assert registry.stake_of(1) == pytest.approx(210.0)
+    assert registry.get(1).rewards_earned == pytest.approx(10.0)
+
+
+def test_credit_reward_without_compounding(registry):
+    registry.credit_reward(1, 10.0, compound=False)
+    assert registry.stake_of(1) == pytest.approx(200.0)
+    assert registry.get(1).rewards_earned == pytest.approx(10.0)
+
+
+def test_slash_removes_fraction(registry):
+    penalty = registry.slash(4, 0.25)
+    assert penalty == pytest.approx(125.0)
+    assert registry.stake_of(4) == pytest.approx(375.0)
+    assert registry.get(4).slashed == pytest.approx(125.0)
+    with pytest.raises(ValueError):
+        registry.slash(4, 1.5)
+
+
+def test_active_validators_filtering(registry):
+    registry.set_active(2, False)
+    active = registry.active_validators()
+    assert [validator.validator_id for validator in active] == [0, 1, 3, 4]
+    rich = registry.active_validators(minimum_stake=350.0)
+    assert [validator.validator_id for validator in rich] == [3, 4]
+
+
+def test_total_stake_active_only(registry):
+    total = registry.total_stake()
+    assert total == pytest.approx(1500.0)
+    registry.set_active(4, False)
+    assert registry.total_stake() == pytest.approx(1000.0)
+    assert registry.total_stake(active_only=False) == pytest.approx(1500.0)
+
+
+def test_apply_rewards_with_id_map(registry):
+    # Committee process 0 maps to validator 3, process 1 to validator 4.
+    credited = registry.apply_rewards({0: 5.0, 1: 7.0, 2: 3.0}, id_map={0: 3, 1: 4, 2: 99})
+    assert credited == pytest.approx(12.0)
+    assert registry.stake_of(3) == pytest.approx(405.0)
+    assert registry.stake_of(4) == pytest.approx(507.0)
+
+
+def test_deregister(registry):
+    removed = registry.deregister(2)
+    assert removed.validator_id == 2
+    assert 2 not in registry
+    with pytest.raises(KeyError):
+        registry.get(2)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    operations=st.lists(
+        st.tuples(
+            st.sampled_from(["bond", "reward", "slash"]),
+            st.integers(min_value=0, max_value=4),
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        ),
+        max_size=30,
+    )
+)
+def test_property_total_stake_matches_sum(operations):
+    """The registry's aggregate accounting never drifts from per-validator sums."""
+    registry = StakeRegistry()
+    for vid in range(5):
+        registry.register(vid, stake=50.0)
+    for kind, vid, amount in operations:
+        if kind == "bond":
+            registry.bond(vid, amount)
+        elif kind == "reward":
+            registry.credit_reward(vid, amount)
+        else:
+            registry.slash(vid, min(amount / 100.0, 1.0))
+    expected = sum(registry.stake_of(vid) for vid in range(5))
+    assert registry.total_stake() == pytest.approx(expected)
+    assert all(registry.stake_of(vid) >= 0.0 for vid in range(5))

@@ -1,0 +1,122 @@
+"""Tests for the discrete-event queue and simulator clock."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simnet.events import EventQueue, Simulator
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.push(2.0, order.append, "b")
+        queue.push(1.0, order.append, "a")
+        queue.push(3.0, order.append, "c")
+        while queue:
+            event = queue.pop()
+            event.callback(*event.args)
+        assert order == ["a", "b", "c"]
+
+    def test_ties_broken_by_insertion_order(self):
+        queue = EventQueue()
+        order = []
+        for name in "abc":
+            queue.push(1.0, order.append, name)
+        while queue:
+            event = queue.pop()
+            event.callback(*event.args)
+        assert order == ["a", "b", "c"]
+
+    def test_peek_skips_cancelled(self):
+        queue = EventQueue()
+        handle = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        handle.cancel()
+        assert queue.peek_time() == 2.0
+
+    def test_len_and_bool(self):
+        queue = EventQueue()
+        assert not queue
+        queue.push(1.0, lambda: None)
+        assert queue and len(queue) == 1
+
+
+class TestSimulator:
+    def test_clock_advances_with_events(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(0.5, lambda: times.append(sim.now))
+        sim.schedule(1.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [0.5, 1.5]
+        assert sim.now == 1.5
+
+    def test_run_until_stops_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, fired.append, "late")
+        end = sim.run(until=1.0)
+        assert end == 1.0
+        assert fired == []
+        sim.run(until=3.0)
+        assert fired == ["late"]
+
+    def test_cancelled_events_do_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, fired.append, "x")
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_events_scheduled_during_run(self):
+        sim = Simulator()
+        fired = []
+
+        def chain():
+            fired.append(sim.now)
+            if len(fired) < 3:
+                sim.schedule(1.0, chain)
+
+        sim.schedule(1.0, chain)
+        sim.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_max_events_bound(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(i + 1.0, fired.append, i)
+        sim.run(max_events=4)
+        assert len(fired) == 4
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(0.1 * (i + 1), lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+    @given(delays=st.lists(st.floats(min_value=0.001, max_value=100.0), min_size=1, max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_events_fire_in_nondecreasing_time_order(self, delays):
+        sim = Simulator()
+        observed = []
+        for delay in delays:
+            sim.schedule(delay, lambda: observed.append(sim.now))
+        sim.run()
+        assert observed == sorted(observed)
+        assert len(observed) == len(delays)

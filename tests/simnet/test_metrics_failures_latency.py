@@ -1,0 +1,174 @@
+"""Tests for metrics collection, latency models and fault injection."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simnet.events import Simulator
+from repro.simnet.failures import FailureInjector, FailurePlan
+from repro.simnet.latency import ConstantLatency, NormalLatency, UniformLatency
+from repro.simnet.metrics import LatencyStats, MetricsCollector
+from repro.simnet.network import Network
+from repro.simnet.process import Process
+
+
+class Dummy(Process):
+    def on_message(self, sender, message):  # pragma: no cover - not exercised
+        pass
+
+
+class TestLatencyModels:
+    def test_constant(self):
+        model = ConstantLatency(0.004)
+        assert model.sample(random.Random(0), 0, 1) == 0.004
+        assert model.upper_bound == 0.004
+
+    def test_constant_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ConstantLatency(-1.0)
+
+    def test_uniform_within_bounds(self):
+        model = UniformLatency(0.001, 0.002)
+        rng = random.Random(1)
+        samples = [model.sample(rng, 0, 1) for _ in range(200)]
+        assert all(0.001 <= s <= 0.002 for s in samples)
+        assert model.upper_bound == 0.002
+
+    def test_uniform_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            UniformLatency(0.002, 0.001)
+
+    def test_normal_respects_minimum(self):
+        model = NormalLatency(mean=0.0005, std=0.01, minimum=0.0004)
+        rng = random.Random(2)
+        samples = [model.sample(rng, 0, 1) for _ in range(200)]
+        assert all(s >= 0.0004 for s in samples)
+        assert model.upper_bound > model.mean
+
+    def test_normal_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            NormalLatency(mean=-1.0)
+
+
+class TestLatencyStats:
+    def test_empty(self):
+        stats = LatencyStats.from_samples([])
+        assert stats.count == 0 and stats.mean == 0.0
+
+    def test_single_sample(self):
+        stats = LatencyStats.from_samples([0.5])
+        assert stats.count == 1
+        assert stats.mean == stats.median == stats.p99 == stats.maximum == 0.5
+
+    def test_percentiles_ordering(self):
+        stats = LatencyStats.from_samples([i / 100 for i in range(1, 101)])
+        assert stats.median <= stats.p90 <= stats.p99 <= stats.maximum
+        assert stats.maximum == 1.0
+
+    @given(samples=st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_stats_bounded_by_extremes(self, samples):
+        stats = LatencyStats.from_samples(samples)
+        assert min(samples) <= stats.mean <= max(samples) + 1e-9
+        assert stats.maximum == max(samples)
+
+
+class TestMetricsCollector:
+    def test_throughput_over_window(self):
+        metrics = MetricsCollector()
+        metrics.record_commit(1.0, 100)
+        metrics.record_commit(2.0, 300)
+        metrics.mark_window(0.0, 4.0)
+        assert metrics.throughput() == pytest.approx(100.0)
+        assert metrics.committed_operations() == 400
+        assert metrics.committed_blocks() == 2
+
+    def test_warmup_excludes_early_samples(self):
+        metrics = MetricsCollector(warmup=5.0)
+        metrics.record_commit(1.0, 100)
+        metrics.record_latency(1.0, 0.2)
+        metrics.record_commit(6.0, 100)
+        metrics.record_latency(6.0, 0.4)
+        metrics.mark_window(0.0, 10.0)
+        assert metrics.committed_operations() == 100
+        assert metrics.latency_stats().count == 1
+
+    def test_view_and_qc_records(self):
+        metrics = MetricsCollector()
+        metrics.record_view(1, True)
+        metrics.record_view(2, False)
+        metrics.record_qc_size(15)
+        metrics.record_qc_size(21)
+        assert metrics.failed_view_fraction() == 0.5
+        assert metrics.average_qc_size() == 18
+        assert metrics.qc_sizes() == [15, 21]
+
+    def test_counters_and_second_chance(self):
+        metrics = MetricsCollector()
+        metrics.increment("acks")
+        metrics.increment("acks", 2)
+        metrics.record_second_chance_inclusion(3)
+        assert metrics.counter("acks") == 3
+        assert metrics.counter("missing") == 0
+        assert metrics.second_chance_inclusions() == 3
+
+    def test_summary_keys(self):
+        metrics = MetricsCollector()
+        metrics.mark_window(0.0, 1.0)
+        summary = metrics.summary()
+        assert "throughput_ops_per_sec" in summary
+        assert "failed_view_fraction" in summary
+        assert "average_qc_size" in summary
+
+    def test_zero_duration_throughput(self):
+        metrics = MetricsCollector()
+        assert metrics.throughput() == 0.0
+
+
+class TestFailureInjection:
+    def test_crash_from_start(self):
+        plan = FailurePlan.crash_from_start([1, 3])
+        assert plan.faulty_ids == [1, 3]
+        assert len(plan) == 2
+
+    def test_random_crashes_respect_exclusions(self):
+        plan = FailurePlan.random_crashes(10, 3, seed=1, exclude=[0, 1])
+        assert len(plan) == 3
+        assert not set(plan.faulty_ids) & {0, 1}
+
+    def test_random_crashes_too_many(self):
+        with pytest.raises(ValueError):
+            FailurePlan.random_crashes(4, 5)
+
+    def test_injector_applies_immediate_and_scheduled_crashes(self):
+        sim = Simulator()
+        network = Network(sim, latency_model=ConstantLatency(0.001))
+        processes = [Dummy(pid, sim, network) for pid in range(3)]
+        injector = FailureInjector(sim, network)
+        injector.apply(FailurePlan(crashes={0: 0.0, 1: 1.0}))
+        assert processes[0].crashed
+        assert not processes[1].crashed
+        sim.run()
+        assert processes[1].crashed
+        assert not processes[2].crashed
+        assert injector.crashed_processes == [0, 1]
+
+    def test_crash_link_drops_messages(self):
+        sim = Simulator()
+        network = Network(sim, latency_model=ConstantLatency(0.001))
+
+        received = []
+
+        class Recorder(Process):
+            def on_message(self, sender, message):
+                received.append((self.process_id, message))
+
+        a = Recorder(0, sim, network)
+        b = Recorder(1, sim, network)
+        injector = FailureInjector(sim, network)
+        injector.crash_link(0, 1)
+        a.send(1, "x")
+        b.send(0, "y")
+        sim.run()
+        assert received == []

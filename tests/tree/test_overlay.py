@@ -1,0 +1,136 @@
+"""Tests for the two-level aggregation tree."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tree.overlay import AggregationTree, default_internal_count
+
+
+class TestDefaultInternalCount:
+    def test_paper_configurations(self):
+        assert default_internal_count(21) == 4
+        assert default_internal_count(111) == 10
+
+    def test_small_committees(self):
+        assert default_internal_count(2) == 0
+        assert default_internal_count(3) == 1
+
+    def test_never_exceeds_committee(self):
+        for n in range(3, 60):
+            assert 1 <= default_internal_count(n) <= n - 2
+
+
+class TestTreeConstruction:
+    def test_paper_default_tree(self):
+        tree = AggregationTree.build(committee_size=111, view=1, num_internal=10)
+        assert len(tree.internal_nodes) == 10
+        assert len(tree.leaves) == 100
+        assert tree.size == 111
+        assert sorted(tree.processes) == list(range(111))
+
+    def test_explicit_root_respected(self):
+        tree = AggregationTree.build(committee_size=21, view=3, num_internal=4, root=7)
+        assert tree.root == 7
+        assert 7 not in tree.internal_nodes
+        assert 7 not in tree.leaves
+
+    def test_deterministic_for_same_inputs(self):
+        a = AggregationTree.build(21, view=5, seed=9, num_internal=4, root=2)
+        b = AggregationTree.build(21, view=5, seed=9, num_internal=4, root=2)
+        assert a == b
+
+    def test_changes_across_views(self):
+        a = AggregationTree.build(21, view=5, seed=9, num_internal=4, root=2)
+        b = AggregationTree.build(21, view=6, seed=9, num_internal=4, root=2)
+        assert a != b
+
+    def test_changes_with_context(self):
+        a = AggregationTree.build(21, view=5, seed=9, num_internal=4, context=b"qc1")
+        b = AggregationTree.build(21, view=5, seed=9, num_internal=4, context=b"qc2")
+        assert a != b
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            AggregationTree.build(committee_size=1, view=0)
+        with pytest.raises(ValueError):
+            AggregationTree.build(committee_size=10, view=0, num_internal=10)
+        with pytest.raises(ValueError):
+            AggregationTree.build(committee_size=10, view=0, root=99)
+
+    def test_star_degenerate_tree(self):
+        tree = AggregationTree.build(committee_size=5, view=0, num_internal=0, root=0)
+        assert tree.internal_nodes == ()
+        assert set(tree.children(0)) == {1, 2, 3, 4}
+        assert all(tree.parent(pid) == 0 for pid in (1, 2, 3, 4))
+
+    def test_from_assignment(self):
+        tree = AggregationTree.from_assignment(root=0, leaf_assignment={1: [3, 4], 2: [5, 6]})
+        assert tree.root == 0
+        assert tree.internal_nodes == (1, 2)
+        assert set(tree.leaves) == {3, 4, 5, 6}
+
+
+class TestStructuralQueries:
+    @pytest.fixture(scope="class")
+    def tree(self):
+        return AggregationTree.build(committee_size=21, view=2, seed=4, num_internal=4, root=0)
+
+    def test_every_process_has_exactly_one_position(self, tree):
+        processes = tree.processes
+        assert len(processes) == len(set(processes)) == 21
+
+    def test_children_parent_consistency(self, tree):
+        for internal in tree.internal_nodes:
+            assert tree.parent(internal) == tree.root
+            for leaf in tree.children(internal):
+                assert tree.parent(leaf) == internal
+
+    def test_roles_are_exclusive(self, tree):
+        for pid in tree.processes:
+            roles = [tree.is_root(pid), tree.is_internal(pid), tree.is_leaf(pid)]
+            assert sum(roles) == 1
+
+    def test_heights(self, tree):
+        assert tree.height_of(tree.root) == 2
+        for internal in tree.internal_nodes:
+            assert tree.height_of(internal) == 1
+        for leaf in tree.leaves:
+            assert tree.height_of(leaf) == 0
+
+    def test_subtree_and_branch(self, tree):
+        internal = tree.internal_nodes[0]
+        subtree = tree.subtree(internal)
+        assert internal in subtree
+        assert set(tree.children(internal)) <= set(subtree)
+        leaf = tree.children(internal)[0]
+        assert set(tree.branch_of(leaf)) == set(subtree)
+        assert tree.subtree(leaf) == (leaf,)
+
+    def test_unknown_process_raises(self, tree):
+        with pytest.raises(KeyError):
+            tree.parent(999)
+        with pytest.raises(KeyError):
+            tree.height_of(999)
+
+    def test_describe(self, tree):
+        text = tree.describe()
+        assert "root" in text and "internals" in text
+
+    def test_balanced_leaf_distribution(self, tree):
+        sizes = [len(tree.children(internal)) for internal in tree.internal_nodes]
+        assert max(sizes) - min(sizes) <= 1
+
+    @given(
+        committee=st.integers(min_value=4, max_value=60),
+        view=st.integers(min_value=0, max_value=50),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_invariants_hold_for_arbitrary_configs(self, committee, view, seed):
+        tree = AggregationTree.build(committee_size=committee, view=view, seed=seed)
+        assert sorted(tree.processes) == list(range(committee))
+        for pid in tree.processes:
+            if pid == tree.root:
+                continue
+            parent = tree.parent(pid)
+            assert pid in tree.children(parent)
