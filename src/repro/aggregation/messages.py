@@ -18,7 +18,7 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ProposalMessage:
     """Block dissemination (the ``PROPOSAL`` message of Algorithm 1)."""
 
@@ -29,7 +29,7 @@ class ProposalMessage:
         return 256 + self.block.payload_bytes
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SignatureMessage:
     """A vote travelling up the aggregation topology.
 
@@ -46,7 +46,7 @@ class SignatureMessage:
         return 192
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AckMessage:
     """Acknowledgement from a parent to its children (Algorithm 1, line 28).
 
@@ -64,7 +64,7 @@ class AckMessage:
         return 192
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SecondChanceMessage:
     """The root's fallback request to processes whose votes are missing.
 
@@ -81,7 +81,7 @@ class SecondChanceMessage:
         return 256 + self.block.payload_bytes
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SecondChanceReply:
     """Reply to a 2ND-CHANCE: the parent's ack aggregate if available, else
     the replier's individual signature."""
@@ -95,7 +95,7 @@ class SecondChanceReply:
         return 192
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NewViewMessage:
     """Pacemaker message sent to the next leader after a view timeout."""
 

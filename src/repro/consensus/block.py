@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Optional, Tuple
 
 from repro.crypto.multisig import AggregateSignature
@@ -48,10 +49,14 @@ class QuorumCertificate:
         """The number of distinct included signers (the paper's 'QC size')."""
         return len(self.aggregate.signers)
 
-    def digest(self) -> bytes:
-        """A canonical digest used to seed the next view's tree shuffle."""
+    @cached_property
+    def _digest(self) -> bytes:
         material = f"{self.block_id}|{self.view}|{self.height}|{sorted(self.aggregate.multiplicities.items())}"
         return hashlib.sha256(material.encode()).digest()
+
+    def digest(self) -> bytes:
+        """A canonical digest used to seed the next view's tree shuffle."""
+        return self._digest
 
     def signing_payload(self) -> bytes:
         """The message the certified block's voters signed (reconstructable
@@ -87,7 +92,7 @@ class Block:
     payload_bytes: int = 0
     timestamp: float = 0.0
 
-    @property
+    @cached_property
     def block_id(self) -> str:
         if self.height == 0 and self.parent_id == GENESIS_ID:
             return GENESIS_ID

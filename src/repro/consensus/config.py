@@ -36,7 +36,10 @@ class ConsensusConfig:
         view_timeout: Pacemaker timeout after which a view is abandoned.
         leader_policy: ``"round-robin"`` or ``"carousel"``.
         fault_fraction: The ``f`` used in the quorum rule ``(1 - f) n``.
-        signature_scheme: ``"hash"`` (fast simulation) or ``"bls"``.
+        signature_scheme: ``"hashsig"`` (additive fast simulation, the
+            default for sweeps), ``"hash"`` (dictionary-carrying fast
+            simulation) or ``"bls"`` (real pairings, the correctness
+            reference).
         seed: Seed for the shuffle/latency randomness.
         cpu_model: CPU cost model for signatures and message handling.
         wait_for_all_votes: If True the star collector waits (up to the
@@ -55,7 +58,7 @@ class ConsensusConfig:
     view_timeout: float = 0.25
     leader_policy: str = "round-robin"
     fault_fraction: float = 1 / 3
-    signature_scheme: str = "hash"
+    signature_scheme: str = "hashsig"
     seed: int = 1
     cpu_model: CpuCostModel = field(default_factory=CpuCostModel)
     wait_for_all_votes: bool = False
@@ -71,11 +74,16 @@ class ConsensusConfig:
     #: All registered vote aggregation schemes accepted by ``aggregation``.
     SUPPORTED_AGGREGATIONS = frozenset({"star", "tree", "iniva", "gosig", "handel", "kauri"})
 
+    #: All registered multi-signature backends accepted by ``signature_scheme``.
+    SUPPORTED_SIGNATURES = frozenset({"hashsig", "hash", "bls"})
+
     def __post_init__(self) -> None:
         if self.committee_size < 4:
             raise ValueError("need at least four replicas for BFT consensus")
         if self.aggregation not in self.SUPPORTED_AGGREGATIONS:
             raise ValueError(f"unknown aggregation scheme {self.aggregation!r}")
+        if self.signature_scheme not in self.SUPPORTED_SIGNATURES:
+            raise ValueError(f"unknown signature scheme {self.signature_scheme!r}")
         if self.batch_size <= 0:
             raise ValueError("batch size must be positive")
         if self.payload_size < 0:

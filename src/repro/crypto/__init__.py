@@ -6,29 +6,37 @@ The paper relies on an *indivisible* multi-signature scheme (BLS) in which
 * the same signature may be included with a *multiplicity* larger than one,
 * it is infeasible to remove an individual signature from an aggregate.
 
-Two interchangeable backends implement the
+Three interchangeable backends implement the
 :class:`~repro.crypto.multisig.MultiSignatureScheme` interface:
 
 ``BlsMultiSig``
     A real pairing-based BLS multi-signature over a supersingular curve
     (the original Boneh-Lynn-Shacham construction), implemented from
     scratch in pure Python (:mod:`repro.crypto.field`,
-    :mod:`repro.crypto.curve`, :mod:`repro.crypto.pairing`).
+    :mod:`repro.crypto.curve`, :mod:`repro.crypto.pairing`).  This is the
+    correctness reference.
+
+``HashSigMultiSig``
+    The default fast-simulation backend for experiment sweeps: an additive
+    SHA-256 accumulator with identical aggregation and multiplicity
+    semantics but O(1) folding cost and no pairing math.  *Not*
+    cryptographically secure.
 
 ``HashMultiSig``
-    A deterministic simulation backend with identical aggregation and
-    multiplicity semantics, suitable for large Monte-Carlo and
-    discrete-event experiments where real pairings would dominate the
-    runtime.  It is *not* cryptographically secure and is clearly
+    The earlier deterministic simulation backend, kept for its
+    dictionary-style aggregate values (every share travels with the
+    aggregate).  It is *not* cryptographically secure and is clearly
     documented as a simulation substitute (see DESIGN.md).
 """
 
 from repro.crypto.keys import Committee, KeyPair
 from repro.crypto.multisig import (
     AggregateSignature,
+    HashSigMultiSig,
     MultiSignatureScheme,
     SignatureShare,
     get_scheme,
+    normalize_contributions,
 )
 from repro.crypto.hash_backend import HashMultiSig
 from repro.crypto.bls import BlsMultiSig
@@ -42,6 +50,7 @@ __all__ = [
     "CurveParams",
     "DEFAULT_PARAMS",
     "HashMultiSig",
+    "HashSigMultiSig",
     "KeyPair",
     "MultiSignatureScheme",
     "SignatureShare",
@@ -49,5 +58,6 @@ __all__ = [
     "VRF",
     "VRFOutput",
     "get_scheme",
+    "normalize_contributions",
     "vrf_view_seed",
 ]

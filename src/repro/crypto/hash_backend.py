@@ -33,7 +33,8 @@ from repro.crypto.multisig import (
     Contribution,
     MultiSignatureScheme,
     SignatureShare,
-    combined_multiplicities,
+    _tally_multiplicities,
+    normalize_contributions,
     register_scheme,
 )
 
@@ -77,8 +78,8 @@ class HashMultiSig(MultiSignatureScheme):
 
     # -- aggregation -------------------------------------------------------
     def aggregate(self, parts: Iterable[Contribution]) -> AggregateSignature:
-        parts = list(parts)
-        multiplicities = combined_multiplicities(parts)
+        parts = normalize_contributions(parts)
+        multiplicities = _tally_multiplicities(parts)
         shares: dict[int, bytes] = {}
         for part, _weight in parts:
             if isinstance(part, SignatureShare):

@@ -86,6 +86,10 @@ class Committee:
     def verify_aggregate(self, aggregate, message: bytes) -> bool:
         return self._scheme.verify_aggregate(aggregate, message, self.public_keys())
 
+    def verify_batch(self, shares, message: bytes) -> bool:
+        """Verify many shares on one message (batched where the backend can)."""
+        return self._scheme.verify_batch(shares, message, self.public_keys())
+
     def quorum_size(self, fault_fraction: float = 1 / 3) -> int:
         """The minimal number of distinct signers for a valid QC.
 

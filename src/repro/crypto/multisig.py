@@ -10,17 +10,22 @@ property Iniva relies on (Section III of the paper).
 
 from __future__ import annotations
 
+import hashlib
 from abc import ABC, abstractmethod
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Mapping, Tuple, Union
+from functools import cached_property
+from typing import Any, Dict, Iterable, List, Mapping, Tuple, Union
 
 __all__ = [
     "SignatureShare",
     "AggregateSignature",
     "MultiSignatureScheme",
+    "HashSigMultiSig",
     "get_scheme",
     "register_scheme",
+    "normalize_contributions",
+    "combined_multiplicities",
 ]
 
 
@@ -54,7 +59,7 @@ class AggregateSignature:
     value: Any
     multiplicities: Mapping[int, int] = field(default_factory=dict)
 
-    @property
+    @cached_property
     def signers(self) -> frozenset[int]:
         """The set of signers with non-zero multiplicity."""
         return frozenset(s for s, m in self.multiplicities.items() if m > 0)
@@ -72,24 +77,58 @@ class AggregateSignature:
 Contribution = Tuple[Union[SignatureShare, AggregateSignature], int]
 
 
-def combined_multiplicities(parts: Iterable[Contribution]) -> Dict[int, int]:
-    """Sum the signer multiplicities of weighted contributions.
+def normalize_contributions(
+    parts: Iterable[Union[Contribution, SignatureShare, AggregateSignature]],
+) -> List[Contribution]:
+    """Coerce a mixed iterable of contributions into ``(part, weight)`` pairs.
 
-    Each contribution is a pair ``(share_or_aggregate, weight)``; an
-    individual share counts as multiplicity one before weighting.
+    Accepts bare shares and bare aggregates (implicit weight one) alongside
+    explicit ``(share_or_aggregate, weight)`` pairs, so callers can hand an
+    aggregation backend whatever collection they naturally hold.  Weights
+    must be positive integers; anything unrecognised raises ``TypeError``.
     """
+    normalized: List[Contribution] = []
+    for item in parts:
+        if isinstance(item, (SignatureShare, AggregateSignature)):
+            normalized.append((item, 1))
+            continue
+        if isinstance(item, (tuple, list)) and len(item) == 2:
+            part, weight = item
+            if isinstance(part, (SignatureShare, AggregateSignature)):
+                if not isinstance(weight, int) or isinstance(weight, bool):
+                    raise TypeError(
+                        f"contribution weight must be an int, got {type(weight)!r}"
+                    )
+                if weight <= 0:
+                    raise ValueError("contribution weights must be positive integers")
+                normalized.append((part, weight))
+                continue
+        raise TypeError(f"unsupported contribution type: {type(item)!r}")
+    return normalized
+
+
+def _tally_multiplicities(parts: Iterable[Contribution]) -> Dict[int, int]:
+    """Sum signer multiplicities of already-normalized contributions."""
     total: Counter[int] = Counter()
     for part, weight in parts:
-        if weight <= 0:
-            raise ValueError("contribution weights must be positive integers")
         if isinstance(part, SignatureShare):
             total[part.signer] += weight
-        elif isinstance(part, AggregateSignature):
+        else:
             for signer, mult in part.multiplicities.items():
                 total[signer] += mult * weight
-        else:
-            raise TypeError(f"unsupported contribution type: {type(part)!r}")
     return dict(total)
+
+
+def combined_multiplicities(
+    parts: Iterable[Union[Contribution, SignatureShare, AggregateSignature]],
+) -> Dict[int, int]:
+    """Sum the signer multiplicities of weighted contributions.
+
+    Each contribution is a ``(share_or_aggregate, weight)`` pair or a bare
+    share/aggregate (weight one — see :func:`normalize_contributions`); an
+    individual share counts as multiplicity one before weighting.
+    """
+    return _tally_multiplicities(normalize_contributions(parts))
 
 
 class MultiSignatureScheme(ABC):
@@ -128,6 +167,135 @@ class MultiSignatureScheme(ABC):
     ) -> bool:
         """Verify an aggregate against the claimed signer multiplicities."""
 
+    def verify_batch(
+        self,
+        shares: Iterable[SignatureShare],
+        message: bytes,
+        public_keys: Mapping[int, Any],
+    ) -> bool:
+        """Verify many shares on one message; ``True`` iff all are valid.
+
+        The default checks each share individually; backends with a
+        cheaper combined equation (BLS random-linear-combination batching)
+        override this.  An empty batch verifies trivially.
+        """
+        for share in shares:
+            key = public_keys.get(share.signer)
+            if key is None or not self.verify_share(share, message, key):
+                return False
+        return True
+
+
+@dataclass(frozen=True)
+class _HashSigAggregateValue:
+    """Opaque value of a ``hashsig`` aggregate: a single field element.
+
+    The accumulator is linear in the (secretly derivable, publicly
+    recomputable) share values, so folding costs O(1) per contribution and
+    no per-signer payload travels with the aggregate — the multiplicity
+    map alone reconstructs the expected accumulator at verification time.
+    The wrapper type keeps the value distinct from a bare int so protocol
+    code cannot accidentally treat it as arithmetic data.
+    """
+
+    accumulator: int
+
+
+class HashSigMultiSig(MultiSignatureScheme):
+    """Additive hash-based fast-simulation backend (``hashsig``).
+
+    Models the algebra of an indivisible multi-signature scheme with a
+    linear accumulator over SHA-256 share values:
+
+    * a share on message ``m`` by the holder of public key ``pk`` is the
+      integer ``H(domain, pk, m)`` modulo ``2^128``;
+    * an aggregate value is the multiplicity-weighted sum of its shares'
+      integers — aggregation of aggregates is plain addition, exactly
+      mirroring BLS point addition, so tree aggregation's multiplicity
+      semantics (:mod:`repro.aggregation.tree_agg`) carry over unchanged;
+    * there is no operation removing a signer from an aggregate, and the
+      accumulator is verified against the full multiplicity map, which
+      mirrors the indivisibility assumption.
+
+    Compared to :class:`repro.crypto.hash_backend.HashMultiSig` this
+    backend does no per-aggregate re-hashing and carries no per-signer
+    share dictionary, making aggregation O(1) per contribution — it is
+    the default for large experiment sweeps.  **Not cryptographically
+    secure**: shares are derivable from public data; use ``bls`` as the
+    correctness reference.
+    """
+
+    name = "hashsig"
+
+    _MODULUS = 1 << 128
+
+    def __init__(self, domain: bytes = b"iniva-hashsig") -> None:
+        self._domain = domain
+        self._share_cache: Dict[Tuple[bytes, bytes], int] = {}
+
+    # -- key management ----------------------------------------------------
+    def keygen(self, seed: int) -> "KeyPair":
+        secret = hashlib.sha256(
+            self._domain + b"|sk|" + seed.to_bytes(16, "big", signed=True)
+        ).digest()
+        public = hashlib.sha256(self._domain + b"|pk|" + secret).digest()
+        return KeyPair(secret_key=secret, public_key=public)
+
+    # -- signing -----------------------------------------------------------
+    def _share_value(self, public_key: bytes, message: bytes) -> int:
+        key = (public_key, message)
+        value = self._share_cache.get(key)
+        if value is None:
+            digest = hashlib.sha256(self._domain + b"|share|" + public_key + b"|" + message)
+            value = int.from_bytes(digest.digest(), "big") % self._MODULUS
+            if len(self._share_cache) >= 65536:
+                self._share_cache.clear()
+            self._share_cache[key] = value
+        return value
+
+    def sign(self, secret_key: bytes, message: bytes, signer: int) -> SignatureShare:
+        public = hashlib.sha256(self._domain + b"|pk|" + secret_key).digest()
+        return SignatureShare(signer=signer, value=self._share_value(public, message))
+
+    def verify_share(self, share: SignatureShare, message: bytes, public_key: bytes) -> bool:
+        return share.value == self._share_value(public_key, message)
+
+    # -- aggregation -------------------------------------------------------
+    def aggregate(self, parts: Iterable[Contribution]) -> AggregateSignature:
+        parts = normalize_contributions(parts)
+        multiplicities = _tally_multiplicities(parts)
+        accumulator = 0
+        for part, weight in parts:
+            if isinstance(part, SignatureShare):
+                if not isinstance(part.value, int):
+                    raise TypeError("hashsig aggregation requires integer share values")
+                accumulator += weight * part.value
+            else:
+                value = part.value
+                if not isinstance(value, _HashSigAggregateValue):
+                    raise TypeError("hashsig aggregation requires hashsig aggregates")
+                accumulator += weight * value.accumulator
+        return AggregateSignature(
+            value=_HashSigAggregateValue(accumulator % self._MODULUS),
+            multiplicities=multiplicities,
+        )
+
+    def verify_aggregate(
+        self,
+        aggregate: AggregateSignature,
+        message: bytes,
+        public_keys: Mapping[int, Any],
+    ) -> bool:
+        value = aggregate.value
+        if not isinstance(value, _HashSigAggregateValue):
+            return False
+        expected = 0
+        for signer, mult in aggregate.multiplicities.items():
+            if mult <= 0 or signer not in public_keys:
+                return False
+            expected += mult * self._share_value(public_keys[signer], message)
+        return expected % self._MODULUS == value.accumulator
+
 
 _SCHEME_REGISTRY: Dict[str, type] = {}
 
@@ -142,8 +310,9 @@ def get_scheme(name: str, **kwargs: Any) -> MultiSignatureScheme:
     """Instantiate a registered multi-signature backend by name.
 
     Args:
-        name: ``"hash"`` for the fast simulation backend or ``"bls"`` for
-            the pairing-based backend.
+        name: ``"hashsig"`` for the additive fast-simulation backend,
+            ``"hash"`` for the dictionary-carrying hash backend, or
+            ``"bls"`` for the pairing-based backend.
         **kwargs: Forwarded to the backend constructor.
     """
     try:
@@ -153,6 +322,8 @@ def get_scheme(name: str, **kwargs: Any) -> MultiSignatureScheme:
         raise KeyError(f"unknown multi-signature scheme {name!r}; known: {known}") from exc
     return cls(**kwargs)
 
+
+register_scheme(HashSigMultiSig)
 
 # Imported at the bottom to avoid a circular import with keys.py.
 from repro.crypto.keys import KeyPair  # noqa: E402  (re-export for typing)

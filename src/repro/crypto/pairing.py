@@ -4,6 +4,17 @@ Provides a symmetric bilinear pairing ``e : G x G -> F_{p^2}`` on the
 order-``r`` subgroup ``G`` of ``E(F_p)``, computed as the reduced Tate
 pairing ``t(P, phi(Q))`` where ``phi`` is the distortion map.  This is the
 pairing used by the original BLS signature scheme.
+
+The Miller loop is inversion-free: the running point is kept in Jacobian
+coordinates over raw integers, and every line/vertical evaluation is
+scaled by a factor lying in ``F_p`` (``2YZ^3`` for tangents, ``ZH`` for
+chords, ``Z^2`` for verticals).  Those factors are simply dropped, because
+the final exponentiation ``(p^2 - 1)/r = (p - 1) * cofactor`` maps every
+``F_p`` unit to one — so the *reduced* pairing value is unchanged while
+the loop performs no modular inversion at all.  Numerators and
+denominators are accumulated separately with a single inversion at the
+end, and ``z^(p-1)`` in the final exponentiation is computed as
+``conj(z) / z``, leaving only a cofactor-sized exponent.
 """
 
 from __future__ import annotations
@@ -15,60 +26,133 @@ from repro.crypto.params import CurveParams
 __all__ = ["tate_pairing", "miller_loop"]
 
 
-def _line_value(a: Point, b: Point, q: Point) -> Fp2:
-    """Evaluate the line through points ``a`` and ``b`` at ``q``.
-
-    ``a`` and ``b`` live in ``E(F_p)``; ``q`` lives in ``E(F_{p^2})``.
-    Handles vertical lines (``a + b`` at infinity, or doubling a point with
-    ``y = 0``) and returns 1 when either input point is at infinity.
-    """
-    p = a.params.p
-    if a.is_infinity or b.is_infinity:
-        return Fp2.one(p)
-    xq = q.x if isinstance(q.x, Fp2) else Fp2.from_fp(q.x)
-    yq = q.y if isinstance(q.y, Fp2) else Fp2.from_fp(q.y)
-    xa, ya = a.x, a.y
-    xb, yb = b.x, b.y
-    if xa == xb and (ya + yb).is_zero():
-        # Vertical line through a and -a (covers doubling with y == 0).
-        return xq - Fp2.from_fp(xa)
-    if a == b:
-        slope = (xa * xa * 3) / (ya * 2)
-    else:
-        slope = (yb - ya) / (xb - xa)
-    slope2 = Fp2.from_fp(slope)
-    return (yq - Fp2.from_fp(ya)) - slope2 * (xq - Fp2.from_fp(xa))
-
-
-def _vertical_value(c: Point, q: Point) -> Fp2:
-    """Evaluate the vertical line through ``c`` at ``q`` (1 at infinity)."""
-    p = c.params.p
-    if c.is_infinity:
-        return Fp2.one(p)
-    xq = q.x if isinstance(q.x, Fp2) else Fp2.from_fp(q.x)
-    return xq - Fp2.from_fp(c.x)
-
-
 def miller_loop(p_point: Point, q_point: Point, params: CurveParams) -> Fp2:
-    """Compute the Miller function ``f_{r,P}(Q)`` in ``F_{p^2}``.
+    """Compute the Miller function ``f_{r,P}(Q)`` up to ``F_p`` factors.
 
-    Numerators and denominators are accumulated separately so only a single
-    field inversion is needed at the end.
+    ``p_point`` must live in ``E(F_p)``; ``q_point`` may live in ``E(F_p)``
+    or ``E(F_{p^2})`` (the distorted image used by the pairing).  The
+    result equals the textbook Miller function times a unit of ``F_p``,
+    which the reduced-pairing exponentiation in :func:`tate_pairing`
+    eliminates.
     """
-    order = params.r
-    numerator = Fp2.one(params.p)
-    denominator = Fp2.one(params.p)
-    t = p_point
-    bits = bin(order)[3:]  # skip the leading '1'
-    for bit in bits:
-        numerator = numerator * numerator * _line_value(t, t, q_point)
-        denominator = denominator * denominator * _vertical_value(t + t, q_point)
-        t = t + t
+    p = params.p
+    if p_point.is_infinity or q_point.is_infinity:
+        return Fp2.one(p)
+    if not isinstance(p_point.x, Fp):
+        raise TypeError("miller_loop expects its first argument in E(F_p)")
+    xP, yP = p_point.x.value, p_point.y.value
+    qx, qy = q_point.x, q_point.y
+    if isinstance(qx, Fp2):
+        xq0, xq1 = qx.c0, qx.c1
+    else:
+        xq0, xq1 = qx.value, 0
+    if isinstance(qy, Fp2):
+        yq0, yq1 = qy.c0, qy.c1
+    else:
+        yq0, yq1 = qy.value, 0
+
+    n0, n1 = 1, 0  # numerator accumulator, an F_{p^2} value (c0, c1)
+    d0, d1 = 1, 0  # denominator accumulator
+    X, Y, Z = xP, yP, 1  # the running point T in Jacobian coordinates
+    t_infinite = False
+
+    def tangent_step(X: int, Y: int, Z: int):
+        """Tangent line at T evaluated at Q (scaled by 2YZ^3), and 2T.
+
+        Returns ``(l0, l1, X3, Y3, Z3, infinite)``.
+        """
+        ZZ = Z * Z % p
+        if Y == 0:
+            # 2-torsion: the tangent is the vertical Z^2*xq - X, and 2T = O.
+            return ZZ * xq0 % p - X, ZZ * xq1 % p, 0, 0, 0, True
+        XX = X * X % p
+        YY = Y * Y % p
+        Z3 = 2 * Y * Z % p
+        # L = 2YZ^3 * yq + (3X^3 - 2Y^2) - 3X^2 Z^2 * xq
+        A = Z3 * ZZ % p
+        BZZ = 3 * XX % p * ZZ % p
+        F = (3 * X * XX - 2 * YY) % p
+        l0 = (A * yq0 + F - BZZ * xq0) % p
+        l1 = (A * yq1 - BZZ * xq1) % p
+        # a = 0 Jacobian doubling.
+        C = YY * YY % p
+        t = X + YY
+        D = 2 * (t * t - XX - C) % p
+        E = 3 * XX % p
+        X3 = (E * E - 2 * D) % p
+        Y3 = (E * (D - X3) - 8 * C) % p
+        return l0, l1, X3, Y3, Z3, False
+
+    for bit in bin(params.r)[3:]:  # binary expansion of r, leading '1' skipped
+        n0, n1 = (n0 * n0 - n1 * n1) % p, 2 * n0 * n1 % p
+        d0, d1 = (d0 * d0 - d1 * d1) % p, 2 * d0 * d1 % p
+        if not t_infinite:
+            l0, l1, X, Y, Z, t_infinite = tangent_step(X, Y, Z)
+            n0, n1 = (n0 * l0 - n1 * l1) % p, (n0 * l1 + n1 * l0) % p
+            if not t_infinite:
+                # Vertical at 2T, scaled by Z3^2: v = Z3^2*xq - X3.
+                ZZ3 = Z * Z % p
+                v0 = (ZZ3 * xq0 - X) % p
+                v1 = ZZ3 * xq1 % p
+                d0, d1 = (d0 * v0 - d1 * v1) % p, (d0 * v1 + d1 * v0) % p
         if bit == "1":
-            numerator = numerator * _line_value(t, p_point, q_point)
-            denominator = denominator * _vertical_value(t + p_point, q_point)
-            t = t + p_point
-    return numerator * denominator.inverse()
+            if t_infinite:
+                # O + P = P: the line degenerates to the vertical at P.
+                v0 = (xq0 - xP) % p
+                v1 = xq1
+                d0, d1 = (d0 * v0 - d1 * v1) % p, (d0 * v1 + d1 * v0) % p
+                X, Y, Z = xP, yP, 1
+                t_infinite = False
+                continue
+            ZZ = Z * Z % p
+            U2 = xP * ZZ % p
+            S2 = yP * Z % p * ZZ % p
+            if U2 == X:
+                if S2 == Y:
+                    # T == P: the chord is the tangent at T.
+                    l0, l1, X, Y, Z, t_infinite = tangent_step(X, Y, Z)
+                    n0, n1 = (n0 * l0 - n1 * l1) % p, (n0 * l1 + n1 * l0) % p
+                else:
+                    # T == -P: vertical line, and T + P is the identity.
+                    l0 = (ZZ * xq0 - X) % p
+                    l1 = ZZ * xq1 % p
+                    n0, n1 = (n0 * l0 - n1 * l1) % p, (n0 * l1 + n1 * l0) % p
+                    t_infinite = True
+                    continue
+            else:
+                H = (U2 - X) % p
+                r_ = (S2 - Y) % p
+                ZH = Z * H % p
+                # Chord through T and P at Q, scaled by ZH:
+                #   L = ZH*(yq - yP) - r*(xq - xP)
+                l0 = (ZH * (yq0 - yP) - r_ * (xq0 - xP)) % p
+                l1 = (ZH * yq1 - r_ * xq1) % p
+                n0, n1 = (n0 * l0 - n1 * l1) % p, (n0 * l1 + n1 * l0) % p
+                # Mixed Jacobian addition T <- T + P.
+                HH = H * H % p
+                HHH = H * HH % p
+                V = X * HH % p
+                X = (r_ * r_ - HHH - 2 * V) % p
+                Y = (r_ * (V - X) - Y * HHH) % p
+                Z = ZH
+            if not t_infinite:
+                ZZ3 = Z * Z % p
+                v0 = (ZZ3 * xq0 - X) % p
+                v1 = ZZ3 * xq1 % p
+                d0, d1 = (d0 * v0 - d1 * v1) % p, (d0 * v1 + d1 * v0) % p
+    return Fp2(n0, n1, p) * Fp2(d0, d1, p).inverse()
+
+
+def _fp2_pow(c0: int, c1: int, exponent: int, p: int) -> Fp2:
+    """Raw-integer square-and-multiply for ``F_{p^2}`` exponentiation."""
+    r0, r1 = 1, 0
+    b0, b1 = c0 % p, c1 % p
+    while exponent:
+        if exponent & 1:
+            r0, r1 = (r0 * b0 - r1 * b1) % p, (r0 * b1 + r1 * b0) % p
+        b0, b1 = (b0 * b0 - b1 * b1) % p, 2 * b0 * b1 % p
+        exponent >>= 1
+    return Fp2(r0, r1, p)
 
 
 def tate_pairing(p_point: Point, q_point: Point) -> Fp2:
@@ -83,5 +167,6 @@ def tate_pairing(p_point: Point, q_point: Point) -> Fp2:
         return Fp2.one(params.p)
     distorted = distortion_map(q_point)
     raw = miller_loop(p_point, distorted, params)
-    exponent = (params.p * params.p - 1) // params.r
-    return raw ** exponent
+    # (p^2 - 1)/r == (p - 1) * cofactor, and z^(p-1) = conj(z) * z^-1.
+    unitary = raw.conjugate() * raw.inverse()
+    return _fp2_pow(unitary.c0, unitary.c1, params.cofactor, params.p)

@@ -1,9 +1,19 @@
-"""Generic experiment runner: deploy, load, fail, run, measure."""
+"""Generic experiment runner: deploy, load, fail, run, measure.
+
+Sweeps over many configurations are embarrassingly parallel — every run
+owns its own simulator, network and committee — so :func:`run_sweep`
+fans a list of :class:`SweepSpec` jobs out over worker processes with
+``concurrent.futures`` while preserving input order and per-run
+determinism.  Set the ``REPRO_MAX_WORKERS`` environment variable (or the
+``max_workers`` argument) to bound or disable the parallelism.
+"""
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.consensus.config import ConsensusConfig
 from repro.consensus.leader import make_leader_election
@@ -19,7 +29,14 @@ from repro.simnet.latency import NormalLatency
 from repro.simnet.metrics import LatencyStats, MetricsCollector
 from repro.simnet.network import Network
 
-__all__ = ["Deployment", "ExperimentResult", "build_deployment", "run_experiment"]
+__all__ = [
+    "Deployment",
+    "ExperimentResult",
+    "SweepSpec",
+    "build_deployment",
+    "run_experiment",
+    "run_sweep",
+]
 
 
 @dataclass
@@ -168,6 +185,67 @@ def run_experiment(
     deployment.start()
     deployment.simulator.run(until=duration)
     return summarise(deployment, duration, label=label)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """One experiment of a sweep, self-contained and picklable.
+
+    Mirrors :func:`run_experiment`'s signature so sweeps can be described
+    declaratively and shipped to worker processes.
+    """
+
+    config: ConsensusConfig
+    duration: float = 10.0
+    warmup: float = 1.0
+    workload: Optional[ClientWorkload] = None
+    failure_plan: Optional[FailurePlan] = None
+    loss_probability: float = 0.0
+    label: Optional[str] = None
+
+
+def _run_sweep_spec(spec: SweepSpec) -> ExperimentResult:
+    return run_experiment(
+        spec.config,
+        duration=spec.duration,
+        warmup=spec.warmup,
+        workload=spec.workload,
+        failure_plan=spec.failure_plan,
+        loss_probability=spec.loss_probability,
+        label=spec.label,
+    )
+
+
+def default_sweep_workers() -> int:
+    """Worker count for sweeps: ``REPRO_MAX_WORKERS`` or the CPU count."""
+    env = os.environ.get("REPRO_MAX_WORKERS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+def run_sweep(
+    specs: Iterable[SweepSpec], max_workers: Optional[int] = None
+) -> List[ExperimentResult]:
+    """Run many independent experiments, in parallel where possible.
+
+    Results are returned in the order of ``specs`` regardless of which
+    worker finished first, and each run is as deterministic as a serial
+    :func:`run_experiment` call (every deployment owns its simulator and
+    seeds).  With ``max_workers`` (or ``REPRO_MAX_WORKERS``) equal to one,
+    everything runs serially in-process.
+    """
+    spec_list: Sequence[SweepSpec] = list(specs)
+    if max_workers is None:
+        max_workers = default_sweep_workers()
+    max_workers = max(1, min(max_workers, len(spec_list)))
+    if max_workers == 1 or len(spec_list) <= 1:
+        return [_run_sweep_spec(spec) for spec in spec_list]
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        return list(pool.map(_run_sweep_spec, spec_list))
 
 
 def summarise(deployment: Deployment, duration: float, label: Optional[str] = None) -> ExperimentResult:

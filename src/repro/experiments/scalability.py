@@ -4,6 +4,11 @@ The paper keeps the tree height constant and increases its branching
 factor with the configuration size, using batch size 100 and payloads of 0
 and 64 bytes.  Throughput decreases gradually for both HotStuff and Iniva
 as the committee grows.
+
+The sweep builds one :class:`~repro.experiments.runner.SweepSpec` per
+(scheme, payload, committee size) cell and hands the whole list to
+:func:`~repro.experiments.runner.run_sweep`, which fans the independent
+simulations out across worker processes.
 """
 
 from __future__ import annotations
@@ -12,7 +17,7 @@ import math
 from typing import Dict, List, Optional, Sequence
 
 from repro.consensus.config import ConsensusConfig
-from repro.experiments.runner import run_experiment
+from repro.experiments.runner import SweepSpec, run_sweep
 from repro.experiments.workloads import ClientWorkload
 
 __all__ = ["figure_3c", "default_replica_counts"]
@@ -32,11 +37,13 @@ def figure_3c(
     duration: float = 3.0,
     warmup: float = 0.5,
     seed: int = 1,
+    max_workers: Optional[int] = None,
 ) -> List[Dict[str, object]]:
     """Throughput versus committee size.  One row per (scheme, payload, n)."""
     schemes = schemes or {"HotStuff": "star", "Iniva": "iniva"}
     counts = list(replica_counts) if replica_counts is not None else default_replica_counts()
-    rows: List[Dict[str, object]] = []
+    cells: List[Dict[str, object]] = []
+    specs: List[SweepSpec] = []
     for label, aggregation in schemes.items():
         for payload in payload_sizes:
             for count in counts:
@@ -48,21 +55,25 @@ def figure_3c(
                     num_internal=max(2, round(math.sqrt(count - 1))),
                     seed=seed,
                 )
-                result = run_experiment(
-                    config,
-                    duration=duration,
-                    warmup=warmup,
-                    workload=ClientWorkload(rate=load, payload_size=payload),
-                    label=f"{label} {payload}b n={count}",
+                specs.append(
+                    SweepSpec(
+                        config=config,
+                        duration=duration,
+                        warmup=warmup,
+                        workload=ClientWorkload(rate=load, payload_size=payload),
+                        label=f"{label} {payload}b n={count}",
+                    )
                 )
-                rows.append(
-                    {
-                        "scheme": label,
-                        "payload_bytes": payload,
-                        "replicas": count,
-                        "throughput_ops": round(result.throughput, 1),
-                        "latency_ms": round(result.latency.mean * 1000, 2),
-                        "cpu_mean_pct": round(result.cpu_utilisation_mean * 100, 2),
-                    }
-                )
+                cells.append({"scheme": label, "payload_bytes": payload, "replicas": count})
+    results = run_sweep(specs, max_workers=max_workers)
+    rows: List[Dict[str, object]] = []
+    for cell, result in zip(cells, results):
+        rows.append(
+            {
+                **cell,
+                "throughput_ops": round(result.throughput, 1),
+                "latency_ms": round(result.latency.mean * 1000, 2),
+                "cpu_mean_pct": round(result.cpu_utilisation_mean * 100, 2),
+            }
+        )
     return rows

@@ -4,26 +4,27 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 __all__ = ["EventHandle", "EventQueue", "Simulator"]
 
 
-@dataclass(order=True)
+@dataclass(slots=True)
 class _Event:
     time: float
     sequence: int
-    callback: Callable[..., None] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+    callback: Callable[..., None]
+    args: tuple = ()
+    cancelled: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class EventHandle:
     """A handle to a scheduled event, usable for cancellation."""
 
     _event: _Event
+    _queue: "Optional[EventQueue]" = None
 
     @property
     def time(self) -> float:
@@ -34,37 +35,53 @@ class EventHandle:
         return self._event.cancelled
 
     def cancel(self) -> None:
-        self._event.cancelled = True
+        if not self._event.cancelled:
+            self._event.cancelled = True
+            if self._queue is not None:
+                self._queue._live -= 1
 
 
 class EventQueue:
     """A deterministic min-heap of timestamped events.
 
     Ties are broken by insertion order so runs are fully reproducible.
+    Heap entries are ``(time, sequence, event)`` tuples so ordering uses
+    C-level tuple comparison instead of dataclass ``__lt__`` dispatch (the
+    unique sequence number guarantees the event itself is never compared).
+    ``len()`` and truthiness count *live* (non-cancelled) events, so
+    ``while queue: queue.pop()`` always terminates cleanly.
     """
 
     def __init__(self) -> None:
-        self._heap: list[_Event] = []
+        self._heap: list[tuple[float, int, _Event]] = []
         self._counter = itertools.count()
+        self._live = 0
 
     def push(self, time: float, callback: Callable[..., None], *args: Any) -> EventHandle:
-        event = _Event(time=time, sequence=next(self._counter), callback=callback, args=args)
-        heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        sequence = next(self._counter)
+        event = _Event(time=time, sequence=sequence, callback=callback, args=args)
+        heapq.heappush(self._heap, (time, sequence, event))
+        self._live += 1
+        return EventHandle(event, self)
 
     def pop(self) -> _Event:
-        return heapq.heappop(self._heap)
+        """Pop the earliest live event, discarding cancelled ones."""
+        while True:
+            event = heapq.heappop(self._heap)[2]
+            if not event.cancelled:
+                self._live -= 1
+                return event
 
     def peek_time(self) -> Optional[float]:
-        while self._heap and self._heap[0].cancelled:
+        while self._heap and self._heap[0][2].cancelled:
             heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        return self._heap[0][0] if self._heap else None
 
     def __len__(self) -> int:
-        return len(self._heap)
+        return self._live
 
     def __bool__(self) -> bool:
-        return bool(self._heap)
+        return self._live > 0
 
 
 class Simulator:
@@ -117,8 +134,6 @@ class Simulator:
                 self._now = until
                 return self._now
             event = self._queue.pop()
-            if event.cancelled:
-                continue
             self._now = event.time
             event.callback(*event.args)
             self._events_processed += 1

@@ -18,6 +18,12 @@ from repro.tree.shuffle import deterministic_shuffle, view_seed
 
 __all__ = ["AggregationTree", "default_internal_count"]
 
+# Every correct replica derives the identical tree for a given view, so the
+# construction (shuffle included) is memoised process-wide: n replicas per
+# deployment pay for one build per view instead of n.
+_BUILD_CACHE: Dict[tuple, "AggregationTree"] = {}
+_BUILD_CACHE_MAX = 1024
+
 
 def default_internal_count(committee_size: int) -> int:
     """A balanced choice of internal-node count, roughly ``sqrt(n - 1)``.
@@ -76,6 +82,10 @@ class AggregationTree:
             num_internal = default_internal_count(committee_size)
         if num_internal < 0 or num_internal > committee_size - 1:
             raise ValueError("invalid number of internal nodes")
+        cache_key = (committee_size, view, seed, num_internal, root, context)
+        cached = _BUILD_CACHE.get(cache_key)
+        if cached is not None:
+            return cached
         order = deterministic_shuffle(list(range(committee_size)), view_seed(seed, view, context))
         if root is None:
             root = order[0]
@@ -99,6 +109,9 @@ class AggregationTree:
             orphan_leaves = tuple(leaves)
         tree = cls(root=root, internal_nodes=internals, leaf_assignment=assignment)
         object.__setattr__(tree, "_direct_leaves", orphan_leaves)
+        if len(_BUILD_CACHE) >= _BUILD_CACHE_MAX:
+            _BUILD_CACHE.pop(next(iter(_BUILD_CACHE)))
+        _BUILD_CACHE[cache_key] = tree
         return tree
 
     @classmethod

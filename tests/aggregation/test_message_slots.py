@@ -1,0 +1,20 @@
+"""The aggregation message dataclasses are slotted (no per-instance dict)."""
+
+from repro.aggregation import messages
+from repro.consensus.block import genesis_block, genesis_qc
+
+
+def test_message_classes_have_slots():
+    block = genesis_block()
+    qc = genesis_qc()
+    instances = [
+        messages.ProposalMessage(block),
+        messages.SignatureMessage(block_id="b", view=1, signature=None),
+        messages.AckMessage(block_id="b", view=1, aggregate=None),
+        messages.SecondChanceMessage(block=block),
+        messages.SecondChanceReply(block_id="b", view=1, signature=None),
+        messages.NewViewMessage(view=1, highest_qc=qc),
+    ]
+    for message in instances:
+        assert not hasattr(message, "__dict__"), type(message).__name__
+        assert message.size_bytes >= 0

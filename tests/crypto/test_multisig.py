@@ -6,10 +6,13 @@ from repro.crypto.bls import BlsMultiSig
 from repro.crypto.hash_backend import HashMultiSig
 from repro.crypto.multisig import (
     AggregateSignature,
+    HashSigMultiSig,
     SignatureShare,
     combined_multiplicities,
     get_scheme,
+    normalize_contributions,
 )
+from repro.crypto.params import TOY_PARAMS
 
 
 class TestCombinedMultiplicities:
@@ -37,6 +40,75 @@ class TestCombinedMultiplicities:
         with pytest.raises(TypeError):
             combined_multiplicities([("not-a-share", 1)])
 
+    def test_accepts_bare_shares_and_aggregates(self):
+        share = SignatureShare(signer=0, value=b"a")
+        aggregate = AggregateSignature(value=b"x", multiplicities={1: 2})
+        assert combined_multiplicities([share, aggregate]) == {0: 1, 1: 2}
+
+    def test_mixed_bare_and_weighted(self):
+        share = SignatureShare(signer=0, value=b"a")
+        assert combined_multiplicities([share, (share, 3)]) == {0: 4}
+
+
+class TestNormalizeContributions:
+    def test_bare_items_get_weight_one(self):
+        share = SignatureShare(signer=0, value=b"a")
+        aggregate = AggregateSignature(value=b"x", multiplicities={1: 1})
+        assert normalize_contributions([share, aggregate]) == [(share, 1), (aggregate, 1)]
+
+    def test_pairs_pass_through(self):
+        share = SignatureShare(signer=0, value=b"a")
+        assert normalize_contributions([(share, 5)]) == [(share, 5)]
+
+    def test_rejects_non_integer_weight(self):
+        share = SignatureShare(signer=0, value=b"a")
+        with pytest.raises(TypeError):
+            normalize_contributions([(share, 1.5)])
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            normalize_contributions([42])
+
+
+class TestAggregateAcceptsBareShares:
+    """Regression: ``aggregate()`` used to crash on iterables of bare shares."""
+
+    def test_bls_aggregate_bare_shares(self):
+        scheme = BlsMultiSig(TOY_PARAMS)
+        keys = {pid: scheme.keygen(pid) for pid in range(3)}
+        message = b"bare-shares"
+        shares = [scheme.sign(pair.secret_key, message, pid) for pid, pair in keys.items()]
+        aggregate = scheme.aggregate(shares)  # no (share, weight) pairs
+        assert aggregate.multiplicities == {0: 1, 1: 1, 2: 1}
+        public = {pid: pair.public_key for pid, pair in keys.items()}
+        assert scheme.verify_aggregate(aggregate, message, public)
+        # Equivalent to the explicit weight-one form.
+        explicit = scheme.aggregate([(share, 1) for share in shares])
+        assert aggregate.value == explicit.value
+
+    def test_bls_aggregate_mixed_inputs(self):
+        scheme = BlsMultiSig(TOY_PARAMS)
+        keys = {pid: scheme.keygen(pid) for pid in range(3)}
+        message = b"mixed"
+        shares = [scheme.sign(pair.secret_key, message, pid) for pid, pair in keys.items()]
+        inner = scheme.aggregate([shares[0], (shares[1], 2)])
+        aggregate = scheme.aggregate([inner, shares[2]])
+        assert aggregate.multiplicities == {0: 1, 1: 2, 2: 1}
+        public = {pid: pair.public_key for pid, pair in keys.items()}
+        assert scheme.verify_aggregate(aggregate, message, public)
+
+    def test_hash_backends_aggregate_bare_shares(self):
+        for scheme in (HashMultiSig(), HashSigMultiSig()):
+            keys = {pid: scheme.keygen(pid) for pid in range(3)}
+            message = b"bare-shares"
+            shares = [
+                scheme.sign(pair.secret_key, message, pid) for pid, pair in keys.items()
+            ]
+            aggregate = scheme.aggregate(shares)
+            assert aggregate.multiplicities == {0: 1, 1: 1, 2: 1}
+            public = {pid: pair.public_key for pid, pair in keys.items()}
+            assert scheme.verify_aggregate(aggregate, message, public)
+
 
 class TestAggregateSignature:
     def test_signers_excludes_zero_multiplicity(self):
@@ -59,6 +131,9 @@ class TestAggregateSignature:
 class TestSchemeRegistry:
     def test_get_hash_scheme(self):
         assert isinstance(get_scheme("hash"), HashMultiSig)
+
+    def test_get_hashsig_scheme(self):
+        assert isinstance(get_scheme("hashsig"), HashSigMultiSig)
 
     def test_get_bls_scheme(self):
         from repro.crypto.params import TOY_PARAMS

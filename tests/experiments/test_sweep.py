@@ -1,0 +1,66 @@
+"""Tests for the parallel sweep runner."""
+
+from __future__ import annotations
+
+from repro.consensus.config import ConsensusConfig
+from repro.experiments.runner import SweepSpec, run_experiment, run_sweep
+from repro.experiments.scalability import figure_3c
+from repro.experiments.workloads import ClientWorkload
+
+
+def _specs():
+    return [
+        SweepSpec(
+            config=ConsensusConfig(committee_size=n, aggregation="iniva", seed=2),
+            duration=0.6,
+            warmup=0.1,
+            workload=ClientWorkload(rate=800, payload_size=16),
+            label=f"n={n}",
+        )
+        for n in (4, 7)
+    ]
+
+
+class TestRunSweep:
+    def test_serial_matches_run_experiment(self):
+        specs = _specs()
+        swept = run_sweep(specs, max_workers=1)
+        direct = [
+            run_experiment(
+                spec.config,
+                duration=spec.duration,
+                warmup=spec.warmup,
+                workload=spec.workload,
+                label=spec.label,
+            )
+            for spec in specs
+        ]
+        assert [r.row() for r in swept] == [r.row() for r in direct]
+        assert [r.config_label for r in swept] == ["n=4", "n=7"]
+
+    def test_parallel_matches_serial(self):
+        specs = _specs()
+        serial = run_sweep(specs, max_workers=1)
+        parallel = run_sweep(specs, max_workers=2)
+        assert [r.row() for r in parallel] == [r.row() for r in serial]
+
+    def test_empty_sweep(self):
+        assert run_sweep([]) == []
+
+
+class TestFigure3cSweep:
+    def test_rows_cover_the_grid(self):
+        rows = figure_3c(
+            replica_counts=[5],
+            payload_sizes=(0,),
+            batch_size=10,
+            load=500.0,
+            duration=0.5,
+            warmup=0.1,
+            max_workers=1,
+        )
+        assert len(rows) == 2  # HotStuff + Iniva
+        assert {row["scheme"] for row in rows} == {"HotStuff", "Iniva"}
+        for row in rows:
+            assert row["replicas"] == 5
+            assert "throughput_ops" in row and "latency_ms" in row

@@ -41,6 +41,51 @@ class TestEventQueue:
         queue.push(1.0, lambda: None)
         assert queue and len(queue) == 1
 
+    def test_pop_skips_cancelled(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: "keep")
+        first.cancel()
+        event = queue.pop()
+        assert event.time == 2.0
+        assert not event.cancelled
+
+    def test_pop_skips_run_of_cancelled(self):
+        queue = EventQueue()
+        handles = [queue.push(float(i), lambda: None) for i in range(5)]
+        for handle in handles[:4]:
+            handle.cancel()
+        assert queue.pop().time == 4.0
+
+    def test_drain_with_trailing_cancelled(self):
+        # Regression: len()/bool count live events only, so draining with
+        # `while queue: queue.pop()` terminates even when cancelled events
+        # remain in the heap.
+        queue = EventQueue()
+        queue.push(1.0, lambda: None)
+        late = queue.push(2.0, lambda: None)
+        late.cancel()
+        assert len(queue) == 1
+        drained = []
+        while queue:
+            drained.append(queue.pop().time)
+        assert drained == [1.0]
+        assert len(queue) == 0 and not queue
+
+    def test_double_cancel_counts_once(self):
+        queue = EventQueue()
+        handle = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert len(queue) == 1
+
+    def test_event_objects_are_slotted(self):
+        queue = EventQueue()
+        handle = queue.push(1.0, lambda: None)
+        assert not hasattr(handle._event, "__dict__")
+        assert not hasattr(handle, "__dict__")
+
 
 class TestSimulator:
     def test_clock_advances_with_events(self):
