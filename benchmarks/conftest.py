@@ -10,7 +10,7 @@ paper's tables on the terminal.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List
 
 
 def run_once(benchmark, fn: Callable[[], List[Dict[str, object]]], title: str):

@@ -11,7 +11,7 @@ formation); concrete schemes implement the message flow in between.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Dict, Optional, TYPE_CHECKING
+from typing import Any, Dict, TYPE_CHECKING
 
 from repro.consensus.block import Block
 from repro.crypto.multisig import AggregateSignature

@@ -17,7 +17,7 @@ with either variant.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict
 
 from repro.aggregation.base import Aggregator, register_aggregator
 from repro.aggregation.messages import ProposalMessage, SignatureMessage

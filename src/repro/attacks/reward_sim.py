@@ -11,9 +11,8 @@ comparison.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Set
+from typing import Dict, Optional, Set
 
 from repro.attacks.adversary import AdversaryModel, RoleAssignment
 from repro.core.rewards import RewardParams, compute_rewards, compute_star_rewards
@@ -96,7 +95,6 @@ class RewardAttackSimulator:
         assert tree is not None
         multiplicities = honest_multiplicities(tree)
         attacker = assignment.attacker
-        victim = assignment.victim
 
         apply_denial = attack in ("vote-denial", "all")
         apply_omission = attack in ("vote-omission", "all")

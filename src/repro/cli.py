@@ -9,10 +9,15 @@ data without writing any code::
     python -m repro fig2a --quick --format markdown
     python -m repro fig4 --quick --output-dir results/
     python -m repro run --scheme iniva --replicas 21 --faults 2 --duration 3
+    python -m repro scenario --list
+    python -m repro scenario partition-heal --quick
+    python -m repro scenario my_campaign.yaml --output-dir results/
 
 ``--quick`` shrinks trial counts and durations so every command finishes
 in seconds; dropping it uses the defaults the benchmarks use (minutes).
 Use ``--output-dir`` to also write CSV/JSON/Markdown artifacts.
+``scenario`` accepts either a built-in preset name (see ``--list``) or a
+path to a JSON/YAML spec file (see :mod:`repro.scenarios`).
 """
 
 from __future__ import annotations
@@ -233,6 +238,34 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--second-chance-timeout", type=float, default=0.005, help="the δ timer in seconds"
     )
+
+    scenario_parser = subparsers.add_parser(
+        "scenario", help="run a declarative scenario (preset name or spec file)"
+    )
+    scenario_parser.add_argument(
+        "spec",
+        nargs="?",
+        default=None,
+        help="built-in preset name or path to a .json/.yaml scenario spec",
+    )
+    scenario_parser.add_argument(
+        "--list", action="store_true", dest="list_presets", help="list the built-in presets"
+    )
+    scenario_parser.add_argument("--quick", action="store_true", help="reduced duration/committee")
+    scenario_parser.add_argument(
+        "--seed", type=int, default=None, help="override the spec's seed"
+    )
+    scenario_parser.add_argument(
+        "--format",
+        choices=["table", "csv", "json", "markdown", "plot"],
+        default="table",
+        help="how to print the result on stdout",
+    )
+    scenario_parser.add_argument(
+        "--output-dir",
+        default=None,
+        help="also write CSV/JSON/Markdown/plot artifacts into this directory",
+    )
     return parser
 
 
@@ -275,7 +308,42 @@ def _command_list() -> str:
         lines.append(f"  {experiment.name:<8} {experiment.title}")
     lines.append("")
     lines.append("  run      a single simulated deployment (see `repro run --help`)")
+    lines.append("  scenario a declarative campaign (see `repro scenario --list`)")
     return "\n".join(lines)
+
+
+def _command_scenario_list() -> str:
+    from repro.scenarios import PRESETS
+
+    lines = ["Built-in scenario presets:", ""]
+    for name, data in PRESETS.items():
+        lines.append(f"  {name:<18} {data.get('description', '')}")
+    lines.append("")
+    lines.append("Run one with `python -m repro scenario <name> [--quick]`, or pass a")
+    lines.append("path to a JSON/YAML spec file (format: repro.scenarios.ScenarioSpec).")
+    return "\n".join(lines)
+
+
+def _command_scenario(args: argparse.Namespace) -> FigureArtifact:
+    import os
+
+    from repro.scenarios import PRESETS, ScenarioSpec, load_preset, run_scenario
+
+    target = args.spec
+    # Preset names always win so a stray local file/directory named like a
+    # preset can't shadow the catalogue; everything else is a spec path.
+    if target in PRESETS:
+        spec = load_preset(target)
+    elif os.path.isfile(target):
+        spec = ScenarioSpec.load(target)
+    elif target.lower().endswith((".json", ".yaml", ".yml")):
+        raise FileNotFoundError(f"scenario spec file not found: {target}")
+    else:
+        spec = load_preset(target)  # raises KeyError listing the catalogue
+    if args.seed is not None:
+        spec = spec.with_(seed=args.seed)
+    result = run_scenario(spec, quick=args.quick)
+    return result.artifact()
 
 
 def _command_run(args: argparse.Namespace) -> FigureArtifact:
@@ -320,7 +388,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(_command_list())
         return 0
 
-    if args.command == "run":
+    if args.command == "scenario":
+        if args.list_presets:
+            print(_command_scenario_list())
+            return 0
+        if args.spec is None:
+            print(_command_scenario_list())
+            print("\nerror: give a preset name or spec file (or --list)")
+            return 2
+        artifact = _command_scenario(args)
+    elif args.command == "run":
         artifact = _command_run(args)
     else:
         artifact = EXPERIMENTS[args.command].artifact(args)

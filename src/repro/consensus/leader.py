@@ -8,7 +8,7 @@ quorum certificates to avoid electing crashed processes as leaders.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, List, Optional, Sequence
+from typing import Optional
 
 from repro.consensus.block import QuorumCertificate
 

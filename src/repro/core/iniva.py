@@ -22,7 +22,7 @@ reduces the probability of a targeted 0-collateral vote omission from
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Union
+from typing import Any, List, Union
 
 from repro.aggregation.base import register_aggregator
 from repro.aggregation.messages import (

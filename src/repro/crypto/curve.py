@@ -111,7 +111,6 @@ def _wnaf(k: int, width: int) -> List[int]:
     """Width-``w`` non-adjacent form of ``k`` (little-endian digit list)."""
     digits: List[int] = []
     window = 1 << width
-    half = window >> 1
     mask = 2 * window - 1
     while k:
         if k & 1:

@@ -13,7 +13,7 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.consensus.config import ConsensusConfig
 from repro.consensus.leader import make_leader_election
@@ -108,6 +108,7 @@ def build_deployment(
     warmup: float = 0.0,
     latency_model=None,
     loss_probability: float = 0.0,
+    link_bandwidth=None,
 ) -> Deployment:
     """Instantiate simulator, network, keys and replicas for ``config``."""
     simulator = Simulator()
@@ -119,6 +120,7 @@ def build_deployment(
         latency_model=latency_model or NormalLatency(mean=0.0005, std=0.0001),
         seed=config.seed,
         loss_probability=loss_probability,
+        link_bandwidth=link_bandwidth,
     )
     scheme = _make_signature_scheme(config)
     committee = Committee(scheme, config.committee_size, seed=config.seed)

@@ -6,7 +6,7 @@ the attack simulators in :mod:`repro.attacks`.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.attacks.gosig_sim import GosigConfig, GosigSimulator
 from repro.attacks.omission import analytic_star_omission, omission_probability

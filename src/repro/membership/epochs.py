@@ -12,7 +12,7 @@ future selection.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Protocol
 
 from repro.membership.selection import CommitteeDescriptor, StakeWeightedSelector

@@ -18,8 +18,8 @@ from __future__ import annotations
 
 import hashlib
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Tuple
 
 from repro.crypto.vrf import VRF, VRFOutput
 from repro.membership.stake import StakeRegistry, Validator

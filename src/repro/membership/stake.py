@@ -11,7 +11,7 @@ of individual stakes) so property tests can pin it down.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Mapping, Optional
 
 __all__ = ["Validator", "StakeRegistry"]

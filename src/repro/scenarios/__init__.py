@@ -1,0 +1,58 @@
+"""Declarative scenario engine for adversarial and WAN campaigns.
+
+One :class:`ScenarioSpec` composes committee size and stake distribution,
+topology and per-link bandwidth, churn across epochs, crash/partition
+schedules, a Byzantine strategy mix and the client workload — and
+compiles into a configured, fully seeded simulator run:
+
+    >>> from repro.scenarios import load_preset, run_scenario
+    >>> result = run_scenario(load_preset("partition-heal"), quick=True)
+    >>> result.summary()["messages_blocked"] > 0
+    True
+
+Specs round-trip through dicts, JSON and YAML-lite files, so campaigns
+live in version control instead of copy-pasted Python; the built-in
+catalogue (``python -m repro scenario --list``) covers WAN spreads,
+churn, partitions, crash storms, lossy links, bandwidth crunches and
+omission cartels.
+"""
+
+from repro.scenarios.engine import (
+    CompiledScenario,
+    EpochOutcome,
+    ScenarioResult,
+    build_latency_model,
+    compile_scenario,
+    run_scenario,
+)
+from repro.scenarios.presets import PRESETS, load_preset, preset_names
+from repro.scenarios.spec import (
+    AttackSpec,
+    ChurnSpec,
+    CommitteeSpec,
+    FaultSpec,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+    parse_yaml_lite,
+)
+
+__all__ = [
+    "AttackSpec",
+    "ChurnSpec",
+    "CommitteeSpec",
+    "CompiledScenario",
+    "EpochOutcome",
+    "FaultSpec",
+    "PRESETS",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "TopologySpec",
+    "WorkloadSpec",
+    "build_latency_model",
+    "compile_scenario",
+    "load_preset",
+    "parse_yaml_lite",
+    "preset_names",
+    "run_scenario",
+]

@@ -1,0 +1,367 @@
+"""Compile and run declarative scenarios.
+
+:func:`compile_scenario` turns a :class:`ScenarioSpec` into the concrete
+ingredients of a simulator run — a :class:`ConsensusConfig`, a latency
+model, a per-link bandwidth model, a crash plan, partition schedules and
+the attacker coalition — and :func:`run_scenario` executes it epoch by
+epoch through :mod:`repro.experiments.runner`, re-selecting the committee
+from the stake registry between epochs when the spec asks for churn.
+
+Everything is seeded from the spec, so a fixed spec produces identical
+finalized-view metrics on every run.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.attacks.byzantine import corrupt_replicas
+from repro.consensus.config import ConsensusConfig
+from repro.experiments.export import FigureArtifact
+from repro.experiments.runner import ExperimentResult, build_deployment, summarise
+from repro.experiments.workloads import ClientWorkload
+from repro.membership.epochs import EpochSchedule, MembershipManager
+from repro.membership.stake import StakeRegistry
+from repro.scenarios.spec import ScenarioSpec, TopologySpec
+from repro.simnet.failures import FailureInjector, FailurePlan
+from repro.simnet.latency import (
+    ConstantLatency,
+    LatencyModel,
+    LinkBandwidth,
+    NormalLatency,
+)
+from repro.simnet.topology import MatrixLatency, RackTopologyLatency, RegionMatrixLatency
+
+__all__ = [
+    "CompiledScenario",
+    "EpochOutcome",
+    "ScenarioResult",
+    "build_latency_model",
+    "compile_scenario",
+    "run_scenario",
+]
+
+# Approximate one-way delays (seconds) between five cloud regions
+# (us-east, us-west, eu-west, ap-southeast, sa-east); the default matrix
+# behind ``topology.kind == "wan"``.
+WAN_REGION_MATRIX: Tuple[Tuple[float, ...], ...] = (
+    (0.0, 0.032, 0.040, 0.105, 0.060),
+    (0.032, 0.0, 0.070, 0.085, 0.090),
+    (0.040, 0.070, 0.0, 0.090, 0.095),
+    (0.105, 0.085, 0.090, 0.0, 0.160),
+    (0.060, 0.090, 0.095, 0.160, 0.0),
+)
+
+
+def build_latency_model(topology: TopologySpec, committee_size: int) -> LatencyModel:
+    """The latency model a topology spec describes, sized for the committee."""
+    if topology.kind == "constant":
+        return ConstantLatency(topology.intra_delay)
+    if topology.kind == "normal":
+        return NormalLatency(
+            mean=topology.intra_delay,
+            std=topology.intra_delay * max(topology.jitter, 0.01),
+            minimum=topology.intra_delay * 0.1,
+        )
+    if topology.kind == "rack":
+        return RackTopologyLatency.evenly_spread(
+            committee_size,
+            topology.regions,
+            intra_delay=topology.intra_delay,
+            inter_delay=topology.inter_delay,
+            jitter=topology.jitter,
+        )
+    if topology.kind == "wan":
+        matrix = topology.matrix
+        if matrix is None:
+            if topology.regions > len(WAN_REGION_MATRIX):
+                raise ValueError(
+                    f"built-in WAN matrix covers {len(WAN_REGION_MATRIX)} regions; "
+                    "provide an explicit matrix for more"
+                )
+            matrix = tuple(
+                row[: topology.regions] for row in WAN_REGION_MATRIX[: topology.regions]
+            )
+        return RegionMatrixLatency.evenly_spread(
+            committee_size, matrix, intra_delay=topology.intra_delay, jitter=topology.jitter
+        )
+    if topology.kind == "matrix":
+        if len(topology.matrix) < committee_size:
+            raise ValueError("latency matrix must cover every committee process id")
+        return MatrixLatency(topology.matrix, jitter=topology.jitter)
+    raise ValueError(f"unknown topology kind {topology.kind!r}")
+
+
+@dataclass
+class CompiledScenario:
+    """A spec resolved into concrete run ingredients."""
+
+    spec: ScenarioSpec
+    config: ConsensusConfig
+    latency_model: LatencyModel
+    loss_probability: float
+    failure_plan: Optional[FailurePlan]
+    attacker_ids: Tuple[int, ...]
+    epoch_duration: float
+
+    def link_bandwidth(self) -> Optional[LinkBandwidth]:
+        """A fresh (queue-empty) bandwidth model for one epoch run."""
+        rate = self.spec.topology.bandwidth_bytes_per_sec
+        if rate is None:
+            return None
+        return LinkBandwidth(rate)
+
+
+def compile_scenario(spec: ScenarioSpec) -> CompiledScenario:
+    """Resolve a spec into a :class:`CompiledScenario` (no run yet)."""
+    size = spec.committee.size
+    latency_model = build_latency_model(spec.topology, size)
+    bound = latency_model.upper_bound
+    # Timers derive from the topology unless pinned: Δ covers one hop plus
+    # processing headroom, the 2ND-CHANCE δ one extra round trip, and the
+    # pacemaker must outlast Iniva's 7Δ critical path.
+    delta = spec.delta if spec.delta is not None else max(0.0025, 1.25 * bound)
+    second_chance = (
+        spec.second_chance_timeout if spec.second_chance_timeout is not None else max(0.005, bound)
+    )
+    view_timeout = spec.view_timeout if spec.view_timeout is not None else max(0.25, 8.0 * delta)
+    config = ConsensusConfig(
+        committee_size=size,
+        batch_size=spec.batch_size,
+        payload_size=spec.workload.payload_size,
+        aggregation=spec.aggregation,
+        signature_scheme=spec.signature_scheme,
+        leader_policy=spec.leader_policy,
+        delta=delta,
+        second_chance_timeout=second_chance,
+        view_timeout=view_timeout,
+        seed=spec.seed,
+    )
+
+    victim = spec.attack.victim if spec.attack.strategy != "none" else None
+    protected = {0} | set(spec.faults.crash_exclude)
+    if victim is not None:
+        protected.add(victim)
+
+    attacker_ids: Tuple[int, ...] = ()
+    if spec.attack.strategy == "omission":
+        candidates = [pid for pid in range(1, size) if pid != victim]
+        if spec.attack.attackers > len(candidates):
+            raise ValueError("more attackers than available committee seats")
+        # Knuth-style mix keeps the attacker draw independent of the crash
+        # draw (both derive from spec.seed) and stable across processes.
+        rng = random.Random(spec.seed * 2654435761 + 97)
+        attacker_ids = tuple(sorted(rng.sample(candidates, spec.attack.attackers)))
+        protected |= set(attacker_ids)
+
+    failure_plan = None
+    if spec.faults.crashes:
+        failure_plan = FailurePlan.random_crashes(
+            committee_size=size,
+            count=spec.faults.crashes,
+            seed=spec.seed,
+            at_time=spec.faults.crash_at,
+            exclude=sorted(protected),
+        )
+
+    epoch_duration = spec.duration / spec.churn.epochs
+    return CompiledScenario(
+        spec=spec,
+        config=config,
+        latency_model=latency_model,
+        loss_probability=spec.topology.loss_probability,
+        failure_plan=failure_plan,
+        attacker_ids=attacker_ids,
+        epoch_duration=epoch_duration,
+    )
+
+
+@dataclass(frozen=True)
+class EpochOutcome:
+    """One epoch's committee and its run metrics."""
+
+    epoch: int
+    committee: Tuple[int, ...]  # validator ids holding the seats
+    overlap: float  # committee overlap with the previous epoch
+    stake_gini: Optional[float]  # inequality of the pool, post-feedback
+    result: ExperimentResult
+
+
+@dataclass
+class ScenarioResult:
+    """All epochs of one scenario run plus export helpers."""
+
+    spec: ScenarioSpec
+    epochs: List[EpochOutcome] = field(default_factory=list)
+
+    def rows(self) -> List[Dict[str, object]]:
+        rows: List[Dict[str, object]] = []
+        for outcome in self.epochs:
+            result = outcome.result
+            row: Dict[str, object] = {
+                "scenario": self.spec.name,
+                "epoch": outcome.epoch,
+                "committee_overlap_pct": round(outcome.overlap * 100, 1),
+                "throughput_ops": round(result.throughput, 1),
+                "latency_ms": round(result.latency.mean * 1000, 2),
+                "latency_p90_ms": round(result.latency.p90 * 1000, 2),
+                "failed_views_pct": round(result.failed_view_fraction * 100, 2),
+                "avg_qc_size": round(result.average_qc_size, 2),
+                "second_chance_votes": result.second_chance_inclusions,
+                "committed_blocks": result.committed_blocks,
+                "messages_dropped": result.message_counters.get("messages_dropped", 0),
+                "messages_blocked": result.message_counters.get("messages_blocked", 0),
+            }
+            if outcome.stake_gini is not None:
+                row["stake_gini"] = round(outcome.stake_gini, 4)
+            rows.append(row)
+        return rows
+
+    def summary(self) -> Dict[str, float]:
+        """Scenario-level aggregates over all epochs."""
+        if not self.epochs:
+            return {}
+        results = [outcome.result for outcome in self.epochs]
+        total_views = sum(r.total_views for r in results)
+        failed = sum(r.total_views - r.successful_views for r in results)
+        return {
+            "epochs": float(len(results)),
+            "throughput_ops": sum(r.throughput for r in results) / len(results),
+            "latency_mean_ms": 1000
+            * sum(r.latency.mean for r in results)
+            / len(results),
+            "failed_views_pct": 100.0 * failed / total_views if total_views else 0.0,
+            "avg_qc_size": sum(r.average_qc_size for r in results) / len(results),
+            "committed_blocks": float(sum(r.committed_blocks for r in results)),
+            "messages_blocked": float(
+                sum(r.message_counters.get("messages_blocked", 0) for r in results)
+            ),
+            "second_chance_votes": float(sum(r.second_chance_inclusions for r in results)),
+        }
+
+    def artifact(self) -> FigureArtifact:
+        multi_epoch = len(self.epochs) > 1
+        return FigureArtifact(
+            name=f"scenario-{self.spec.name}",
+            title=f"Scenario: {self.spec.name}"
+            + (f" — {self.spec.description}" if self.spec.description else ""),
+            rows=self.rows(),
+            series_key="scenario" if multi_epoch else None,
+            x="epoch" if multi_epoch else None,
+            y="throughput_ops" if multi_epoch else None,
+        )
+
+
+def _stake_gini(stakes: List[float]) -> float:
+    """Gini coefficient of the stake distribution (0 equal .. 1 skewed)."""
+    if not stakes:
+        return 0.0
+    ordered = sorted(stakes)
+    total = sum(ordered)
+    if total <= 0:
+        return 0.0
+    cumulative = 0.0
+    weighted = 0.0
+    for rank, stake in enumerate(ordered, start=1):
+        cumulative += stake
+        weighted += rank * stake
+    n = len(ordered)
+    return (2.0 * weighted) / (n * total) - (n + 1.0) / n
+
+
+def run_scenario(spec: ScenarioSpec, quick: bool = False) -> ScenarioResult:
+    """Run a scenario end to end and collect per-epoch metrics.
+
+    With ``quick`` the spec is first shrunk via :meth:`ScenarioSpec.quick`
+    so the run finishes in seconds.  Fixed spec ⇒ identical metrics.
+    """
+    if quick:
+        spec = spec.quick()
+    compiled = compile_scenario(spec)
+
+    churn = spec.churn.epochs > 1 or spec.committee.pool_size > spec.committee.size
+    registry: Optional[StakeRegistry] = None
+    manager: Optional[MembershipManager] = None
+    if churn:
+        registry = StakeRegistry()
+        for validator_id, stake in enumerate(spec.committee.stakes()):
+            registry.register(validator_id, stake=stake)
+        manager = MembershipManager(
+            registry,
+            EpochSchedule(views_per_epoch=spec.churn.views_per_epoch),
+            committee_size=spec.committee.size,
+            base_seed=spec.seed,
+        )
+
+    outcome_list: List[EpochOutcome] = []
+    previous_committee: Optional[Tuple[int, ...]] = None
+    for epoch in range(spec.churn.epochs):
+        if manager is not None:
+            descriptor = manager.committee_for_epoch(epoch)
+            committee = tuple(descriptor.members)
+        else:
+            committee = tuple(range(spec.committee.size))
+
+        config = compiled.config.with_(seed=spec.seed + 7919 * epoch)
+        deployment = build_deployment(
+            config,
+            warmup=min(spec.warmup, compiled.epoch_duration / 4),
+            latency_model=compiled.latency_model,
+            loss_probability=compiled.loss_probability,
+            link_bandwidth=compiled.link_bandwidth(),
+        )
+        ClientWorkload(
+            rate=spec.workload.rate,
+            payload_size=spec.workload.payload_size,
+            num_clients=spec.workload.num_clients,
+            jitter=spec.workload.jitter,
+            seed=config.seed,
+        ).attach(deployment.simulator, deployment.mempool, compiled.epoch_duration)
+
+        injector = FailureInjector(deployment.simulator, deployment.network)
+        if compiled.failure_plan is not None:
+            injector.apply(compiled.failure_plan)
+        injector.schedule_partitions(spec.faults.partitions)
+        if compiled.attacker_ids:
+            corrupt_replicas(deployment, compiled.attacker_ids, spec.attack.victim)
+
+        deployment.start()
+        deployment.simulator.run(until=compiled.epoch_duration)
+        result = summarise(
+            deployment,
+            compiled.epoch_duration,
+            label=f"{spec.name} epoch={epoch} {config.describe()}",
+        )
+
+        overlap = 1.0
+        if previous_committee is not None:
+            overlap = len(set(committee) & set(previous_committee)) / max(len(committee), 1)
+        previous_committee = committee
+
+        gini: Optional[float] = None
+        if registry is not None and manager is not None:
+            if spec.churn.reward_feedback and result.committed_blocks:
+                crashed = set(deployment.network.process_ids) - {
+                    replica.process_id for replica in deployment.correct_replicas()
+                }
+                reward_total = spec.churn.reward_per_block * result.committed_blocks
+                earners = [pid for pid in range(len(committee)) if pid not in crashed]
+                if earners:
+                    payouts = {pid: reward_total / len(earners) for pid in earners}
+                    manager.apply_block_rewards(
+                        manager.schedule.first_view_of(epoch), payouts
+                    )
+            gini = _stake_gini([validator.stake for validator in registry])
+
+        outcome_list.append(
+            EpochOutcome(
+                epoch=epoch,
+                committee=committee,
+                overlap=overlap,
+                stake_gini=gini,
+                result=result,
+            )
+        )
+    return ScenarioResult(spec=spec, epochs=outcome_list)

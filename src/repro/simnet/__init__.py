@@ -19,12 +19,18 @@ simulator with
 """
 
 from repro.simnet.events import EventHandle, EventQueue, Simulator
-from repro.simnet.latency import ConstantLatency, LatencyModel, NormalLatency, UniformLatency
+from repro.simnet.latency import (
+    ConstantLatency,
+    LatencyModel,
+    LinkBandwidth,
+    NormalLatency,
+    UniformLatency,
+)
 from repro.simnet.metrics import MetricsCollector
 from repro.simnet.network import Network
 from repro.simnet.process import CpuCostModel, Process, Timer
-from repro.simnet.failures import FailureInjector, FailurePlan
-from repro.simnet.topology import MatrixLatency, RackTopologyLatency
+from repro.simnet.failures import FailureInjector, FailurePlan, PartitionEvent
+from repro.simnet.topology import MatrixLatency, RackTopologyLatency, RegionMatrixLatency
 from repro.simnet.trace import MessageTracer, TraceRecord
 
 __all__ = [
@@ -35,13 +41,16 @@ __all__ = [
     "FailureInjector",
     "FailurePlan",
     "LatencyModel",
+    "LinkBandwidth",
     "MatrixLatency",
     "MessageTracer",
     "MetricsCollector",
     "Network",
     "NormalLatency",
+    "PartitionEvent",
     "Process",
     "RackTopologyLatency",
+    "RegionMatrixLatency",
     "Simulator",
     "Timer",
     "TraceRecord",

@@ -12,12 +12,48 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.simnet.events import Simulator
 from repro.simnet.network import Network
 
-__all__ = ["FailurePlan", "FailureInjector"]
+__all__ = ["FailurePlan", "FailureInjector", "PartitionEvent"]
+
+
+@dataclass(frozen=True)
+class PartitionEvent:
+    """A timed network partition with an optional heal time.
+
+    Attributes:
+        at: Virtual time the partition takes effect.
+        groups: The connectivity components; messages only flow within a
+            group while the partition is active.  Processes not listed in
+            any group are isolated from everyone.
+        heal_at: Virtual time the partition heals (all links restored);
+            ``None`` means it never heals.
+    """
+
+    at: float
+    groups: Tuple[Tuple[int, ...], ...]
+    heal_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError("partition time cannot be negative")
+        if self.heal_at is not None and self.heal_at <= self.at:
+            raise ValueError("heal time must be after the partition time")
+        if not self.groups:
+            raise ValueError("a partition needs at least one group")
+        # Normalise to hashable tuples so specs stay frozen/comparable.
+        object.__setattr__(self, "groups", tuple(tuple(group) for group in self.groups))
+
+    def scaled(self, factor: float) -> "PartitionEvent":
+        """The same partition with both times scaled (for --quick runs)."""
+        return PartitionEvent(
+            at=self.at * factor,
+            groups=self.groups,
+            heal_at=None if self.heal_at is None else self.heal_at * factor,
+        )
 
 
 @dataclass(frozen=True)
@@ -81,6 +117,54 @@ class FailureInjector:
         if not process.crashed:
             process.crash()
             self._applied.append(process_id)
+
+    # -- partitions -----------------------------------------------------------
+    def schedule_partition(self, event: PartitionEvent) -> None:
+        """Schedule a partition (and its heal) as link-level suppression.
+
+        At ``event.at`` every directed link crossing a group boundary is
+        blocked on the network; at ``event.heal_at`` exactly those links
+        are unblocked again, so overlapping partitions compose without
+        clobbering each other's state.
+        """
+        blocked: Set[Tuple[int, int]] = set()
+
+        def apply() -> None:
+            group_of: Dict[int, int] = {}
+            for index, group in enumerate(event.groups):
+                for pid in group:
+                    group_of[pid] = index
+            for src in self.network.process_ids:
+                for dst in self.network.process_ids:
+                    if src == dst:
+                        continue
+                    # Unlisted processes (group None) are isolated.
+                    same = (
+                        src in group_of
+                        and dst in group_of
+                        and group_of[src] == group_of[dst]
+                    )
+                    if not same:
+                        self.network.block_link(src, dst, bidirectional=False)
+                        blocked.add((src, dst))
+
+        def heal() -> None:
+            for src, dst in blocked:
+                self.network.unblock_link(src, dst, bidirectional=False)
+            blocked.clear()
+
+        if event.heal_at is not None and event.heal_at <= self.simulator.now:
+            return  # already healed before it could take effect
+        if event.at <= self.simulator.now:
+            apply()
+        else:
+            self.simulator.schedule_at(event.at, apply)
+        if event.heal_at is not None:
+            self.simulator.schedule_at(event.heal_at, heal)
+
+    def schedule_partitions(self, events: Iterable[PartitionEvent]) -> None:
+        for event in events:
+            self.schedule_partition(event)
 
     def crash_link(self, src: int, dst: int, bidirectional: bool = True) -> None:
         """Permanently drop all messages on a link (models a broken cable)."""

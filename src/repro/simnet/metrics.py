@@ -9,8 +9,8 @@ and per-process CPU utilisation.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
 
 __all__ = ["MetricsCollector", "LatencyStats"]
 

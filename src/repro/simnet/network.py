@@ -12,7 +12,7 @@ import random
 from typing import Any, Callable, Dict, Iterable, Optional, Set, Tuple
 
 from repro.simnet.events import Simulator
-from repro.simnet.latency import ConstantLatency, LatencyModel
+from repro.simnet.latency import ConstantLatency, LatencyModel, LinkBandwidth
 from repro.simnet.process import Process
 
 __all__ = ["Network"]
@@ -30,6 +30,7 @@ class Network:
         seed: int = 0,
         loss_probability: float = 0.0,
         bandwidth_bytes_per_sec: Optional[float] = None,
+        link_bandwidth: Optional[LinkBandwidth] = None,
     ) -> None:
         if not 0 <= loss_probability < 1:
             raise ValueError("loss probability must be in [0, 1)")
@@ -38,9 +39,14 @@ class Network:
         self.rng = random.Random(seed)
         self.loss_probability = loss_probability
         self.bandwidth = bandwidth_bytes_per_sec
+        self.link_bandwidth = link_bandwidth
         self._processes: Dict[int, Process] = {}
         self._drop_rules: list[DropRule] = []
         self._partitions: list[Set[int]] = []
+        # Directed links currently suppressed (network partitions, cuts),
+        # reference-counted so overlapping partitions compose: healing one
+        # must not restore a link another still blocks.
+        self._blocked_links: Dict[Tuple[int, int], int] = {}
         # Observers get (event, time, src, dst, message) for every transport
         # event; used by repro.simnet.trace for debugging and analysis.
         self._observers: list = []
@@ -48,6 +54,7 @@ class Network:
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
+        self.messages_blocked = 0
         self.bytes_sent = 0
 
     # -- observation -----------------------------------------------------------
@@ -96,6 +103,28 @@ class Network:
     def heal_partition(self) -> None:
         self._partitions = []
 
+    def block_link(self, src: int, dst: int, bidirectional: bool = True) -> None:
+        """Suppress delivery on a directed link until :meth:`unblock_link`.
+
+        Unlike :meth:`add_drop_rule` (permanent, rule-based) this is cheap
+        to add *and remove*, which is what timed partitions with heal
+        schedules need (see :meth:`FailureInjector.schedule_partition`).
+        """
+        for link in ((src, dst), (dst, src)) if bidirectional else ((src, dst),):
+            self._blocked_links[link] = self._blocked_links.get(link, 0) + 1
+
+    def unblock_link(self, src: int, dst: int, bidirectional: bool = True) -> None:
+        for link in ((src, dst), (dst, src)) if bidirectional else ((src, dst),):
+            count = self._blocked_links.get(link, 0)
+            if count <= 1:
+                self._blocked_links.pop(link, None)
+            else:
+                self._blocked_links[link] = count - 1
+
+    @property
+    def blocked_links(self) -> Set[Tuple[int, int]]:
+        return set(self._blocked_links)
+
     def _partitioned(self, src: int, dst: int) -> bool:
         if not self._partitions:
             return False
@@ -115,8 +144,9 @@ class Network:
             self.messages_dropped += 1
             self._notify("drop", src, dst, message)
             return
-        if self._partitioned(src, dst):
+        if self._partitioned(src, dst) or (src, dst) in self._blocked_links:
             self.messages_dropped += 1
+            self.messages_blocked += 1
             self._notify("drop", src, dst, message)
             return
         if any(rule(src, dst, message) for rule in self._drop_rules):
@@ -130,6 +160,10 @@ class Network:
         delay = self.latency_model.sample(self.rng, src, dst)
         if self.bandwidth and size_bytes:
             delay += size_bytes / self.bandwidth
+        if self.link_bandwidth is not None and src != dst:
+            delay += self.link_bandwidth.transmission_delay(
+                src, dst, size_bytes, self.simulator.now
+            )
         if src == dst:
             delay = 0.0
         self.simulator.schedule(delay, self._finalise_delivery, src, dst, message)
@@ -150,5 +184,6 @@ class Network:
             "messages_sent": self.messages_sent,
             "messages_delivered": self.messages_delivered,
             "messages_dropped": self.messages_dropped,
+            "messages_blocked": self.messages_blocked,
             "bytes_sent": self.bytes_sent,
         }

@@ -16,11 +16,11 @@ the simulator also provides latency models in which the delay depends on
 from __future__ import annotations
 
 import random
-from typing import Dict, Mapping, Optional, Sequence
+from typing import Dict, Mapping, Sequence
 
 from repro.simnet.latency import LatencyModel
 
-__all__ = ["RackTopologyLatency", "MatrixLatency"]
+__all__ = ["RackTopologyLatency", "MatrixLatency", "RegionMatrixLatency"]
 
 
 class RackTopologyLatency(LatencyModel):
@@ -76,6 +76,7 @@ class RackTopologyLatency(LatencyModel):
         sampled = rng.gauss(base, base * self.jitter)
         return max(sampled, base * 0.1)
 
+    @property
     def upper_bound(self) -> float:
         return self.inter_delay * (1.0 + 4.0 * self.jitter)
 
@@ -114,6 +115,84 @@ class MatrixLatency(LatencyModel):
         sampled = rng.gauss(base, base * self.jitter)
         return max(sampled, base * 0.1)
 
+    @property
     def upper_bound(self) -> float:
         worst = max(max(row) for row in self._matrix)
+        return worst * (1.0 + 4.0 * self.jitter)
+
+
+class RegionMatrixLatency(LatencyModel):
+    """WAN latency: a region-level all-pairs matrix plus fast local links.
+
+    A committee of ``n`` processes mapped onto ``r`` regions only needs an
+    ``r x r`` latency matrix (e.g. measured one-way delays between cloud
+    regions), not an ``n x n`` one — this model does that mapping, using
+    ``intra_delay`` for two processes in the same region.
+
+    Args:
+        region_of: Mapping from process id to its region index (rows of
+            ``region_matrix``).  Unmapped processes share region ``0``.
+        region_matrix: ``region_matrix[a][b]`` is the mean one-way delay
+            between a process in region ``a`` and one in region ``b``.
+        intra_delay: Mean one-way delay within a region.
+        jitter: Relative standard deviation applied to either mean.
+    """
+
+    def __init__(
+        self,
+        region_of: Mapping[int, int],
+        region_matrix: Sequence[Sequence[float]],
+        intra_delay: float = 0.0005,
+        jitter: float = 0.1,
+    ) -> None:
+        size = len(region_matrix)
+        if size == 0 or any(len(row) != size for row in region_matrix):
+            raise ValueError("region matrix must be square and non-empty")
+        if any(value < 0 for row in region_matrix for value in row):
+            raise ValueError("latencies cannot be negative")
+        if intra_delay <= 0:
+            raise ValueError("intra-region delay must be positive")
+        if not 0 <= jitter < 1:
+            raise ValueError("jitter must be in [0, 1)")
+        if any(region < 0 or region >= size for region in region_of.values()):
+            raise ValueError("process mapped to a region outside the matrix")
+        self._region_of: Dict[int, int] = dict(region_of)
+        self._matrix = [list(row) for row in region_matrix]
+        self.intra_delay = intra_delay
+        self.jitter = jitter
+
+    @classmethod
+    def evenly_spread(
+        cls,
+        committee_size: int,
+        region_matrix: Sequence[Sequence[float]],
+        intra_delay: float = 0.0005,
+        jitter: float = 0.1,
+    ) -> "RegionMatrixLatency":
+        """Assign processes round-robin over the matrix's regions."""
+        regions = len(region_matrix)
+        mapping = {pid: pid % regions for pid in range(committee_size)}
+        return cls(mapping, region_matrix, intra_delay=intra_delay, jitter=jitter)
+
+    @property
+    def num_regions(self) -> int:
+        return len(self._matrix)
+
+    def region(self, process_id: int) -> int:
+        return self._region_of.get(process_id, 0)
+
+    def sample(self, rng: random.Random, src: int, dst: int) -> float:
+        src_region, dst_region = self.region(src), self.region(dst)
+        if src_region == dst_region:
+            base = self.intra_delay
+        else:
+            base = self._matrix[src_region][dst_region]
+        if not self.jitter or base == 0:
+            return base
+        sampled = rng.gauss(base, base * self.jitter)
+        return max(sampled, base * 0.1)
+
+    @property
+    def upper_bound(self) -> float:
+        worst = max(max(max(row) for row in self._matrix), self.intra_delay)
         return worst * (1.0 + 4.0 * self.jitter)

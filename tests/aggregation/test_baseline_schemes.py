@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.aggregation.base import make_aggregator
 from repro.consensus.config import ConsensusConfig
 from repro.experiments.runner import build_deployment, run_experiment
 from repro.experiments.workloads import ClientWorkload

@@ -101,7 +101,6 @@ class TestAggregatorStateHandling:
     def test_iniva_ignores_ack_from_non_parent(self):
         deployment = build_deployment(ConsensusConfig(committee_size=7, aggregation="iniva"))
         replica = deployment.replicas[0]
-        block = genesis_block()
         ack = AckMessage(block_id="nonexistent", view=1, aggregate=AggregateSignature(b"x", {0: 1}))
         # Handled (it is an Iniva message type) but must not crash or store state.
         assert replica.aggregator.handle(3, ack) is True

@@ -3,7 +3,6 @@ fulfillment, inclusiveness) over finished simulated deployments."""
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis.properties import (
     check_all_properties,

@@ -1,6 +1,5 @@
 """Tests for the targeted vote-omission analysis (Section VII-A)."""
 
-import math
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Tests for blocks and quorum certificates."""
 
-import pytest
 
 from repro.consensus.block import (
     Block,

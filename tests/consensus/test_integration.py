@@ -10,7 +10,7 @@ import pytest
 
 from repro.aggregation.messages import SignatureMessage
 from repro.consensus.config import ConsensusConfig
-from repro.experiments.runner import build_deployment, run_experiment, summarise
+from repro.experiments.runner import build_deployment, summarise
 from repro.experiments.workloads import ClientWorkload
 from repro.simnet.failures import FailureInjector, FailurePlan
 

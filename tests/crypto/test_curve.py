@@ -1,6 +1,5 @@
 """Tests for elliptic-curve group operations."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.crypto.curve import Point, distortion_map, generator, hash_to_point

@@ -4,7 +4,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.crypto.curve import Point, generator
-from repro.crypto.field import Fp2
 from repro.crypto.pairing import tate_pairing
 from repro.crypto.params import TOY_PARAMS
 

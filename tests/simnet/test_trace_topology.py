@@ -10,7 +10,7 @@ from repro.consensus.config import ConsensusConfig
 from repro.experiments.runner import build_deployment
 from repro.experiments.workloads import ClientWorkload
 from repro.simnet.topology import MatrixLatency, RackTopologyLatency
-from repro.simnet.trace import MessageTracer, TraceRecord
+from repro.simnet.trace import MessageTracer
 
 
 # ---------------------------------------------------------------------------
@@ -105,7 +105,7 @@ def test_rack_topology_intra_vs_inter():
     rng = random.Random(1)
     assert model.sample(rng, 0, 2) == pytest.approx(0.0005)   # both in group 0
     assert model.sample(rng, 0, 1) == pytest.approx(0.03)     # different groups
-    assert model.upper_bound() >= 0.03
+    assert model.upper_bound >= 0.03
     assert model.group(0) == 0 and model.group(1) == 1
 
 
@@ -137,7 +137,7 @@ def test_matrix_latency_lookup_and_validation():
     assert model.size == 3
     assert model.sample(rng, 0, 2) == pytest.approx(0.05)
     assert model.mean(1, 2) == pytest.approx(0.08)
-    assert model.upper_bound() == pytest.approx(0.08)
+    assert model.upper_bound == pytest.approx(0.08)
     with pytest.raises(ValueError):
         MatrixLatency([[0.0, 0.1]])
     with pytest.raises(ValueError):

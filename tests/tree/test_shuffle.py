@@ -2,7 +2,6 @@
 
 from collections import Counter
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.tree.shuffle import deterministic_shuffle, view_seed
