@@ -7,6 +7,11 @@ schemes shipped with the library — HotStuff's star, the plain tree
 gossip (with and without free-riding), Handel's level-based aggregation
 and Iniva itself — first fault-free and then with crashed replicas.
 
+Since the API redesign the whole comparison is one declarative grid over
+``repro.api.sweep``: every scheme is a one-dict override of the same base
+spec (scheme-specific knobs ride in ``scheme_params``), and the cells fan
+out over worker processes instead of running serially.
+
 The table makes the paper's central trade-off visible at a glance: the
 tree-based schemes pay some throughput for lower leader load, but only
 Iniva keeps *every* correct vote inside the certificates once processes
@@ -14,60 +19,69 @@ fail, which is what its reward mechanism needs.
 
 Run with::
 
-    python examples/baseline_showdown.py
+    python examples/baseline_showdown.py [--quick]
 """
 
+import sys
+
+from repro import api
 from repro.consensus.config import ConsensusConfig
 from repro.experiments.report import format_rows
-from repro.experiments.runner import run_experiment
-from repro.experiments.workloads import ClientWorkload
-from repro.simnet.failures import FailurePlan
 
+QUICK = "--quick" in sys.argv
 COMMITTEE = 13
-DURATION = 3.0
+DURATION = 1.2 if QUICK else 3.0
 LOAD = 4_000
+
+BASE_SPEC = {
+    "name": "baseline-showdown",
+    "batch_size": 50,
+    "duration": DURATION,
+    "warmup": DURATION / 6,
+    "delta": 0.0025,
+    "second_chance_timeout": 0.005,
+    "view_timeout": 0.15,
+    "committee": {"size": COMMITTEE},
+    "topology": {"kind": "normal", "intra_delay": 0.0005, "jitter": 0.2},
+    "workload": {"rate": float(LOAD), "payload_size": 64, "seed": 7},
+}
 
 SCHEMES = [
     ("HotStuff (star)", "star", {}),
     ("Iniva-No2C (tree)", "tree", {}),
     ("Kauri (stable tree)", "kauri", {}),
     ("Gosig k=3", "gosig", {"gossip_fanout": 3, "gossip_rounds": 8}),
-    ("Gosig k=3, 30% free-riding", "gosig", {"gossip_fanout": 3, "gossip_rounds": 8, "free_rider_fraction": 0.3}),
+    ("Gosig k=3, 30% free-riding", "gosig",
+     {"gossip_fanout": 3, "gossip_rounds": 8, "free_rider_fraction": 0.3}),
     ("Handel", "handel", {"handel_peers_per_level": 2}),
     ("Iniva", "iniva", {}),
 ]
 
 
 def run_grid(faults: int):
+    # One override dict per scheme = the whole grid; the crash schedule is
+    # part of the spec (seed 11, leader protected, like the original demo).
+    grid = [
+        {
+            "name": f"showdown-{scheme}-f{faults}",
+            "aggregation": scheme,
+            "scheme_params": overrides,
+            "faults": {"crashes": faults, "crash_seed": 11},
+        }
+        for _, scheme, overrides in SCHEMES
+    ]
+    results = api.sweep(BASE_SPEC, grid)
     rows = []
-    failure_plan = (
-        FailurePlan.random_crashes(COMMITTEE, faults, seed=11, exclude=[0]) if faults else None
-    )
-    for label, scheme, overrides in SCHEMES:
-        config = ConsensusConfig(
-            committee_size=COMMITTEE,
-            batch_size=50,
-            payload_size=64,
-            aggregation=scheme,
-            view_timeout=0.15,
-            **overrides,
-        )
-        result = run_experiment(
-            config,
-            duration=DURATION,
-            warmup=0.5,
-            workload=ClientWorkload(rate=LOAD, payload_size=64, seed=7),
-            failure_plan=failure_plan,
-            label=label,
-        )
+    for (label, _, _), run in zip(SCHEMES, results):
+        metrics = run.metrics
         rows.append(
             {
                 "scheme": label,
-                "throughput_ops": round(result.throughput, 1),
-                "latency_ms": round(result.latency.mean * 1000, 2),
-                "failed_views_pct": round(result.failed_view_fraction * 100, 1),
-                "avg_qc_size": round(result.average_qc_size, 2),
-                "cpu_mean_pct": round(result.cpu_utilisation_mean * 100, 2),
+                "throughput_ops": round(metrics.throughput, 1),
+                "latency_ms": round(metrics.latency.mean * 1000, 2),
+                "failed_views_pct": round(metrics.failed_view_fraction * 100, 1),
+                "avg_qc_size": round(metrics.average_qc_size, 2),
+                "cpu_mean_pct": round(metrics.cpu_utilisation_mean * 100, 2),
             }
         )
     return rows

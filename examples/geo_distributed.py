@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Geo-distributed committee, now expressed as a one-line scenario spec.
+"""Geo-distributed committee: one preset, one sweep grid, six runs.
 
 The paper's cluster sits behind one top-of-rack switch with sub-millisecond
 latency.  Public blockchain committees are not that lucky, so this example
@@ -13,25 +13,31 @@ answers two practical questions:
   re-run with ``star`` and plain ``tree`` aggregation by overriding one
   field of the spec.
 
-What used to be ~40 lines of hand-wired topology/timer/workload setup is
-now::
+The whole campaign is one ``repro.api.sweep`` call: a (scheme × faults)
+grid of overrides on the preset, fanned out over worker processes::
 
-    result = run_scenario(load_preset("wan-5-regions"))
+    runs = api.sweep("wan-5-regions", grid)
 
 Run with::
 
-    python examples/geo_distributed.py
+    python examples/geo_distributed.py [--quick]
 """
 
+import sys
+
+from repro import api
 from repro.analysis.closed_form import iniva_max_latency
 from repro.experiments.report import format_rows
-from repro.scenarios import compile_scenario, load_preset, run_scenario
+from repro.scenarios import compile_scenario
 
+QUICK = "--quick" in sys.argv
 SCHEMES = ("iniva", "tree", "star")
 
 
 def main() -> None:
-    base = load_preset("wan-5-regions")
+    base = api.resolve_spec("wan-5-regions")
+    if QUICK:
+        base = base.quick()
     compiled = compile_scenario(base)
     delta = compiled.config.delta
     print(
@@ -40,29 +46,34 @@ def main() -> None:
         f"(7Δ bound = {iniva_max_latency(delta) * 1000:.0f} ms)\n"
     )
 
+    # With wide-area view timeouts (8Δ ≈ 2 s) a crashed round-robin leader
+    # burns whole seconds, so the faulty runs use Carousel election, which
+    # only hands leadership to recent QC signers.
+    grid = [
+        {
+            "name": f"wan-{scheme}-f{faults}",
+            "aggregation": scheme,
+            "leader_policy": "carousel" if faults else "round-robin",
+            "faults": {"crashes": faults, "crash_at": 0.5},
+        }
+        for scheme in SCHEMES
+        for faults in (0, 2)
+    ]
+    results = api.sweep(base, grid)
+
     rows = []
-    for scheme in SCHEMES:
-        for faults in (0, 2):
-            # With wide-area view timeouts (8Δ ≈ 2 s) a crashed round-robin
-            # leader burns whole seconds, so the faulty runs use Carousel
-            # election, which only hands leadership to recent QC signers.
-            spec = base.with_(
-                aggregation=scheme,
-                leader_policy="carousel" if faults else "round-robin",
-                faults={"crashes": faults, "crash_at": 0.5},
-            )
-            result = run_scenario(spec)
-            summary = result.summary()
-            rows.append(
-                {
-                    "configuration": f"{scheme}, {faults} faults",
-                    "throughput_ops": round(summary["throughput_ops"], 1),
-                    "latency_ms": round(summary["latency_mean_ms"], 1),
-                    "avg_qc_size": round(summary["avg_qc_size"], 2),
-                    "failed_views_pct": round(summary["failed_views_pct"], 1),
-                    "2nd_chance_votes": int(summary["second_chance_votes"]),
-                }
-            )
+    for cell, run in zip(grid, results):
+        summary = run.summary()
+        rows.append(
+            {
+                "configuration": f"{cell['aggregation']}, {cell['faults']['crashes']} faults",
+                "throughput_ops": round(summary["throughput_ops"], 1),
+                "latency_ms": round(summary["latency_mean_ms"], 1),
+                "avg_qc_size": round(summary["avg_qc_size"], 2),
+                "failed_views_pct": round(summary["failed_views_pct"], 1),
+                "2nd_chance_votes": int(summary["second_chance_votes"]),
+            }
+        )
     print(format_rows(rows, title="Geo-distributed committee (wan-5-regions preset)"))
 
     print(

@@ -7,19 +7,23 @@ This walks through the three layers of the library:
    multiplicities / verify),
 2. the deterministic aggregation tree, and
 3. a full simulated committee running chained HotStuff with Iniva vote
-   aggregation, reporting throughput, latency and vote inclusion.
+   aggregation through the ``repro.api`` facade (one declarative spec in,
+   one :class:`RunResult` out), reporting throughput, latency and vote
+   inclusion.
 
 Run with::
 
-    python examples/quickstart.py
+    python examples/quickstart.py [--quick]
 """
 
-from repro.consensus.config import ConsensusConfig
+import sys
+
+from repro import api
 from repro.core.rewards import RewardParams, compute_rewards
 from repro.crypto import Committee, get_scheme
-from repro.experiments.runner import run_experiment
-from repro.experiments.workloads import ClientWorkload
 from repro.tree.overlay import AggregationTree
+
+QUICK = "--quick" in sys.argv
 
 
 def multi_signature_demo() -> None:
@@ -66,20 +70,36 @@ def aggregation_tree_demo() -> None:
 
 def consensus_demo() -> None:
     print("=== 3. A simulated Iniva committee (21 replicas) ===")
-    config = ConsensusConfig(committee_size=21, batch_size=100, payload_size=64,
-                             aggregation="iniva", seed=1)
-    result = run_experiment(
-        config,
-        duration=3.0,
-        warmup=0.5,
-        workload=ClientWorkload(rate=8000, payload_size=64),
+    # One declarative spec is the whole deployment description; api.run
+    # compiles it, runs it and hands back the unified RunResult.
+    run = api.run(
+        {
+            "name": "quickstart",
+            "aggregation": "iniva",
+            "duration": 3.0,
+            "warmup": 0.5,
+            "seed": 1,
+            # Pinned to the historical run_experiment defaults so the
+            # numbers match earlier releases: testbed latency (0.5 ms,
+            # 20 % jitter), ConsensusConfig timers, workload seed 42.
+            "delta": 0.0025,
+            "second_chance_timeout": 0.005,
+            "view_timeout": 0.25,
+            "topology": {"kind": "normal", "intra_delay": 0.0005, "jitter": 0.2},
+            "committee": {"size": 21},
+            "workload": {"rate": 8000.0, "payload_size": 64, "seed": 42},
+        },
+        quick=QUICK,
     )
-    print(f"throughput:        {result.throughput:,.0f} ops/sec")
-    print(f"mean latency:      {result.latency.mean * 1000:.1f} ms")
-    print(f"avg QC size:       {result.average_qc_size:.2f} of {config.committee_size} "
+    metrics = run.metrics
+    committee_size = run.spec.committee.size
+    print(f"throughput:        {metrics.throughput:,.0f} ops/sec")
+    print(f"mean latency:      {metrics.latency.mean * 1000:.1f} ms")
+    print(f"avg QC size:       {metrics.average_qc_size:.2f} of {committee_size} "
           "(Iniva includes every correct vote)")
-    print(f"failed views:      {result.failed_view_fraction * 100:.1f}%")
-    print(f"CPU utilisation:   {result.cpu_utilisation_mean * 100:.1f}% (mean per replica)")
+    print(f"failed views:      {metrics.failed_view_fraction * 100:.1f}%")
+    print(f"CPU utilisation:   {metrics.cpu_utilisation_mean * 100:.1f}% (mean per replica)")
+    print("full JSON document: run.to_json() — stable repro.run-result/1 schema")
 
 
 if __name__ == "__main__":

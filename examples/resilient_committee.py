@@ -5,59 +5,79 @@ Runs the same workload against HotStuff (star aggregation), the plain tree
 (Iniva-No2C) and Iniva while crashing replicas, and shows how the fallback
 paths keep every correct vote inside the quorum certificates — the
 property the reward mechanism depends on (Figure 4 of the paper).  The
-hand-wired deployment loop of the original example is now a pair of
-declarative scenario specs::
+whole (scheme × faults) comparison is one ``repro.api.sweep`` grid on the
+``rack-baseline`` preset, and the partition demo is a one-line
+``api.run``::
 
-    run_scenario(load_preset("rack-baseline").with_(faults={"crashes": 4}))
-    run_scenario(load_preset("partition-heal"))
+    runs = api.sweep(base, grid)
+    api.run("partition-heal")
 
 Run with::
 
-    python examples/resilient_committee.py
+    python examples/resilient_committee.py [--quick]
 """
 
-from repro.experiments.report import format_rows
-from repro.scenarios import load_preset, run_scenario
+import sys
 
+from repro import api
+from repro.experiments.report import format_rows
+
+QUICK = "--quick" in sys.argv
 FAULTS = [0, 2, 4]
 SCHEMES = {"HotStuff": "star", "Iniva-No2C": "tree", "Iniva": "iniva"}
 
 
 def main() -> None:
-    base = load_preset("rack-baseline").with_(seed=7, workload={"rate": 6000.0})
+    base = api.resolve_spec("rack-baseline").with_(seed=7, workload={"rate": 6000.0})
+    committee_size = (base.quick() if QUICK else base).committee.size
+    grid = [
+        {
+            "name": f"resilient-{aggregation}-f{faults}",
+            "aggregation": aggregation,
+            "faults": {"crashes": faults},
+        }
+        for aggregation in SCHEMES.values()
+        for faults in FAULTS
+    ]
+    results = api.sweep(base, grid, quick=QUICK)
+
     rows = []
-    for label, aggregation in SCHEMES.items():
-        for faults in FAULTS:
-            spec = base.with_(aggregation=aggregation, faults={"crashes": faults})
-            summary = run_scenario(spec).summary()
-            rows.append(
-                {
-                    "scheme": label,
-                    "crashed": faults,
-                    "throughput_ops": round(summary["throughput_ops"], 0),
-                    "latency_ms": round(summary["latency_mean_ms"], 1),
-                    "failed_views_pct": round(summary["failed_views_pct"], 1),
-                    "avg_qc_size": round(summary["avg_qc_size"], 2),
-                    "correct_replicas": base.committee.size - faults,
-                    "2nd_chance_votes": int(summary["second_chance_votes"]),
-                }
-            )
-    print(format_rows(rows, title="Crash-fault resiliency (rack-baseline preset, 21 replicas)"))
+    labels = [label for label in SCHEMES for _ in FAULTS]
+    for label, cell, run in zip(labels, grid, results):
+        summary = run.summary()
+        faults = cell["faults"]["crashes"]
+        rows.append(
+            {
+                "scheme": label,
+                "crashed": faults,
+                "throughput_ops": round(summary["throughput_ops"], 0),
+                "latency_ms": round(summary["latency_mean_ms"], 1),
+                "failed_views_pct": round(summary["failed_views_pct"], 1),
+                "avg_qc_size": round(summary["avg_qc_size"], 2),
+                "correct_replicas": run.spec.committee.size - faults,
+                "2nd_chance_votes": int(summary["second_chance_votes"]),
+            }
+        )
+    print(format_rows(
+        rows,
+        title=f"Crash-fault resiliency (rack-baseline preset, {committee_size} replicas)",
+    ))
     print()
     print("Things to notice:")
-    print(" * HotStuff QCs always contain just a quorum (15 votes) - omissions are invisible.")
+    print(" * HotStuff QCs always contain just a quorum - omissions are invisible.")
     print(" * The plain tree loses whole subtrees when an internal aggregator crashes.")
     print(" * Iniva's 2ND-CHANCE fallback re-adds every correct vote, so the QC size")
-    print("   tracks the number of correct replicas even with 4 crashes.")
+    print("   tracks the number of correct replicas even with crashes.")
 
     # Partitions are first-class too: two replicas get cut off mid-run and
     # the links heal later — watch the QC size dip and recover.
-    partition = run_scenario(load_preset("partition-heal"))
+    partition = api.run("partition-heal", quick=QUICK)
     summary = partition.summary()
+    total = partition.spec.committee.size
     print(
         f"\nPartition-heal preset: {int(summary['messages_blocked'])} messages suppressed "
         f"while the partition was up, yet only {summary['failed_views_pct']:.1f}% of views "
-        f"failed and the average QC still held {summary['avg_qc_size']:.2f} of 9 votes — "
+        f"failed and the average QC still held {summary['avg_qc_size']:.2f} of {total} votes — "
         "the quorum side kept committing and the healed links rejoined seamlessly."
     )
 

@@ -12,26 +12,45 @@ them the way any committee member would:
    multiplicities would be flagged as faulty),
 3. recompute the reward distribution and the 2ND-CHANCE punishments.
 
+The deployment comes from ``repro.api.deploy`` — the facade's escape
+hatch that compiles a declarative spec into a live, not-yet-started
+simulator so custom drop rules can be installed before the run.
+
 Run with::
 
-    python examples/reward_audit.py
+    python examples/reward_audit.py [--quick]
 """
 
-from repro.aggregation.messages import SignatureMessage
-from repro.consensus.config import ConsensusConfig
-from repro.core.rewards import RewardParams, compute_rewards, validate_multiplicities
-from repro.experiments.runner import build_deployment
-from repro.experiments.workloads import ClientWorkload
+import sys
 
+from repro import api
+from repro.aggregation.messages import SignatureMessage
+from repro.core.rewards import RewardParams, compute_rewards, validate_multiplicities
+
+QUICK = "--quick" in sys.argv
 PARAMS = RewardParams(total_reward=1.0, leader_bonus=0.15, aggregation_bonus=0.02)
 SUPPRESSED_REPLICA = 5  # this replica's tree votes get dropped by the network
+DURATION = 1.0 if QUICK else 1.5
 
 
 def run_deployment():
-    config = ConsensusConfig(committee_size=9, batch_size=20, aggregation="iniva", seed=4)
-    deployment = build_deployment(config, warmup=0.1)
-    ClientWorkload(rate=1500, payload_size=64, seed=4).attach(
-        deployment.simulator, deployment.mempool, 1.5
+    deployment = api.deploy(
+        {
+            "name": "reward-audit",
+            "aggregation": "iniva",
+            "batch_size": 20,
+            "duration": DURATION,
+            "warmup": 0.1,
+            "seed": 4,
+            # Historical run_experiment defaults: testbed latency (0.5 ms,
+            # 20 % jitter) and the ConsensusConfig timers.
+            "delta": 0.0025,
+            "second_chance_timeout": 0.005,
+            "view_timeout": 0.25,
+            "topology": {"kind": "normal", "intra_delay": 0.0005, "jitter": 0.2},
+            "committee": {"size": 9},
+            "workload": {"rate": 1500.0, "payload_size": 64, "seed": 4},
+        }
     )
     # Simulate a flaky/censored replica: its votes towards its parent are lost,
     # so it can only be included through the 2ND-CHANCE fallback.
@@ -39,7 +58,7 @@ def run_deployment():
         lambda src, dst, msg: src == SUPPRESSED_REPLICA and isinstance(msg, SignatureMessage)
     )
     deployment.start()
-    deployment.simulator.run(until=1.5)
+    deployment.simulator.run(until=DURATION)
     return deployment
 
 

@@ -8,27 +8,33 @@ randomised gossip and Iniva.
 
 Run with::
 
-    python examples/vote_omission_attack.py
+    python examples/vote_omission_attack.py [--quick]
 """
 
-from repro.analysis.table1 import format_table1, table1
+import sys
+
+from repro import api
 from repro.attacks.gosig_sim import GosigConfig, GosigSimulator
 from repro.attacks.omission import analytic_star_omission, omission_probability
 from repro.attacks.reward_sim import RewardAttackSimulator
 from repro.core.rewards import RewardParams
 
 
+QUICK = "--quick" in sys.argv
+SCALE = 10 if QUICK else 1  # divide all trial counts in quick mode
+
+
 def omission_probabilities(attacker_power: float = 0.10) -> None:
     print(f"=== Targeted vote omission, attacker controls {attacker_power:.0%} ===")
     star = analytic_star_omission(attacker_power)
-    iniva = omission_probability(attacker_power, collateral=0, trials=20_000, seed=1)
+    iniva = omission_probability(attacker_power, collateral=0, trials=20_000 // SCALE, seed=1)
     gosig = GosigSimulator(
         GosigConfig(gossip_fanout=2, attacker_power=attacker_power), seed=1
-    ).omission_probability(trials=800)
+    ).omission_probability(trials=800 // SCALE)
     gosig_fr = GosigSimulator(
         GosigConfig(gossip_fanout=2, attacker_power=attacker_power, free_riding_fraction=0.3),
         seed=1,
-    ).omission_probability(trials=800)
+    ).omission_probability(trials=800 // SCALE)
 
     print(f"star protocol (leader decides):        {star:6.2%}")
     print(f"Gosig k=2:                             {gosig.probability:6.2%}")
@@ -43,13 +49,13 @@ def attack_economics(attacker_power: float = 0.10) -> None:
     print(f"=== What does censoring one vote cost the attacker? (m = {attacker_power:.0%}) ===")
     params = RewardParams(leader_bonus=0.15, aggregation_bonus=0.02)
     iniva = RewardAttackSimulator(111, 10, attacker_power, params, seed=2).run_iniva(
-        "vote-omission", trials=3000, unlimited_collateral=True
+        "vote-omission", trials=3000 // SCALE, unlimited_collateral=True
     )
     iniva_small = RewardAttackSimulator(109, 4, attacker_power, params, seed=2).run_iniva(
-        "vote-omission", trials=3000, unlimited_collateral=True
+        "vote-omission", trials=3000 // SCALE, unlimited_collateral=True
     )
     star = RewardAttackSimulator(111, 10, attacker_power, params, seed=2).run_star(
-        "vote-omission", trials=3000
+        "vote-omission", trials=3000 // SCALE
     )
     print("attacker's expected loss per block (fraction of the block reward R):")
     print(f"  star protocol:          {star.attacker_lost_reward:8.4%}")
@@ -61,8 +67,9 @@ def attack_economics(attacker_power: float = 0.10) -> None:
 
 
 def scheme_comparison() -> None:
-    print("=== Table I: scheme comparison ===")
-    print(format_table1(table1(attacker_power=0.1, gosig_trials=400, seed=3)))
+    # Table I through the facade: same registry + quick profile as the CLI.
+    artifact = api.figure("table1", quick=QUICK, seed=3, gosig_trials=40 if QUICK else 400)
+    print(artifact.to_table())
 
 
 if __name__ == "__main__":

@@ -1,8 +1,9 @@
 """Command-line interface for regenerating the paper's tables and figures.
 
-``python -m repro`` exposes every experiment in the repository so a user
-can reproduce a figure, run a one-off deployment or export the underlying
-data without writing any code::
+``python -m repro`` is a thin shell over the :mod:`repro.api` facade: it
+exposes every experiment in the repository so a user can reproduce a
+figure, run a one-off deployment or export the underlying data without
+writing any code::
 
     python -m repro list
     python -m repro table1 --quick
@@ -13,9 +14,13 @@ data without writing any code::
     python -m repro scenario partition-heal --quick
     python -m repro scenario my_campaign.yaml --output-dir results/
 
-``--quick`` shrinks trial counts and durations so every command finishes
-in seconds; dropping it uses the defaults the benchmarks use (minutes).
-Use ``--output-dir`` to also write CSV/JSON/Markdown artifacts.
+``--quick`` applies the shared quick-profile table (reduced trial counts
+and durations) so every command finishes in seconds; dropping it uses the
+defaults the benchmarks use (minutes).  Use ``--output-dir`` to also
+write CSV/JSON/Markdown artifacts.  For the ``run`` and ``scenario``
+commands ``--format json`` emits the full versioned
+:class:`~repro.results.RunResult` schema document (config echo, seed,
+per-epoch metrics); figure commands print their rows as JSON.
 ``scenario`` accepts either a built-in preset name (see ``--list``) or a
 path to a JSON/YAML spec file (see :mod:`repro.scenarios`).
 """
@@ -24,182 +29,24 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
-from repro.analysis.table1 import table1
+from repro import api
 from repro.consensus.config import ConsensusConfig
 from repro.experiments.export import FigureArtifact
-from repro.experiments.resiliency import figure_4
-from repro.experiments.runner import run_experiment
-from repro.experiments.scalability import figure_3c
-from repro.experiments.security import figure_2a, figure_2b, figure_2c, figure_2d
-from repro.experiments.throughput import figure_3a
-from repro.experiments.cpu import figure_3b
-from repro.experiments.workloads import ClientWorkload
-from repro.simnet.failures import FailurePlan
+from repro.results import RunResult
+from repro.scenarios.spec import (
+    CommitteeSpec,
+    FaultSpec,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+)
 
 __all__ = ["main", "build_parser", "EXPERIMENTS"]
 
-
-class _Experiment:
-    """One reproducible table/figure: how to run it and how to plot it."""
-
-    def __init__(
-        self,
-        name: str,
-        title: str,
-        run: Callable[[argparse.Namespace], List[Dict[str, object]]],
-        series_key: Optional[str] = None,
-        x: Optional[str] = None,
-        y: Optional[str] = None,
-    ) -> None:
-        self.name = name
-        self.title = title
-        self.run = run
-        self.series_key = series_key
-        self.x = x
-        self.y = y
-
-    def artifact(self, args: argparse.Namespace) -> FigureArtifact:
-        rows = self.run(args)
-        return FigureArtifact(
-            name=self.name,
-            title=self.title,
-            rows=list(rows),
-            series_key=self.series_key,
-            x=self.x,
-            y=self.y,
-        )
-
-
-def _run_table1(args: argparse.Namespace) -> List[Dict[str, object]]:
-    trials = 100 if args.quick else 800
-    rows = table1(attacker_power=args.attacker_power, gosig_trials=trials, seed=args.seed)
-    return [row.as_dict() for row in rows]
-
-
-def _run_fig2a(args: argparse.Namespace) -> List[Dict[str, object]]:
-    if args.quick:
-        return figure_2a(
-            attacker_powers=(0.05, 0.10, 0.15),
-            gosig_trials=60,
-            iniva_trials=800,
-            seed=args.seed,
-        )
-    return figure_2a(seed=args.seed)
-
-
-def _run_fig2b(args: argparse.Namespace) -> List[Dict[str, object]]:
-    if args.quick:
-        return figure_2b(collaterals=(0, 2, 4, 6, 8), gosig_trials=60, iniva_trials=600, seed=args.seed)
-    return figure_2b(seed=args.seed)
-
-
-def _run_fig2c(args: argparse.Namespace) -> List[Dict[str, object]]:
-    if args.quick:
-        return figure_2c(attacker_powers=(0.1, 0.3), trials=80, seed=args.seed)
-    return figure_2c(seed=args.seed)
-
-
-def _run_fig2d(args: argparse.Namespace) -> List[Dict[str, object]]:
-    if args.quick:
-        return figure_2d(trials=80, seed=args.seed)
-    return figure_2d(seed=args.seed)
-
-
-def _run_fig3a(args: argparse.Namespace) -> List[Dict[str, object]]:
-    if args.quick:
-        return figure_3a(
-            committee_size=9, loads=(2_000, 6_000), duration=1.0, warmup=0.2, seed=args.seed
-        )
-    return figure_3a(seed=args.seed)
-
-
-def _run_fig3b(args: argparse.Namespace) -> List[Dict[str, object]]:
-    if args.quick:
-        return figure_3b(
-            committee_size=9,
-            payload_sizes=(64,),
-            saturation_load=6_000,
-            duration=1.0,
-            warmup=0.2,
-            seed=args.seed,
-        )
-    return figure_3b(seed=args.seed)
-
-
-def _run_fig3c(args: argparse.Namespace) -> List[Dict[str, object]]:
-    if args.quick:
-        return figure_3c(
-            replica_counts=(9, 13), payload_sizes=(64,), load=4_000, duration=1.0, warmup=0.2,
-            seed=args.seed,
-        )
-    return figure_3c(seed=args.seed)
-
-
-def _run_fig4(args: argparse.Namespace) -> List[Dict[str, object]]:
-    if args.quick:
-        return figure_4(
-            committee_size=9,
-            fault_counts=(0, 1, 2),
-            load=2_000,
-            duration=1.5,
-            warmup=0.2,
-            view_timeout=0.1,
-            seed=args.seed,
-        )
-    return figure_4(seed=args.seed)
-
-
-EXPERIMENTS: Dict[str, _Experiment] = {
-    experiment.name: experiment
-    for experiment in (
-        _Experiment("table1", "Table I: scheme comparison", _run_table1),
-        _Experiment(
-            "fig2a",
-            "Figure 2a: 0-collateral omission probability",
-            _run_fig2a,
-            series_key="protocol",
-            x="attacker_power",
-            y="omission_probability",
-        ),
-        _Experiment(
-            "fig2b",
-            "Figure 2b: omission probability vs collateral",
-            _run_fig2b,
-            series_key="protocol",
-            x="collateral",
-            y="omission_probability",
-        ),
-        _Experiment("fig2c", "Figure 2c: reward lost under collateral-0 attacks", _run_fig2c),
-        _Experiment("fig2d", "Figure 2d: reward lost with large collateral", _run_fig2d),
-        _Experiment(
-            "fig3a",
-            "Figure 3a: throughput vs latency",
-            _run_fig3a,
-            series_key="scheme",
-            x="throughput_ops",
-            y="latency_ms",
-        ),
-        _Experiment("fig3b", "Figure 3b: CPU usage", _run_fig3b),
-        _Experiment(
-            "fig3c",
-            "Figure 3c: scalability",
-            _run_fig3c,
-            series_key="scheme",
-            x="replicas",
-            y="throughput_ops",
-        ),
-        _Experiment(
-            "fig4",
-            "Figure 4: resiliency under crash faults",
-            _run_fig4,
-            series_key="variant",
-            x="faulty_nodes",
-            y="throughput_ops",
-        ),
-    )
-}
+#: The figure catalogue (name → how to run/plot it) — shared with the API.
+EXPERIMENTS = api.FIGURES
 
 
 # ---------------------------------------------------------------------------
@@ -225,7 +72,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_parser = subparsers.add_parser("run", help="run a single simulated deployment")
     _add_common_options(run_parser)
-    run_parser.add_argument("--scheme", default="iniva", choices=sorted(ConsensusConfig.SUPPORTED_AGGREGATIONS))
+    run_parser.add_argument(
+        "--scheme", default="iniva", choices=sorted(ConsensusConfig.SUPPORTED_AGGREGATIONS)
+    )
     run_parser.add_argument("--replicas", type=int, default=21)
     run_parser.add_argument("--batch", type=int, default=100)
     run_parser.add_argument("--payload", type=int, default=64)
@@ -259,7 +108,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--format",
         choices=["table", "csv", "json", "markdown", "plot"],
         default="table",
-        help="how to print the result on stdout",
+        help="how to print the result on stdout (json = RunResult schema)",
     )
     scenario_parser.add_argument(
         "--output-dir",
@@ -324,56 +173,38 @@ def _command_scenario_list() -> str:
     return "\n".join(lines)
 
 
-def _command_scenario(args: argparse.Namespace) -> FigureArtifact:
-    import os
-
-    from repro.scenarios import PRESETS, ScenarioSpec, load_preset, run_scenario
-
-    target = args.spec
-    # Preset names always win so a stray local file/directory named like a
-    # preset can't shadow the catalogue; everything else is a spec path.
-    if target in PRESETS:
-        spec = load_preset(target)
-    elif os.path.isfile(target):
-        spec = ScenarioSpec.load(target)
-    elif target.lower().endswith((".json", ".yaml", ".yml")):
-        raise FileNotFoundError(f"scenario spec file not found: {target}")
-    else:
-        spec = load_preset(target)  # raises KeyError listing the catalogue
-    if args.seed is not None:
-        spec = spec.with_(seed=args.seed)
-    result = run_scenario(spec, quick=args.quick)
-    return result.artifact()
+def _command_scenario(args: argparse.Namespace) -> RunResult:
+    return api.run(args.spec, quick=args.quick, seed=args.seed)
 
 
-def _command_run(args: argparse.Namespace) -> FigureArtifact:
-    config = ConsensusConfig(
-        committee_size=args.replicas,
-        batch_size=args.batch,
-        payload_size=args.payload,
-        aggregation=args.scheme,
-        leader_policy=args.leader_policy,
-        second_chance_timeout=args.second_chance_timeout,
-        view_timeout=0.1 if args.quick else 0.25,
-        seed=args.seed,
-    )
+def _command_run(args: argparse.Namespace) -> RunResult:
     duration = min(args.duration, 1.5) if args.quick else args.duration
-    failure_plan = None
-    if args.faults:
-        failure_plan = FailurePlan.random_crashes(
-            committee_size=args.replicas, count=args.faults, seed=args.seed
-        )
-    result = run_experiment(
-        config,
+    spec = ScenarioSpec(
+        name="run",
+        aggregation=args.scheme,
+        batch_size=args.batch,
+        leader_policy=args.leader_policy,
         duration=duration,
         warmup=min(0.2, duration / 5),
-        workload=ClientWorkload(rate=args.load, payload_size=args.payload, seed=args.seed),
-        failure_plan=failure_plan,
-        label=f"{args.scheme} n={args.replicas} faults={args.faults}",
+        seed=args.seed,
+        delta=0.0025,
+        second_chance_timeout=args.second_chance_timeout,
+        view_timeout=0.1 if args.quick else 0.25,
+        committee=CommitteeSpec(size=args.replicas),
+        topology=TopologySpec(kind="normal", intra_delay=0.0005, jitter=0.2),
+        workload=WorkloadSpec(rate=args.load, payload_size=args.payload, seed=args.seed),
+        faults=FaultSpec(crashes=args.faults, crash_seed=args.seed, protect_leader=False),
     )
-    row: Dict[str, object] = {"configuration": result.config_label}
-    row.update(result.row())
-    row["committed_blocks"] = result.committed_blocks
+    return api.run(spec)
+
+
+def _run_artifact(args: argparse.Namespace, result: RunResult) -> FigureArtifact:
+    metrics = result.metrics
+    row: Dict[str, object] = {
+        "configuration": f"{args.scheme} n={args.replicas} faults={args.faults}"
+    }
+    row.update(metrics.row())
+    row["committed_blocks"] = metrics.committed_blocks
     return FigureArtifact(name="run", title="Single deployment run", rows=[row])
 
 
@@ -388,6 +219,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(_command_list())
         return 0
 
+    result: Optional[RunResult] = None
     if args.command == "scenario":
         if args.list_presets:
             print(_command_scenario_list())
@@ -396,13 +228,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(_command_scenario_list())
             print("\nerror: give a preset name or spec file (or --list)")
             return 2
-        artifact = _command_scenario(args)
+        result = _command_scenario(args)
+        artifact = result.artifact()
     elif args.command == "run":
-        artifact = _command_run(args)
+        result = _command_run(args)
+        artifact = _run_artifact(args, result)
     else:
-        artifact = EXPERIMENTS[args.command].artifact(args)
+        extra = {}
+        if args.command == "table1":
+            extra["attacker_power"] = args.attacker_power
+        artifact = api.figure(args.command, quick=args.quick, seed=args.seed, **extra)
 
-    print(_render(artifact, args.format))
+    if result is not None and args.format == "json":
+        # A single run serialises as the full RunResult schema document.
+        print(result.to_json())
+    else:
+        print(_render(artifact, args.format))
     if args.output_dir:
         paths = artifact.write(args.output_dir)
         print("\nwrote artifacts:")

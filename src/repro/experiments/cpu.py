@@ -4,17 +4,17 @@ The paper measures the percentage of CPU time used by a process for 64 B
 and 128 B payloads at batch sizes 100 and 800, and finds that Iniva uses
 roughly half the CPU of HotStuff because the tree distributes verification
 work and the lower block rate leaves the processors idle for longer.  The
-simulated equivalent reports the mean and maximum per-replica CPU
-utilisation at saturation load.
+simulated equivalent is a declarative grid of :class:`ScenarioSpec` cells
+over :func:`repro.api.sweep` reporting the mean and maximum per-replica
+CPU utilisation at saturation load.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.consensus.config import ConsensusConfig
-from repro.experiments.runner import run_experiment
-from repro.experiments.workloads import ClientWorkload
+from repro.api import sweep
+from repro.experiments.specs import testbed_base
 
 __all__ = ["figure_3b"]
 
@@ -28,35 +28,36 @@ def figure_3b(
     duration: float = 4.0,
     warmup: float = 1.0,
     seed: int = 1,
+    max_workers: Optional[int] = None,
 ) -> List[Dict[str, object]]:
     """CPU utilisation of each scheme at saturation.  One row per cell."""
     schemes = schemes or {"HotStuff": "star", "Iniva": "iniva"}
-    rows: List[Dict[str, object]] = []
+    base = testbed_base("fig3b", duration=duration, warmup=warmup, seed=seed)
+    cells: List[Dict[str, object]] = []
+    grid: List[Dict[str, object]] = []
     for label, aggregation in schemes.items():
         for payload in payload_sizes:
             for batch in batch_sizes:
-                config = ConsensusConfig(
-                    committee_size=committee_size,
-                    batch_size=batch,
-                    payload_size=payload,
-                    aggregation=aggregation,
-                    seed=seed,
-                )
-                result = run_experiment(
-                    config,
-                    duration=duration,
-                    warmup=warmup,
-                    workload=ClientWorkload(rate=saturation_load, payload_size=payload),
-                    label=f"{label} {payload}b B={batch}",
-                )
-                rows.append(
+                grid.append(
                     {
-                        "scheme": label,
-                        "payload_bytes": payload,
+                        "name": f"fig3b-{aggregation}-{payload}b-B{batch}",
+                        "aggregation": aggregation,
                         "batch_size": batch,
-                        "cpu_mean_pct": round(result.cpu_utilisation_mean * 100, 2),
-                        "cpu_max_pct": round(result.cpu_utilisation_max * 100, 2),
-                        "throughput_ops": round(result.throughput, 1),
+                        "committee": {"size": committee_size},
+                        "workload": {"rate": saturation_load, "payload_size": payload},
                     }
                 )
+                cells.append({"scheme": label, "payload_bytes": payload, "batch_size": batch})
+    results = sweep(base, grid, max_workers=max_workers)
+    rows: List[Dict[str, object]] = []
+    for cell, result in zip(cells, results):
+        metrics = result.metrics
+        rows.append(
+            {
+                **cell,
+                "cpu_mean_pct": round(metrics.cpu_utilisation_mean * 100, 2),
+                "cpu_max_pct": round(metrics.cpu_utilisation_max * 100, 2),
+                "throughput_ops": round(metrics.throughput, 1),
+            }
+        )
     return rows

@@ -1,8 +1,15 @@
 """Generic experiment runner: deploy, load, fail, run, measure.
 
+This is the low-level deployment layer.  New code should normally go
+through the :mod:`repro.api` facade (``run``/``sweep`` over
+:class:`~repro.scenarios.spec.ScenarioSpec`), which compiles declarative
+specs down to the functions in this module; :func:`build_deployment` and
+:func:`run_experiment` remain supported entry points for callers that
+need to wire a deployment by hand.
+
 Sweeps over many configurations are embarrassingly parallel — every run
-owns its own simulator, network and committee — so :func:`run_sweep`
-fans a list of :class:`SweepSpec` jobs out over worker processes with
+owns its own simulator, network and committee — so :func:`parallel_map`
+fans independent jobs out over worker processes with
 ``concurrent.futures`` while preserving input order and per-run
 determinism.  Set the ``REPRO_MAX_WORKERS`` environment variable (or the
 ``max_workers`` argument) to bound or disable the parallelism.
@@ -13,7 +20,7 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, TypeVar
 
 from repro.consensus.config import ConsensusConfig
 from repro.consensus.leader import make_leader_election
@@ -34,6 +41,7 @@ __all__ = [
     "ExperimentResult",
     "SweepSpec",
     "build_deployment",
+    "parallel_map",
     "run_experiment",
     "run_sweep",
 ]
@@ -94,6 +102,35 @@ class ExperimentResult:
             "cpu_mean_pct": round(self.cpu_utilisation_mean * 100, 2),
             "cpu_max_pct": round(self.cpu_utilisation_max * 100, 2),
         }
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-ready representation (inverse of :meth:`from_dict`)."""
+        return {
+            "config_label": self.config_label,
+            "duration": self.duration,
+            "throughput": self.throughput,
+            "latency": self.latency.to_dict(),
+            "failed_view_fraction": self.failed_view_fraction,
+            "total_views": self.total_views,
+            "successful_views": self.successful_views,
+            "average_qc_size": self.average_qc_size,
+            "second_chance_inclusions": self.second_chance_inclusions,
+            "cpu_utilisation_mean": self.cpu_utilisation_mean,
+            "cpu_utilisation_max": self.cpu_utilisation_max,
+            "committed_operations": self.committed_operations,
+            "committed_blocks": self.committed_blocks,
+            "message_counters": dict(self.message_counters),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ExperimentResult":
+        payload = dict(data)
+        payload["latency"] = LatencyStats.from_dict(payload["latency"])
+        payload["message_counters"] = {
+            str(key): int(value)
+            for key, value in dict(payload.get("message_counters", {})).items()
+        }
+        return cls(**payload)
 
 
 def _make_signature_scheme(config: ConsensusConfig) -> MultiSignatureScheme:
@@ -229,6 +266,33 @@ def default_sweep_workers() -> int:
     return os.cpu_count() or 1
 
 
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def parallel_map(
+    fn: Callable[[_T], _R], items: Iterable[_T], max_workers: Optional[int] = None
+) -> List[_R]:
+    """Map ``fn`` over ``items`` through the shared worker-process pool.
+
+    This is the one fan-out primitive every sweep in the repository uses:
+    :func:`run_sweep`, :func:`repro.api.sweep` and the per-cell grids of
+    the figure modules all go through it.  ``fn`` and the items must be
+    picklable (module-level functions and plain data).  Results preserve
+    input order regardless of which worker finishes first; with
+    ``max_workers`` (or ``REPRO_MAX_WORKERS``) equal to one everything
+    runs serially in-process, which is bit-identical to the parallel run.
+    """
+    item_list: Sequence[_T] = list(items)
+    if max_workers is None:
+        max_workers = default_sweep_workers()
+    max_workers = max(1, min(max_workers, len(item_list)))
+    if max_workers == 1 or len(item_list) <= 1:
+        return [fn(item) for item in item_list]
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        return list(pool.map(fn, item_list))
+
+
 def run_sweep(
     specs: Iterable[SweepSpec], max_workers: Optional[int] = None
 ) -> List[ExperimentResult]:
@@ -240,14 +304,7 @@ def run_sweep(
     seeds).  With ``max_workers`` (or ``REPRO_MAX_WORKERS``) equal to one,
     everything runs serially in-process.
     """
-    spec_list: Sequence[SweepSpec] = list(specs)
-    if max_workers is None:
-        max_workers = default_sweep_workers()
-    max_workers = max(1, min(max_workers, len(spec_list)))
-    if max_workers == 1 or len(spec_list) <= 1:
-        return [_run_sweep_spec(spec) for spec in spec_list]
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        return list(pool.map(_run_sweep_spec, spec_list))
+    return parallel_map(_run_sweep_spec, specs, max_workers=max_workers)
 
 
 def summarise(deployment: Deployment, duration: float, label: Optional[str] = None) -> ExperimentResult:

@@ -5,10 +5,10 @@ factor with the configuration size, using batch size 100 and payloads of 0
 and 64 bytes.  Throughput decreases gradually for both HotStuff and Iniva
 as the committee grows.
 
-The sweep builds one :class:`~repro.experiments.runner.SweepSpec` per
-(scheme, payload, committee size) cell and hands the whole list to
-:func:`~repro.experiments.runner.run_sweep`, which fans the independent
-simulations out across worker processes.
+The figure is a declarative grid: one :class:`ScenarioSpec` cell per
+(scheme, payload, committee size), fanned out through
+:func:`repro.api.sweep` across worker processes and post-processed into
+the paper's rows.
 """
 
 from __future__ import annotations
@@ -16,9 +16,8 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Sequence
 
-from repro.consensus.config import ConsensusConfig
-from repro.experiments.runner import SweepSpec, run_sweep
-from repro.experiments.workloads import ClientWorkload
+from repro.api import sweep
+from repro.experiments.specs import testbed_base
 
 __all__ = ["figure_3c", "default_replica_counts"]
 
@@ -42,38 +41,33 @@ def figure_3c(
     """Throughput versus committee size.  One row per (scheme, payload, n)."""
     schemes = schemes or {"HotStuff": "star", "Iniva": "iniva"}
     counts = list(replica_counts) if replica_counts is not None else default_replica_counts()
+    base = testbed_base("fig3c", duration=duration, warmup=warmup, seed=seed,
+                        batch_size=batch_size)
     cells: List[Dict[str, object]] = []
-    specs: List[SweepSpec] = []
+    grid: List[Dict[str, object]] = []
     for label, aggregation in schemes.items():
         for payload in payload_sizes:
             for count in counts:
-                config = ConsensusConfig(
-                    committee_size=count,
-                    batch_size=batch_size,
-                    payload_size=payload,
-                    aggregation=aggregation,
-                    num_internal=max(2, round(math.sqrt(count - 1))),
-                    seed=seed,
-                )
-                specs.append(
-                    SweepSpec(
-                        config=config,
-                        duration=duration,
-                        warmup=warmup,
-                        workload=ClientWorkload(rate=load, payload_size=payload),
-                        label=f"{label} {payload}b n={count}",
-                    )
+                grid.append(
+                    {
+                        "name": f"fig3c-{aggregation}-{payload}b-n{count}",
+                        "aggregation": aggregation,
+                        "num_internal": max(2, round(math.sqrt(count - 1))),
+                        "committee": {"size": count},
+                        "workload": {"rate": load, "payload_size": payload},
+                    }
                 )
                 cells.append({"scheme": label, "payload_bytes": payload, "replicas": count})
-    results = run_sweep(specs, max_workers=max_workers)
+    results = sweep(base, grid, max_workers=max_workers)
     rows: List[Dict[str, object]] = []
     for cell, result in zip(cells, results):
+        metrics = result.metrics
         rows.append(
             {
                 **cell,
-                "throughput_ops": round(result.throughput, 1),
-                "latency_ms": round(result.latency.mean * 1000, 2),
-                "cpu_mean_pct": round(result.cpu_utilisation_mean * 100, 2),
+                "throughput_ops": round(metrics.throughput, 1),
+                "latency_ms": round(metrics.latency.mean * 1000, 2),
+                "cpu_mean_pct": round(metrics.cpu_utilisation_mean * 100, 2),
             }
         )
     return rows

@@ -2,18 +2,18 @@
 
 The paper drives 21 replicas and 4 clients with 64 B and 128 B payloads
 and batch sizes 100 and 800, comparing HotStuff (star), Iniva and
-Iniva-No2C.  The simulated experiment sweeps the client request rate and
-reports one (throughput, latency) point per load level, which is exactly
-the curve the paper plots.
+Iniva-No2C.  The figure is a declarative grid: one :class:`ScenarioSpec`
+cell per (scheme, payload, batch, load) point, fanned out through
+:func:`repro.api.sweep`, reporting one (throughput, latency) row per
+load level — exactly the curve the paper plots.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.consensus.config import ConsensusConfig
-from repro.experiments.runner import run_experiment
-from repro.experiments.workloads import ClientWorkload
+from repro.api import sweep
+from repro.experiments.specs import testbed_base
 
 __all__ = ["SCHEME_LABELS", "figure_3a", "default_loads"]
 
@@ -38,6 +38,7 @@ def figure_3a(
     duration: float = 4.0,
     warmup: float = 1.0,
     seed: int = 1,
+    max_workers: Optional[int] = None,
 ) -> List[Dict[str, object]]:
     """Run the throughput/latency sweep and return one row per data point.
 
@@ -47,35 +48,41 @@ def figure_3a(
     figure.
     """
     schemes = schemes or SCHEME_LABELS
-    rows: List[Dict[str, object]] = []
+    base = testbed_base("fig3a", duration=duration, warmup=warmup, seed=seed)
+    cells: List[Dict[str, object]] = []
+    grid: List[Dict[str, object]] = []
     for label, aggregation in schemes.items():
         for payload in payload_sizes:
             for batch in batch_sizes:
                 load_points = list(loads) if loads is not None else default_loads(batch)
                 for rate in load_points:
-                    config = ConsensusConfig(
-                        committee_size=committee_size,
-                        batch_size=batch,
-                        payload_size=payload,
-                        aggregation=aggregation,
-                        seed=seed,
+                    grid.append(
+                        {
+                            "name": f"fig3a-{aggregation}-{payload}b-B{batch}-load{rate:.0f}",
+                            "aggregation": aggregation,
+                            "batch_size": batch,
+                            "committee": {"size": committee_size},
+                            "workload": {"rate": rate, "payload_size": payload},
+                        }
                     )
-                    result = run_experiment(
-                        config,
-                        duration=duration,
-                        warmup=warmup,
-                        workload=ClientWorkload(rate=rate, payload_size=payload),
-                        label=f"{label} {payload}b B={batch} load={rate:.0f}",
-                    )
-                    rows.append(
+                    cells.append(
                         {
                             "scheme": label,
                             "payload_bytes": payload,
                             "batch_size": batch,
                             "offered_load_ops": rate,
-                            "throughput_ops": round(result.throughput, 1),
-                            "latency_ms": round(result.latency.mean * 1000, 2),
-                            "latency_p90_ms": round(result.latency.p90 * 1000, 2),
                         }
                     )
+    results = sweep(base, grid, max_workers=max_workers)
+    rows: List[Dict[str, object]] = []
+    for cell, result in zip(cells, results):
+        metrics = result.metrics
+        rows.append(
+            {
+                **cell,
+                "throughput_ops": round(metrics.throughput, 1),
+                "latency_ms": round(metrics.latency.mean * 1000, 2),
+                "latency_p90_ms": round(metrics.latency.p90 * 1000, 2),
+            }
+        )
     return rows

@@ -1,0 +1,187 @@
+"""The unified result type every run in the repository returns.
+
+Historically the repo had three incompatible result shapes — the raw
+:class:`~repro.experiments.runner.ExperimentResult` of one deployment,
+the scenario engine's per-epoch outcome list, and the row-oriented
+:class:`~repro.experiments.export.FigureArtifact` — none of which could
+be serialized.  :class:`RunResult` replaces the first two: it carries the
+resolved spec (config echo), the seed, the attacker coalition, and one
+:class:`EpochMetrics` per epoch (committee, overlap, stake drift and the
+full deployment metrics including latency stats), and round-trips
+through a stable, versioned JSON schema via :meth:`RunResult.to_dict` /
+:meth:`RunResult.from_dict`.
+
+``repro.scenarios.run_scenario`` and the :mod:`repro.api` facade both
+return this type; ``ScenarioResult``/``EpochOutcome`` remain as aliases.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.experiments.export import FigureArtifact
+from repro.experiments.runner import ExperimentResult
+
+if TYPE_CHECKING:  # imported lazily at runtime: scenarios.engine imports us
+    from repro.scenarios.spec import ScenarioSpec
+
+__all__ = ["EpochMetrics", "RunResult", "RESULT_SCHEMA"]
+
+#: Version tag embedded in every serialized result; bump on breaking change.
+RESULT_SCHEMA = "repro.run-result/1"
+
+
+@dataclass(frozen=True)
+class EpochMetrics:
+    """One epoch's committee and its deployment metrics."""
+
+    epoch: int
+    committee: Tuple[int, ...]  # validator ids holding the seats
+    overlap: float  # committee overlap with the previous epoch
+    stake_gini: Optional[float]  # inequality of the pool, post-feedback
+    result: ExperimentResult
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "epoch": self.epoch,
+            "committee": list(self.committee),
+            "overlap": self.overlap,
+            "stake_gini": self.stake_gini,
+            "metrics": self.result.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "EpochMetrics":
+        return cls(
+            epoch=int(data["epoch"]),
+            committee=tuple(int(pid) for pid in data["committee"]),
+            overlap=float(data["overlap"]),
+            stake_gini=None if data.get("stake_gini") is None else float(data["stake_gini"]),
+            result=ExperimentResult.from_dict(data["metrics"]),
+        )
+
+
+@dataclass
+class RunResult:
+    """Everything one ``repro.api.run`` call produced.
+
+    Attributes:
+        spec: The spec that actually ran (after any ``quick`` shrink) —
+            the full config echo.
+        epochs: Per-epoch metrics; single-epoch runs have exactly one.
+        attackers: Process ids of the Byzantine coalition ("attack
+            outcome" echo; empty without an active attack).
+    """
+
+    spec: ScenarioSpec
+    epochs: List[EpochMetrics] = field(default_factory=list)
+    attackers: Tuple[int, ...] = ()
+
+    # -- convenience accessors --------------------------------------------------
+    @property
+    def seed(self) -> int:
+        return self.spec.seed
+
+    @property
+    def metrics(self) -> ExperimentResult:
+        """The first (for single-epoch runs: the only) epoch's metrics."""
+        if not self.epochs:
+            raise ValueError("run produced no epochs")
+        return self.epochs[0].result
+
+    @property
+    def latency(self):
+        """Latency stats of the first epoch (see :class:`LatencyStats`)."""
+        return self.metrics.latency
+
+    # -- row/summary/artifact views ---------------------------------------------
+    def rows(self) -> List[Dict[str, object]]:
+        rows: List[Dict[str, object]] = []
+        for outcome in self.epochs:
+            result = outcome.result
+            row: Dict[str, object] = {
+                "scenario": self.spec.name,
+                "epoch": outcome.epoch,
+                "committee_overlap_pct": round(outcome.overlap * 100, 1),
+                "throughput_ops": round(result.throughput, 1),
+                "latency_ms": round(result.latency.mean * 1000, 2),
+                "latency_p90_ms": round(result.latency.p90 * 1000, 2),
+                "failed_views_pct": round(result.failed_view_fraction * 100, 2),
+                "avg_qc_size": round(result.average_qc_size, 2),
+                "second_chance_votes": result.second_chance_inclusions,
+                "committed_blocks": result.committed_blocks,
+                "messages_dropped": result.message_counters.get("messages_dropped", 0),
+                "messages_blocked": result.message_counters.get("messages_blocked", 0),
+            }
+            if outcome.stake_gini is not None:
+                row["stake_gini"] = round(outcome.stake_gini, 4)
+            rows.append(row)
+        return rows
+
+    def summary(self) -> Dict[str, float]:
+        """Run-level aggregates over all epochs."""
+        if not self.epochs:
+            return {}
+        results = [outcome.result for outcome in self.epochs]
+        total_views = sum(r.total_views for r in results)
+        failed = sum(r.total_views - r.successful_views for r in results)
+        return {
+            "epochs": float(len(results)),
+            "throughput_ops": sum(r.throughput for r in results) / len(results),
+            "latency_mean_ms": 1000
+            * sum(r.latency.mean for r in results)
+            / len(results),
+            "failed_views_pct": 100.0 * failed / total_views if total_views else 0.0,
+            "avg_qc_size": sum(r.average_qc_size for r in results) / len(results),
+            "committed_blocks": float(sum(r.committed_blocks for r in results)),
+            "messages_blocked": float(
+                sum(r.message_counters.get("messages_blocked", 0) for r in results)
+            ),
+            "second_chance_votes": float(sum(r.second_chance_inclusions for r in results)),
+        }
+
+    def artifact(self) -> FigureArtifact:
+        multi_epoch = len(self.epochs) > 1
+        return FigureArtifact(
+            name=f"scenario-{self.spec.name}",
+            title=f"Scenario: {self.spec.name}"
+            + (f" — {self.spec.description}" if self.spec.description else ""),
+            rows=self.rows(),
+            series_key="scenario" if multi_epoch else None,
+            x="epoch" if multi_epoch else None,
+            y="throughput_ops" if multi_epoch else None,
+        )
+
+    # -- stable JSON schema -----------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """The versioned JSON document (inverse of :meth:`from_dict`)."""
+        return {
+            "schema": RESULT_SCHEMA,
+            "spec": self.spec.to_dict(),
+            "seed": self.seed,
+            "attackers": list(self.attackers),
+            "epochs": [outcome.to_dict() for outcome in self.epochs],
+            "summary": self.summary(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunResult":
+        from repro.scenarios.spec import ScenarioSpec
+
+        schema = data.get("schema")
+        if schema != RESULT_SCHEMA:
+            raise ValueError(f"unsupported result schema {schema!r} (want {RESULT_SCHEMA!r})")
+        return cls(
+            spec=ScenarioSpec.from_dict(data["spec"]),
+            epochs=[EpochMetrics.from_dict(entry) for entry in data["epochs"]],
+            attackers=tuple(int(pid) for pid in data.get("attackers", ())),
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunResult":
+        return cls.from_dict(json.loads(text))

@@ -15,6 +15,12 @@ live in version control instead of copy-pasted Python; the built-in
 catalogue (``python -m repro scenario --list``) covers WAN spreads,
 churn, partitions, crash storms, lossy links, bandwidth crunches and
 omission cartels.
+
+The :mod:`repro.api` facade is the preferred entry point
+(``repro.run``/``repro.sweep`` accept preset names, spec files and
+dicts); ``run_scenario`` returns the unified
+:class:`~repro.results.RunResult` (``ScenarioResult`` and
+``EpochOutcome`` remain as aliases).
 """
 
 from repro.scenarios.engine import (
@@ -22,6 +28,7 @@ from repro.scenarios.engine import (
     EpochOutcome,
     ScenarioResult,
     build_latency_model,
+    build_scenario_deployment,
     compile_scenario,
     run_scenario,
 )
@@ -50,6 +57,7 @@ __all__ = [
     "TopologySpec",
     "WorkloadSpec",
     "build_latency_model",
+    "build_scenario_deployment",
     "compile_scenario",
     "load_preset",
     "parse_yaml_lite",

@@ -14,16 +14,16 @@ finalized-view metrics on every run.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from repro.attacks.byzantine import corrupt_replicas
 from repro.consensus.config import ConsensusConfig
-from repro.experiments.export import FigureArtifact
-from repro.experiments.runner import ExperimentResult, build_deployment, summarise
+from repro.experiments.runner import Deployment, build_deployment, summarise
 from repro.experiments.workloads import ClientWorkload
 from repro.membership.epochs import EpochSchedule, MembershipManager
 from repro.membership.stake import StakeRegistry
+from repro.results import EpochMetrics, RunResult
 from repro.scenarios.spec import ScenarioSpec, TopologySpec
 from repro.simnet.failures import FailureInjector, FailurePlan
 from repro.simnet.latency import (
@@ -32,27 +32,23 @@ from repro.simnet.latency import (
     LinkBandwidth,
     NormalLatency,
 )
-from repro.simnet.topology import MatrixLatency, RackTopologyLatency, RegionMatrixLatency
+from repro.simnet.topology import (
+    WAN_REGION_MATRIX,  # noqa: F401  (canonical home: repro.simnet.topology)
+    MatrixLatency,
+    RackTopologyLatency,
+    RegionMatrixLatency,
+)
 
 __all__ = [
     "CompiledScenario",
     "EpochOutcome",
     "ScenarioResult",
+    "WAN_REGION_MATRIX",
     "build_latency_model",
+    "build_scenario_deployment",
     "compile_scenario",
     "run_scenario",
 ]
-
-# Approximate one-way delays (seconds) between five cloud regions
-# (us-east, us-west, eu-west, ap-southeast, sa-east); the default matrix
-# behind ``topology.kind == "wan"``.
-WAN_REGION_MATRIX: Tuple[Tuple[float, ...], ...] = (
-    (0.0, 0.032, 0.040, 0.105, 0.060),
-    (0.032, 0.0, 0.070, 0.085, 0.090),
-    (0.040, 0.070, 0.0, 0.090, 0.095),
-    (0.105, 0.085, 0.090, 0.0, 0.160),
-    (0.060, 0.090, 0.095, 0.160, 0.0),
-)
 
 
 def build_latency_model(topology: TopologySpec, committee_size: int) -> LatencyModel:
@@ -137,11 +133,14 @@ def compile_scenario(spec: ScenarioSpec) -> CompiledScenario:
         delta=delta,
         second_chance_timeout=second_chance,
         view_timeout=view_timeout,
+        num_internal=spec.num_internal,
         seed=spec.seed,
+        **dict(spec.scheme_params),
     )
 
     victim = spec.attack.victim if spec.attack.strategy != "none" else None
-    protected = {0} | set(spec.faults.crash_exclude)
+    protected = {0} if spec.faults.protect_leader else set()
+    protected |= set(spec.faults.crash_exclude)
     if victim is not None:
         protected.add(victim)
 
@@ -158,10 +157,13 @@ def compile_scenario(spec: ScenarioSpec) -> CompiledScenario:
 
     failure_plan = None
     if spec.faults.crashes:
+        crash_seed = (
+            spec.faults.crash_seed if spec.faults.crash_seed is not None else spec.seed
+        )
         failure_plan = FailurePlan.random_crashes(
             committee_size=size,
             count=spec.faults.crashes,
-            seed=spec.seed,
+            seed=crash_seed,
             at_time=spec.faults.crash_at,
             exclude=sorted(protected),
         )
@@ -178,80 +180,48 @@ def compile_scenario(spec: ScenarioSpec) -> CompiledScenario:
     )
 
 
-@dataclass(frozen=True)
-class EpochOutcome:
-    """One epoch's committee and its run metrics."""
-
-    epoch: int
-    committee: Tuple[int, ...]  # validator ids holding the seats
-    overlap: float  # committee overlap with the previous epoch
-    stake_gini: Optional[float]  # inequality of the pool, post-feedback
-    result: ExperimentResult
+# The engine used to define its own result types; they are now the
+# repo-wide unified result (kept under the old names for compatibility).
+EpochOutcome = EpochMetrics
+ScenarioResult = RunResult
 
 
-@dataclass
-class ScenarioResult:
-    """All epochs of one scenario run plus export helpers."""
+def build_scenario_deployment(
+    compiled: CompiledScenario,
+    epoch: int = 0,
+) -> Deployment:
+    """Wire one epoch's deployment: workload attached, faults scheduled.
 
-    spec: ScenarioSpec
-    epochs: List[EpochOutcome] = field(default_factory=list)
+    This is the single spec→deployment path — :func:`run_scenario` calls
+    it once per epoch, and :func:`repro.api.deploy` exposes it to callers
+    that need the live :class:`Deployment` (custom drop rules, message
+    tracing, QC audits) rather than just the summarised metrics.
+    """
+    spec = compiled.spec
+    config = compiled.config.with_(seed=spec.seed + 7919 * epoch)
+    deployment = build_deployment(
+        config,
+        warmup=min(spec.warmup, compiled.epoch_duration / 4),
+        latency_model=compiled.latency_model,
+        loss_probability=compiled.loss_probability,
+        link_bandwidth=compiled.link_bandwidth(),
+    )
+    workload_seed = spec.workload.seed if spec.workload.seed is not None else config.seed
+    ClientWorkload(
+        rate=spec.workload.rate,
+        payload_size=spec.workload.payload_size,
+        num_clients=spec.workload.num_clients,
+        jitter=spec.workload.jitter,
+        seed=workload_seed,
+    ).attach(deployment.simulator, deployment.mempool, compiled.epoch_duration)
 
-    def rows(self) -> List[Dict[str, object]]:
-        rows: List[Dict[str, object]] = []
-        for outcome in self.epochs:
-            result = outcome.result
-            row: Dict[str, object] = {
-                "scenario": self.spec.name,
-                "epoch": outcome.epoch,
-                "committee_overlap_pct": round(outcome.overlap * 100, 1),
-                "throughput_ops": round(result.throughput, 1),
-                "latency_ms": round(result.latency.mean * 1000, 2),
-                "latency_p90_ms": round(result.latency.p90 * 1000, 2),
-                "failed_views_pct": round(result.failed_view_fraction * 100, 2),
-                "avg_qc_size": round(result.average_qc_size, 2),
-                "second_chance_votes": result.second_chance_inclusions,
-                "committed_blocks": result.committed_blocks,
-                "messages_dropped": result.message_counters.get("messages_dropped", 0),
-                "messages_blocked": result.message_counters.get("messages_blocked", 0),
-            }
-            if outcome.stake_gini is not None:
-                row["stake_gini"] = round(outcome.stake_gini, 4)
-            rows.append(row)
-        return rows
-
-    def summary(self) -> Dict[str, float]:
-        """Scenario-level aggregates over all epochs."""
-        if not self.epochs:
-            return {}
-        results = [outcome.result for outcome in self.epochs]
-        total_views = sum(r.total_views for r in results)
-        failed = sum(r.total_views - r.successful_views for r in results)
-        return {
-            "epochs": float(len(results)),
-            "throughput_ops": sum(r.throughput for r in results) / len(results),
-            "latency_mean_ms": 1000
-            * sum(r.latency.mean for r in results)
-            / len(results),
-            "failed_views_pct": 100.0 * failed / total_views if total_views else 0.0,
-            "avg_qc_size": sum(r.average_qc_size for r in results) / len(results),
-            "committed_blocks": float(sum(r.committed_blocks for r in results)),
-            "messages_blocked": float(
-                sum(r.message_counters.get("messages_blocked", 0) for r in results)
-            ),
-            "second_chance_votes": float(sum(r.second_chance_inclusions for r in results)),
-        }
-
-    def artifact(self) -> FigureArtifact:
-        multi_epoch = len(self.epochs) > 1
-        return FigureArtifact(
-            name=f"scenario-{self.spec.name}",
-            title=f"Scenario: {self.spec.name}"
-            + (f" — {self.spec.description}" if self.spec.description else ""),
-            rows=self.rows(),
-            series_key="scenario" if multi_epoch else None,
-            x="epoch" if multi_epoch else None,
-            y="throughput_ops" if multi_epoch else None,
-        )
+    injector = FailureInjector(deployment.simulator, deployment.network)
+    if compiled.failure_plan is not None:
+        injector.apply(compiled.failure_plan)
+    injector.schedule_partitions(spec.faults.partitions)
+    if compiled.attacker_ids:
+        corrupt_replicas(deployment, compiled.attacker_ids, spec.attack.victim)
+    return deployment
 
 
 def _stake_gini(stakes: List[float]) -> float:
@@ -271,7 +241,7 @@ def _stake_gini(stakes: List[float]) -> float:
     return (2.0 * weighted) / (n * total) - (n + 1.0) / n
 
 
-def run_scenario(spec: ScenarioSpec, quick: bool = False) -> ScenarioResult:
+def run_scenario(spec: ScenarioSpec, quick: bool = False) -> RunResult:
     """Run a scenario end to end and collect per-epoch metrics.
 
     With ``quick`` the spec is first shrunk via :meth:`ScenarioSpec.quick`
@@ -295,7 +265,7 @@ def run_scenario(spec: ScenarioSpec, quick: bool = False) -> ScenarioResult:
             base_seed=spec.seed,
         )
 
-    outcome_list: List[EpochOutcome] = []
+    outcome_list: List[EpochMetrics] = []
     previous_committee: Optional[Tuple[int, ...]] = None
     for epoch in range(spec.churn.epochs):
         if manager is not None:
@@ -304,35 +274,13 @@ def run_scenario(spec: ScenarioSpec, quick: bool = False) -> ScenarioResult:
         else:
             committee = tuple(range(spec.committee.size))
 
-        config = compiled.config.with_(seed=spec.seed + 7919 * epoch)
-        deployment = build_deployment(
-            config,
-            warmup=min(spec.warmup, compiled.epoch_duration / 4),
-            latency_model=compiled.latency_model,
-            loss_probability=compiled.loss_probability,
-            link_bandwidth=compiled.link_bandwidth(),
-        )
-        ClientWorkload(
-            rate=spec.workload.rate,
-            payload_size=spec.workload.payload_size,
-            num_clients=spec.workload.num_clients,
-            jitter=spec.workload.jitter,
-            seed=config.seed,
-        ).attach(deployment.simulator, deployment.mempool, compiled.epoch_duration)
-
-        injector = FailureInjector(deployment.simulator, deployment.network)
-        if compiled.failure_plan is not None:
-            injector.apply(compiled.failure_plan)
-        injector.schedule_partitions(spec.faults.partitions)
-        if compiled.attacker_ids:
-            corrupt_replicas(deployment, compiled.attacker_ids, spec.attack.victim)
-
+        deployment = build_scenario_deployment(compiled, epoch)
         deployment.start()
         deployment.simulator.run(until=compiled.epoch_duration)
         result = summarise(
             deployment,
             compiled.epoch_duration,
-            label=f"{spec.name} epoch={epoch} {config.describe()}",
+            label=f"{spec.name} epoch={epoch} {deployment.config.describe()}",
         )
 
         overlap = 1.0
@@ -356,7 +304,7 @@ def run_scenario(spec: ScenarioSpec, quick: bool = False) -> ScenarioResult:
             gini = _stake_gini([validator.stake for validator in registry])
 
         outcome_list.append(
-            EpochOutcome(
+            EpochMetrics(
                 epoch=epoch,
                 committee=committee,
                 overlap=overlap,
@@ -364,4 +312,4 @@ def run_scenario(spec: ScenarioSpec, quick: bool = False) -> ScenarioResult:
                 result=result,
             )
         )
-    return ScenarioResult(spec=spec, epochs=outcome_list)
+    return RunResult(spec=spec, epochs=outcome_list, attackers=compiled.attacker_ids)

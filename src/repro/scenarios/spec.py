@@ -169,17 +169,23 @@ class FaultSpec:
 
     Attributes:
         crashes: Number of replicas crashed (chosen pseudo-randomly from
-            the scenario seed, never the initial leader or the attack
-            victim).
+            the crash seed, never the attack victim).
         crash_at: Virtual time the crashes happen.
+        crash_seed: Seed for the crash draw; ``None`` uses the scenario's
+            seed.
         crash_exclude: Extra process ids protected from crashing.
+        protect_leader: Keep process 0 (the initial leader) out of the
+            crash draw.  The legacy per-figure harnesses allowed the
+            leader to crash, so the figure specs switch this off.
         partitions: Timed :class:`PartitionEvent` s applied via link-level
             suppression (each epoch run gets the same schedule).
     """
 
     crashes: int = 0
     crash_at: float = 0.0
+    crash_seed: Optional[int] = None
     crash_exclude: Tuple[int, ...] = ()
+    protect_leader: bool = True
     partitions: Tuple[PartitionEvent, ...] = ()
 
     def __post_init__(self) -> None:
@@ -223,12 +229,18 @@ class AttackSpec:
 
 @dataclass(frozen=True)
 class WorkloadSpec:
-    """Open-loop client workload (see :class:`ClientWorkload`)."""
+    """Open-loop client workload (see :class:`ClientWorkload`).
+
+    ``seed`` pins the arrival-process RNG independently of the scenario
+    seed; ``None`` (the default) derives it from the run's seed so churn
+    epochs each see fresh arrivals.
+    """
 
     rate: float = 2000.0
     payload_size: int = 64
     num_clients: int = 4
     jitter: bool = True
+    seed: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.rate < 0:
@@ -289,12 +301,37 @@ class ScenarioSpec:
     delta: Optional[float] = None
     second_chance_timeout: Optional[float] = None
     view_timeout: Optional[float] = None
+    # Tree shape: internal aggregators; ``None`` is the balanced default.
+    num_internal: Optional[int] = None
+    # Extra ConsensusConfig knobs for baseline schemes (gossip fanout,
+    # Handel levels, Kauri fallback, ablation switches ...), stored as a
+    # sorted tuple of pairs so the spec stays hashable; accepts a mapping.
+    scheme_params: Tuple[Tuple[str, Any], ...] = ()
     committee: CommitteeSpec = field(default_factory=CommitteeSpec)
     topology: TopologySpec = field(default_factory=TopologySpec)
     faults: FaultSpec = field(default_factory=FaultSpec)
     attack: AttackSpec = field(default_factory=AttackSpec)
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
     churn: ChurnSpec = field(default_factory=ChurnSpec)
+
+    #: ConsensusConfig fields the spec already controls through dedicated
+    #: fields — they may not be smuggled in through ``scheme_params``.
+    RESERVED_SCHEME_PARAMS = frozenset(
+        {
+            "committee_size",
+            "batch_size",
+            "payload_size",
+            "aggregation",
+            "signature_scheme",
+            "leader_policy",
+            "delta",
+            "second_chance_timeout",
+            "view_timeout",
+            "seed",
+            "num_internal",
+            "cpu_model",
+        }
+    )
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -303,6 +340,24 @@ class ScenarioSpec:
             raise ValueError("duration must be positive")
         if self.warmup < 0:
             raise ValueError("warmup cannot be negative")
+        if self.num_internal is not None and self.num_internal < 1:
+            raise ValueError("num_internal must be positive")
+        params = self.scheme_params
+        if isinstance(params, Mapping):
+            params = tuple(sorted(params.items()))
+        else:
+            params = tuple(sorted((str(key), value) for key, value in params))
+        object.__setattr__(self, "scheme_params", params)
+        from repro.consensus.config import ConsensusConfig
+
+        known = {f.name for f in fields(ConsensusConfig)}
+        for key, _ in params:
+            if key in self.RESERVED_SCHEME_PARAMS:
+                raise ValueError(
+                    f"scheme param {key!r} is controlled by a dedicated spec field"
+                )
+            if key not in known:
+                raise ValueError(f"unknown scheme param {key!r}")
         if self.attack.strategy == "omission" and self.aggregation != "iniva":
             raise ValueError("the omission attack corrupts Iniva aggregators")
         if self.attack.strategy != "none" and self.attack.victim >= self.committee.size:
@@ -337,6 +392,10 @@ class ScenarioSpec:
                     converted[key] = _fault_spec_from_dict(current)
                 else:
                     converted[key] = _spec_from_dict(nested[key], current)
+            elif key == "scheme_params" and isinstance(value, Mapping):
+                merged = dict(self.scheme_params)
+                merged.update(value)
+                converted[key] = merged
             else:
                 converted[key] = value
         return replace(self, **converted)
@@ -407,6 +466,8 @@ class ScenarioSpec:
             "delta": self.delta,
             "second_chance_timeout": self.second_chance_timeout,
             "view_timeout": self.view_timeout,
+            "num_internal": self.num_internal,
+            "scheme_params": dict(self.scheme_params),
             "committee": _spec_to_dict(self.committee),
             "topology": _spec_to_dict(self.topology),
             "faults": _spec_to_dict(self.faults),

@@ -36,13 +36,40 @@ class LatencyStats:
             index = min(len(ordered) - 1, max(0, math.ceil(fraction * len(ordered)) - 1))
             return ordered[index]
 
+        # Float summation can drift the mean a ULP outside [min, max]
+        # (e.g. many identical samples); clamp to the exact-arithmetic
+        # envelope so the stats invariants hold for downstream consumers.
+        mean = sum(ordered) / len(ordered)
+        mean = min(max(mean, ordered[0]), ordered[-1])
         return cls(
             count=len(ordered),
-            mean=sum(ordered) / len(ordered),
+            mean=mean,
             median=percentile(0.5),
             p90=percentile(0.9),
             p99=percentile(0.99),
             maximum=ordered[-1],
+        )
+
+    def to_dict(self) -> Dict[str, float]:
+        """A JSON-ready representation (inverse of :meth:`from_dict`)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "median": self.median,
+            "p90": self.p90,
+            "p99": self.p99,
+            "maximum": self.maximum,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "LatencyStats":
+        return cls(
+            count=int(data["count"]),
+            mean=float(data["mean"]),
+            median=float(data["median"]),
+            p90=float(data["p90"]),
+            p99=float(data["p99"]),
+            maximum=float(data["maximum"]),
         )
 
 

@@ -16,11 +16,28 @@ the simulator also provides latency models in which the delay depends on
 from __future__ import annotations
 
 import random
-from typing import Dict, Mapping, Sequence
+from typing import Dict, Mapping, Sequence, Tuple
 
 from repro.simnet.latency import LatencyModel
 
-__all__ = ["RackTopologyLatency", "MatrixLatency", "RegionMatrixLatency"]
+__all__ = [
+    "RackTopologyLatency",
+    "MatrixLatency",
+    "RegionMatrixLatency",
+    "WAN_REGION_MATRIX",
+]
+
+# Approximate one-way delays (seconds) between five cloud regions
+# (us-east, us-west, eu-west, ap-southeast, sa-east).  This is the default
+# matrix behind ``TopologySpec(kind="wan")`` and pairs naturally with
+# :class:`RegionMatrixLatency` below.
+WAN_REGION_MATRIX: Tuple[Tuple[float, ...], ...] = (
+    (0.0, 0.032, 0.040, 0.105, 0.060),
+    (0.032, 0.0, 0.070, 0.085, 0.090),
+    (0.040, 0.070, 0.0, 0.090, 0.095),
+    (0.105, 0.085, 0.090, 0.0, 0.160),
+    (0.060, 0.090, 0.095, 0.160, 0.0),
+)
 
 
 class RackTopologyLatency(LatencyModel):
