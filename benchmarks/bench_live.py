@@ -1,0 +1,171 @@
+"""Live-runtime performance tracker: emits ``BENCH_LIVE.json``.
+
+Run as a script (not collected by pytest — the tier-1 suite lives in
+``tests/``)::
+
+    PYTHONPATH=src python benchmarks/bench_live.py [output.json] [--quick] [--procs N]
+
+Benchmarks the asyncio localhost-TCP cluster (:mod:`repro.runtime.live`)
+on a 4-replica committee: blocks/sec and ops/sec actually served over
+real sockets with the versioned wire codec, per-scheme (star vs iniva)
+and per-backend (hashsig vs bls), plus raw codec encode/decode rates.
+Because the live workload is preloaded at time zero, per-request timing
+is reported as *time to commit* since cluster start, not client service
+latency.
+This seeds the live-runtime trajectory next to the simulator-side
+``BENCH_PERF.json``: future PRs that touch the wire path (batched
+framing, uvloop, parallel verification) report their speedups against
+these numbers.
+
+``--quick`` (what CI's bench stage runs) shortens the serving window so
+the tracker finishes in a few seconds; ``--procs N`` spreads the
+replicas over worker subprocesses instead of one event loop.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro.runtime.codec import WireCodec
+from repro.runtime.live import LiveCluster
+from repro.scenarios.spec import (
+    CommitteeSpec,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+)
+
+
+def _bench_spec(aggregation: str, signature_scheme: str, duration: float) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=f"bench-live-{aggregation}-{signature_scheme}",
+        aggregation=aggregation,
+        signature_scheme=signature_scheme,
+        batch_size=100,
+        duration=duration,
+        warmup=0.0,
+        seed=1,
+        delta=0.0025,
+        second_chance_timeout=0.005,
+        view_timeout=0.25,
+        committee=CommitteeSpec(size=4),
+        topology=TopologySpec(kind="constant", intra_delay=0.0005),
+        workload=WorkloadSpec(rate=20_000, payload_size=64, preload=True),
+    )
+
+
+def bench_cluster(
+    aggregation: str, signature_scheme: str, duration: float, procs: int
+) -> dict:
+    spec = _bench_spec(aggregation, signature_scheme, duration)
+    cluster = LiveCluster(spec=spec, duration=duration, procs=procs)
+    result = cluster.run()
+    metrics = result.metrics
+    sent = sum(c["messages_sent"] for c in result.transport.values())
+    return {
+        "label": f"{aggregation}/{signature_scheme} n=4"
+        + (f" procs={procs}" if procs > 1 else ""),
+        "duration_s": round(metrics.duration, 3),
+        "wall_clock_s": round(result.wall_clock_seconds, 3),
+        "committed_blocks": metrics.committed_blocks,
+        "blocks_per_sec": round(metrics.committed_blocks / metrics.duration, 1),
+        "throughput_ops_per_sec": round(metrics.throughput, 1),
+        # The live workload is preloaded at t=0, so per-request "latency"
+        # is really time from cluster start to commit — report it as such
+        # rather than pretending it is client-perceived service latency.
+        "time_to_commit_mean_ms": round(metrics.latency.mean * 1000, 2),
+        "time_to_commit_p90_ms": round(metrics.latency.p90 * 1000, 2),
+        "avg_qc_size": round(metrics.average_qc_size, 2),
+        "messages_sent_total": sent,
+        "messages_per_sec": round(sent / metrics.duration, 1),
+    }
+
+
+def bench_codec(reps: int) -> dict:
+    """Raw encode/decode rate for a representative proposal frame."""
+    from repro.consensus.block import Block, genesis_qc
+
+    codec = WireCodec()
+    from repro.aggregation.messages import ProposalMessage
+
+    block = Block(
+        height=3, view=3, proposer=1, parent_id="a" * 32, qc=genesis_qc(),
+        payload=tuple(range(100)), payload_bytes=6400, timestamp=1.0,
+    )
+    message = ProposalMessage(block)
+    frame = codec.encode(message)
+
+    def timed(fn) -> float:
+        samples = []
+        for _ in range(3):
+            start = time.perf_counter()
+            for _ in range(reps):
+                fn()
+            samples.append((time.perf_counter() - start) / reps)
+        return statistics.median(samples)
+
+    encode_s = timed(lambda: codec.encode(message))
+    decode_s = timed(lambda: codec.decode(frame))
+    return {
+        "frame_bytes": len(frame),
+        "encode_us": round(encode_s * 1e6, 2),
+        "decode_us": round(decode_s * 1e6, 2),
+        "encode_per_sec": round(1.0 / encode_s, 1),
+        "decode_per_sec": round(1.0 / decode_s, 1),
+    }
+
+
+def main(argv) -> int:
+    out_path = Path("benchmarks/BENCH_LIVE.json")
+    quick = "--quick" in argv
+    procs = 1
+    positional = []
+    skip_next = False
+    for index, arg in enumerate(argv):
+        if skip_next:
+            skip_next = False
+            continue
+        if arg == "--quick":
+            continue
+        if arg == "--procs":
+            if index + 1 >= len(argv):
+                print("usage: bench_live.py [output.json] [--quick] [--procs N]")
+                return 2
+            procs = int(argv[index + 1])
+            skip_next = True
+            continue
+        positional.append(arg)
+    if positional:
+        out_path = Path(positional[0])
+
+    duration = 1.0 if quick else 5.0
+    reps = 200 if quick else 2000
+
+    cells = [("star", "hashsig"), ("iniva", "hashsig"), ("iniva", "bls")]
+    clusters = [
+        bench_cluster(aggregation, backend, duration, procs)
+        for aggregation, backend in cells
+    ]
+    if procs == 1 and not quick:
+        clusters.append(bench_cluster("iniva", "hashsig", duration, procs=2))
+
+    report = {
+        "benchmark": "live-runtime",
+        "quick": quick,
+        "committee_size": 4,
+        "clusters": clusters,
+        "codec": bench_codec(reps),
+    }
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -37,7 +37,7 @@ from pathlib import Path
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from repro.experiments.export import FigureArtifact
-from repro.experiments.runner import Deployment, parallel_map
+from repro.experiments.runner import parallel_map
 from repro.results import RESULT_SCHEMA, RunResult
 from repro.scenarios.engine import (
     build_scenario_deployment,
@@ -103,7 +103,12 @@ def list_presets() -> List[str]:
 # run / deploy
 # ---------------------------------------------------------------------------
 def run(
-    spec_or_preset: SpecLike, *, quick: bool = False, seed: Optional[int] = None
+    spec_or_preset: SpecLike,
+    *,
+    quick: bool = False,
+    seed: Optional[int] = None,
+    runtime: str = "sim",
+    **runtime_options: Any,
 ) -> RunResult:
     """Run one scenario end to end and return the unified result.
 
@@ -112,27 +117,47 @@ def run(
         quick: Shrink the spec via :meth:`ScenarioSpec.quick` so the run
             finishes in seconds (the CI/CLI quick profile).
         seed: Optional seed override applied before running.
+        runtime: ``"sim"`` (deterministic discrete-event simulation, the
+            default) or ``"live"`` (an asyncio cluster of real replica
+            processes over localhost TCP).  Both return the same
+            :class:`RunResult` schema.
+        **runtime_options: Live-runtime knobs forwarded to
+            :func:`repro.runtime.live.run_live` — ``duration`` (wall
+            seconds), ``target_blocks`` (stop early once a node commits
+            this many) and ``procs`` (worker subprocess count).
     """
     spec = resolve_spec(spec_or_preset)
     if seed is not None:
         spec = spec.with_(seed=seed)
+    if runtime == "live":
+        from repro.runtime.live import run_live
+
+        return run_live(spec, quick=quick, **runtime_options)
+    if runtime != "sim":
+        raise ValueError(f"unknown runtime {runtime!r} (expected 'sim' or 'live')")
+    if runtime_options:
+        unknown = ", ".join(sorted(runtime_options))
+        raise TypeError(f"sim runtime does not accept options: {unknown}")
     return run_scenario(spec, quick=quick)
 
 
 def deploy(
-    spec_or_preset: SpecLike, *, quick: bool = False, epoch: int = 0
-) -> Deployment:
+    spec_or_preset: SpecLike, *, quick: bool = False, epoch: int = 0, runtime: str = "sim"
+):
     """Compile a spec into a fully wired, not-yet-started deployment.
 
-    The workload is attached and crash/partition/attack schedules are
-    installed, but ``deployment.start()`` / ``simulator.run(...)`` are
-    left to the caller — use this when you need the live simulator (e.g.
-    custom drop rules or auditing QCs out of replica state).
+    With ``runtime="sim"`` (default) the workload is attached and
+    crash/partition/attack schedules are installed, but
+    ``deployment.start()`` / ``simulator.run(...)`` are left to the
+    caller — use this when you need the live simulator (e.g. custom drop
+    rules or auditing QCs out of replica state).  With ``runtime="live"``
+    you get a not-yet-started :class:`~repro.runtime.live.LiveCluster`
+    whose ``run()`` brings up the asyncio TCP committee.
     """
     spec = resolve_spec(spec_or_preset)
     if quick:
         spec = spec.quick()
-    return build_scenario_deployment(compile_scenario(spec), epoch)
+    return build_scenario_deployment(compile_scenario(spec), epoch, runtime=runtime)
 
 
 # ---------------------------------------------------------------------------

@@ -13,34 +13,43 @@ writing any code::
     python -m repro scenario --list
     python -m repro scenario partition-heal --quick
     python -m repro scenario my_campaign.yaml --output-dir results/
+    python -m repro live rack-baseline --quick
+    python -m repro live my_campaign.yaml --duration 5 --procs 4
+    python -m repro sweep rack-baseline --set aggregation=star,iniva --quick
 
 ``--quick`` applies the shared quick-profile table (reduced trial counts
 and durations) so every command finishes in seconds; dropping it uses the
 defaults the benchmarks use (minutes).  Use ``--output-dir`` to also
-write CSV/JSON/Markdown artifacts.  For the ``run`` and ``scenario``
-commands ``--format json`` emits the full versioned
-:class:`~repro.results.RunResult` schema document (config echo, seed,
-per-epoch metrics); figure commands print their rows as JSON.
-``scenario`` accepts either a built-in preset name (see ``--list``) or a
-path to a JSON/YAML spec file (see :mod:`repro.scenarios`).
+write CSV/JSON/Markdown artifacts.  ``--format json`` always emits a
+versioned schema document: the full
+:class:`~repro.results.RunResult` document (config echo, seed, per-epoch
+metrics, per-replica transport counters) for ``run``/``scenario``/
+``live``, a run-result *list* document for ``sweep``, and the
+``repro.figure/1`` document for the figure commands.  ``scenario`` and
+``live`` accept either a built-in preset name (see ``scenario --list``)
+or a path to a JSON/YAML spec file (see :mod:`repro.scenarios`);
+``live`` executes the spec on the asyncio localhost-TCP cluster instead
+of the simulator.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Dict, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro import api
 from repro.consensus.config import ConsensusConfig
 from repro.experiments.export import FigureArtifact
-from repro.results import RunResult
+from repro.results import RESULT_LIST_SCHEMA, RunResult
 from repro.scenarios.spec import (
     CommitteeSpec,
     FaultSpec,
     ScenarioSpec,
     TopologySpec,
     WorkloadSpec,
+    parse_scalar,
 )
 
 __all__ = ["main", "build_parser", "EXPERIMENTS"]
@@ -115,6 +124,70 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write CSV/JSON/Markdown/plot artifacts into this directory",
     )
+
+    live_parser = subparsers.add_parser(
+        "live",
+        help="run a scenario on the live asyncio runtime (localhost TCP cluster)",
+    )
+    live_parser.add_argument(
+        "spec", help="built-in preset name or path to a .json/.yaml scenario spec"
+    )
+    live_parser.add_argument(
+        "--quick", action="store_true",
+        help="shrink the spec and stop after a handful of committed blocks",
+    )
+    live_parser.add_argument("--seed", type=int, default=None, help="override the spec's seed")
+    live_parser.add_argument(
+        "--duration", type=float, default=None,
+        help="wall-clock seconds to serve traffic (default: the spec's duration)",
+    )
+    live_parser.add_argument(
+        "--target-blocks", type=int, default=None, dest="target_blocks",
+        help="stop early once a replica has committed this many blocks",
+    )
+    live_parser.add_argument(
+        "--procs", type=int, default=1,
+        help="spread the replicas over this many worker subprocesses (default: tasks in one process)",
+    )
+    live_parser.add_argument(
+        "--format",
+        choices=["table", "csv", "json", "markdown", "plot"],
+        default="table",
+        help="how to print the result on stdout (json = RunResult schema)",
+    )
+    live_parser.add_argument(
+        "--output-dir",
+        default=None,
+        help="also write CSV/JSON/Markdown/plot artifacts into this directory",
+    )
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="run one scenario per grid cell (cartesian --set product)"
+    )
+    sweep_parser.add_argument(
+        "spec", help="base spec: built-in preset name or path to a .json/.yaml file"
+    )
+    sweep_parser.add_argument(
+        "--set",
+        action="append",
+        default=[],
+        dest="grid",
+        metavar="FIELD=V1,V2,...",
+        help="sweep a (possibly dotted) spec field over comma-separated values; "
+        "repeatable — cells are the cartesian product",
+    )
+    sweep_parser.add_argument("--quick", action="store_true", help="reduced duration/committee")
+    sweep_parser.add_argument(
+        "--format",
+        choices=["table", "csv", "json", "markdown", "plot"],
+        default="table",
+        help="how to print the results (json = versioned run-result list document)",
+    )
+    sweep_parser.add_argument(
+        "--output-dir",
+        default=None,
+        help="also write CSV/JSON/Markdown artifacts into this directory",
+    )
     return parser
 
 
@@ -138,12 +211,14 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
 # Commands
 # ---------------------------------------------------------------------------
 def _render(artifact: FigureArtifact, fmt: str) -> str:
-    from repro.experiments.report import rows_to_csv, rows_to_json
+    from repro.experiments.report import rows_to_csv
 
     if fmt == "csv":
         return rows_to_csv(artifact.rows)
     if fmt == "json":
-        return rows_to_json(artifact.rows)
+        # The versioned figure document (schema + metadata + rows) — the
+        # figure analogue of the RunResult document run/scenario/live emit.
+        return json.dumps(artifact.to_document(), indent=2)
     if fmt == "markdown":
         return artifact.to_markdown()
     if fmt == "plot":
@@ -158,6 +233,8 @@ def _command_list() -> str:
     lines.append("")
     lines.append("  run      a single simulated deployment (see `repro run --help`)")
     lines.append("  scenario a declarative campaign (see `repro scenario --list`)")
+    lines.append("  live     a scenario on the asyncio TCP cluster (see `repro live --help`)")
+    lines.append("  sweep    one scenario per --set grid cell (see `repro sweep --help`)")
     return "\n".join(lines)
 
 
@@ -165,16 +242,74 @@ def _command_scenario_list() -> str:
     from repro.scenarios import PRESETS
 
     lines = ["Built-in scenario presets:", ""]
-    for name, data in PRESETS.items():
-        lines.append(f"  {name:<18} {data.get('description', '')}")
+    for name in sorted(PRESETS):
+        lines.append(f"  {name:<18} {PRESETS[name].get('description', '')}")
     lines.append("")
-    lines.append("Run one with `python -m repro scenario <name> [--quick]`, or pass a")
-    lines.append("path to a JSON/YAML spec file (format: repro.scenarios.ScenarioSpec).")
+    lines.append("Run one with `python -m repro scenario <name> [--quick]` (simulated)")
+    lines.append("or `python -m repro live <name> [--quick]` (asyncio TCP cluster), or")
+    lines.append("pass a path to a JSON/YAML spec file (format: repro.scenarios.ScenarioSpec).")
     return "\n".join(lines)
 
 
 def _command_scenario(args: argparse.Namespace) -> RunResult:
     return api.run(args.spec, quick=args.quick, seed=args.seed)
+
+
+def _command_live(args: argparse.Namespace) -> RunResult:
+    return api.run(
+        args.spec,
+        quick=args.quick,
+        seed=args.seed,
+        runtime="live",
+        duration=args.duration,
+        target_blocks=args.target_blocks,
+        procs=args.procs,
+    )
+
+
+def _parse_sweep_grid(assignments: List[str]) -> Dict[str, List[Any]]:
+    """Turn repeated ``--set field=v1,v2`` options into an api.sweep grid."""
+    grid: Dict[str, List[Any]] = {}
+    for assignment in assignments:
+        field, separator, values = assignment.partition("=")
+        field = field.strip()
+        if not separator or not field or not values.strip():
+            raise SystemExit(f"error: --set expects FIELD=V1[,V2,...], got {assignment!r}")
+        grid[field] = [parse_scalar(value) for value in values.split(",")]
+    return grid
+
+
+def _sweep_artifact(
+    args: argparse.Namespace, cells: List[Dict[str, Any]], results: List[RunResult]
+) -> FigureArtifact:
+    rows: List[Dict[str, object]] = []
+    for cell_overrides, result in zip(cells, results):
+        label = " ".join(
+            f"{field}={value}" for field, value in _flatten_cell(cell_overrides)
+        )
+        for row in result.rows():
+            row = dict(row)
+            row["cell"] = label or "(base)"
+            rows.append(row)
+    return FigureArtifact(
+        name=f"sweep-{results[0].spec.name}" if results else "sweep",
+        title=f"Sweep over {args.spec} ({len(results)} cells)",
+        rows=rows,
+        series_key="cell",
+        x="epoch",
+        y="throughput_ops",
+    )
+
+
+def _flatten_cell(cell: Dict[str, Any], prefix: str = "") -> List[tuple]:
+    pairs: List[tuple] = []
+    for key, value in cell.items():
+        dotted = f"{prefix}{key}"
+        if isinstance(value, dict):
+            pairs.extend(_flatten_cell(value, prefix=f"{dotted}."))
+        else:
+            pairs.append((dotted, value))
+    return pairs
 
 
 def _command_run(args: argparse.Namespace) -> RunResult:
@@ -230,6 +365,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 2
         result = _command_scenario(args)
         artifact = result.artifact()
+    elif args.command == "live":
+        result = _command_live(args)
+        artifact = result.artifact()
+    elif args.command == "sweep":
+        grid = _parse_sweep_grid(args.grid)
+        cells = api.expand_grid(grid or None)
+        results = api.sweep(args.spec, grid or None, quick=args.quick)
+        sweep_artifact = None
+        if args.format != "json" or args.output_dir:
+            sweep_artifact = _sweep_artifact(args, cells, results)
+        if args.format == "json":
+            document = {
+                "schema": RESULT_LIST_SCHEMA,
+                "runs": [run.to_dict() for run in results],
+            }
+            print(json.dumps(document, indent=2))
+        else:
+            print(_render(sweep_artifact, args.format))
+        if args.output_dir:
+            _write_artifacts(sweep_artifact, args.output_dir)
+        return 0
     elif args.command == "run":
         result = _command_run(args)
         artifact = _run_artifact(args, result)
@@ -245,11 +401,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     else:
         print(_render(artifact, args.format))
     if args.output_dir:
-        paths = artifact.write(args.output_dir)
-        print("\nwrote artifacts:")
-        for kind, path in sorted(paths.items()):
-            print(f"  {kind}: {path}")
+        _write_artifacts(artifact, args.output_dir)
     return 0
+
+
+def _write_artifacts(artifact: FigureArtifact, output_dir: str) -> None:
+    paths = artifact.write(output_dir)
+    print("\nwrote artifacts:")
+    for kind, path in sorted(paths.items()):
+        print(f"  {kind}: {path}")
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro

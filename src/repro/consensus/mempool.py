@@ -42,14 +42,31 @@ class Mempool:
     which is equivalent to every replica having seen every request.
     """
 
-    def __init__(self, metrics: Optional[MetricsCollector] = None) -> None:
+    def __init__(
+        self,
+        metrics: Optional[MetricsCollector] = None,
+        track_reservations: bool = False,
+    ) -> None:
         self.metrics = metrics or MetricsCollector()
         self._pending: List[Request] = []
         self._in_flight: Dict[str, Tuple[Request, ...]] = {}
         self._requests: Dict[int, Request] = {}
         self._committed: Set[int] = set()
         self._committed_blocks: Set[str] = set()
+        #: Block ids in first-commit order (the finalized chain prefix as
+        #: this pool observed it) — what the cross-runtime equivalence
+        #: tests compare between the sim and live runtimes.
+        self.committed_order: List[str] = []
         self._next_id = 0
+        # Replicated-pool mode (live runtime): every replica holds its own
+        # copy of the client stream, so requests another leader already
+        # batched must be *reserved* out of the local pending queue or two
+        # leaders would propose overlapping payloads.  The simulator's
+        # single shared pool never needs this (the leader's ``next_batch``
+        # physically removes the requests), so it defaults off and the
+        # shared-pool fast path is untouched.
+        self._track_reservations = track_reservations
+        self._reserved: Set[int] = set()
 
     # -- client side -----------------------------------------------------------
     def submit(self, time: float, size_bytes: int, client_id: int = 0) -> Request:
@@ -79,9 +96,33 @@ class Mempool:
     # -- leader side --------------------------------------------------------------
     def next_batch(self, max_size: int) -> Tuple[Request, ...]:
         """Remove and return up to ``max_size`` pending requests."""
-        batch = tuple(self._pending[:max_size])
-        del self._pending[: len(batch)]
-        return batch
+        if not self._track_reservations:
+            batch = tuple(self._pending[:max_size])
+            del self._pending[: len(batch)]
+            return batch
+        batch: List[Request] = []
+        taken = 0
+        for taken, request in enumerate(self._pending, start=1):
+            if request.request_id in self._reserved or request.request_id in self._committed:
+                continue
+            batch.append(request)
+            if len(batch) >= max_size:
+                break
+        else:
+            taken = len(self._pending)
+        del self._pending[:taken]
+        return tuple(batch)
+
+    def observe_proposal(self, block_id: str, payload: Tuple[int, ...]) -> None:
+        """Note that a (possibly remote) leader batched ``payload``.
+
+        In replicated-pool mode the payload's request ids are reserved so
+        this replica's own ``next_batch`` skips them; in shared-pool mode
+        (the simulator) this is a no-op.
+        """
+        if not self._track_reservations:
+            return
+        self._reserved.update(payload)
 
     def track_block(self, block_id: str, batch: Tuple[Request, ...]) -> None:
         """Remember which requests a proposed block carries."""
@@ -91,6 +132,7 @@ class Mempool:
         """Return a failed block's requests to the pending queue."""
         batch = self._in_flight.pop(block_id, ())
         uncommitted = [r for r in batch if r.request_id not in self._committed]
+        self._reserved.difference_update(r.request_id for r in uncommitted)
         self._pending = uncommitted + self._pending
 
     # -- commit notifications --------------------------------------------------------
@@ -103,6 +145,7 @@ class Mempool:
         if block_id in self._committed_blocks:
             return False
         self._committed_blocks.add(block_id)
+        self.committed_order.append(block_id)
         batch = self._in_flight.pop(block_id, None)
         if batch is None:
             batch = tuple(

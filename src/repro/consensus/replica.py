@@ -20,7 +20,7 @@ Responsibilities are split as follows:
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, TYPE_CHECKING
 
 from repro.aggregation.messages import NewViewMessage
 from repro.consensus.block import Block, GENESIS_ID, QuorumCertificate, genesis_block, genesis_qc
@@ -29,30 +29,45 @@ from repro.consensus.leader import LeaderElection, RoundRobinElection
 from repro.consensus.mempool import Mempool
 from repro.crypto.keys import Committee
 from repro.crypto.multisig import AggregateSignature, SignatureShare
-from repro.simnet.events import Simulator
 from repro.simnet.metrics import MetricsCollector
-from repro.simnet.network import Network
 from repro.simnet.process import Process, Timer
 from repro.tree.overlay import AggregationTree
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.base import Runtime
+    from repro.simnet.events import Simulator
+    from repro.simnet.network import Network
 
 __all__ = ["HotStuffReplica"]
 
 
 class HotStuffReplica(Process):
-    """One committee member running chained HotStuff with vote aggregation."""
+    """One committee member running chained HotStuff with vote aggregation.
+
+    The replica is sans-I/O: besides the committee/config/mempool wiring it
+    only uses the :class:`~repro.runtime.base.Runtime` verbs inherited from
+    :class:`Process`, so it runs identically under the simulator and the
+    live asyncio cluster.  Pass either ``runtime=...`` or the classic
+    ``(simulator, network)`` pair.
+    """
 
     def __init__(
         self,
         process_id: int,
-        simulator: Simulator,
-        network: Network,
-        committee: Committee,
-        config: ConsensusConfig,
-        mempool: Mempool,
+        simulator: "Optional[Simulator]" = None,
+        network: "Optional[Network]" = None,
+        committee: Optional[Committee] = None,
+        config: Optional[ConsensusConfig] = None,
+        mempool: Optional[Mempool] = None,
         election: Optional[LeaderElection] = None,
         metrics: Optional[MetricsCollector] = None,
+        runtime: "Optional[Runtime]" = None,
     ) -> None:
-        super().__init__(process_id, simulator, network, cpu_model=config.cpu_model)
+        if committee is None or config is None or mempool is None:
+            raise TypeError("HotStuffReplica requires committee, config and mempool")
+        super().__init__(
+            process_id, simulator, network, cpu_model=config.cpu_model, runtime=runtime
+        )
         self.committee = committee
         self.config = config
         self.mempool = mempool
@@ -162,7 +177,7 @@ class HotStuffReplica(Process):
             qc=self.highest_qc,
             payload=payload,
             payload_bytes=payload_bytes,
-            timestamp=self.simulator.now,
+            timestamp=self.now,
         )
         self._proposed_views.add(view)
         self.blocks[block.block_id] = block
@@ -192,6 +207,9 @@ class HotStuffReplica(Process):
             return None
 
         self.blocks[block_id] = block
+        # Replicated-pool runtimes reserve the batched requests out of the
+        # local pending queue; a no-op for the simulator's shared pool.
+        self.mempool.observe_proposal(block_id, block.payload)
         self._update_highest_qc(block.qc)
         self.last_voted_view = block.view
         if block.view > self.current_view:
@@ -250,7 +268,7 @@ class HotStuffReplica(Process):
         for ancestor in reversed(chain):
             self.committed_blocks.add(ancestor.block_id)
             self.committed_height = max(self.committed_height, ancestor.height)
-            self.mempool.mark_committed(ancestor.block_id, ancestor.payload, self.simulator.now)
+            self.mempool.mark_committed(ancestor.block_id, ancestor.payload, self.now)
 
     # ------------------------------------------------------------------
     # Aggregation completion (the paper's ``aggregate`` upcall)

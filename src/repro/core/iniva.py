@@ -176,7 +176,7 @@ class InivaAggregator(TreeAggregator):
             if parent is not None and parent in proof:
                 return True
         # Fallback: sufficient time has passed since block creation.
-        elapsed = self.replica.simulator.now - message.block.timestamp
+        elapsed = self.replica.now - message.block.timestamp
         return elapsed >= 2.0 * self.config.delta
 
     # -- root: fold 2ND-CHANCE replies into the aggregate -----------------------------------

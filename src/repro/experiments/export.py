@@ -19,7 +19,11 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.experiments.report import format_rows, rows_to_csv, rows_to_json, series
 
-__all__ = ["ascii_plot", "FigureArtifact"]
+__all__ = ["ascii_plot", "FigureArtifact", "FIGURE_SCHEMA"]
+
+#: Version tag of the figure JSON document (``--format json`` for figure
+#: commands); bump on breaking change, mirroring ``repro.results.RESULT_SCHEMA``.
+FIGURE_SCHEMA = "repro.figure/1"
 
 _MARKERS = "ox+*#@%&"
 
@@ -142,6 +146,19 @@ class FigureArtifact:
             x_label=self.x,
             y_label=self.y,
         )
+
+    # -- stable JSON schema -----------------------------------------------------
+    def to_document(self) -> Dict[str, object]:
+        """The versioned JSON document (figure analogue of ``RunResult.to_dict``)."""
+        return {
+            "schema": FIGURE_SCHEMA,
+            "name": self.name,
+            "title": self.title,
+            "series_key": self.series_key,
+            "x": self.x,
+            "y": self.y,
+            "rows": [dict(row) for row in self.rows],
+        }
 
     # -- persistence -----------------------------------------------------------
     def write(self, out_dir: Union[str, Path]) -> Dict[str, Path]:

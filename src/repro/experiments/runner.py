@@ -74,6 +74,10 @@ class ExperimentResult:
     The fields mirror what the paper reports: throughput (ops/sec), client
     latency, failed-view percentage, average QC size (vote inclusion) and
     mean CPU utilisation, plus message counters for the overhead analysis.
+
+    ``transport`` holds per-replica transport counters (messages/bytes
+    sent, messages received) keyed by the process id as a string; the sim
+    and live runtimes fill the same schema so their results diff cleanly.
     """
 
     config_label: str
@@ -90,6 +94,7 @@ class ExperimentResult:
     committed_operations: int
     committed_blocks: int
     message_counters: Dict[str, int] = field(default_factory=dict)
+    transport: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     def row(self) -> Dict[str, float]:
         """A flat representation used by the benchmark reporting."""
@@ -120,6 +125,7 @@ class ExperimentResult:
             "committed_operations": self.committed_operations,
             "committed_blocks": self.committed_blocks,
             "message_counters": dict(self.message_counters),
+            "transport": {pid: dict(counts) for pid, counts in self.transport.items()},
         }
 
     @classmethod
@@ -129,6 +135,10 @@ class ExperimentResult:
         payload["message_counters"] = {
             str(key): int(value)
             for key, value in dict(payload.get("message_counters", {})).items()
+        }
+        payload["transport"] = {
+            str(pid): {str(key): int(value) for key, value in dict(counts).items()}
+            for pid, counts in dict(payload.get("transport", {})).items()
         }
         return cls(**payload)
 
@@ -335,4 +345,8 @@ def summarise(deployment: Deployment, duration: float, label: Optional[str] = No
         committed_operations=metrics.committed_operations(),
         committed_blocks=metrics.committed_blocks(),
         message_counters=deployment.network.counters(),
+        transport={
+            str(pid): counts
+            for pid, counts in deployment.network.per_replica_counters().items()
+        },
     )

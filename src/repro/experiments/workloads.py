@@ -63,5 +63,23 @@ class ClientWorkload:
             scheduled += 1
         return scheduled
 
+    def preload_into(self, mempool: Mempool, duration: float) -> int:
+        """Submit the whole run's request volume at time zero.
+
+        Exactly ``int(rate * duration)`` requests are submitted with
+        ``submitted_at=0.0``, independent of the arrival RNG, so every
+        replica of a replicated-pool (live) deployment — and a sim run of
+        the same spec — sees an identical request sequence.  Returns the
+        number of submitted requests.
+        """
+        count = int(self.rate * duration)
+        for index in range(count):
+            mempool.submit(
+                time=0.0,
+                size_bytes=self.payload_size,
+                client_id=index % max(self.num_clients, 1),
+            )
+        return count
+
     def _submit(self, mempool: Mempool, time: float, client_id: int) -> None:
         mempool.submit(time=time, size_bytes=self.payload_size, client_id=client_id)

@@ -27,10 +27,14 @@ from repro.experiments.runner import ExperimentResult
 if TYPE_CHECKING:  # imported lazily at runtime: scenarios.engine imports us
     from repro.scenarios.spec import ScenarioSpec
 
-__all__ = ["EpochMetrics", "RunResult", "RESULT_SCHEMA"]
+__all__ = ["EpochMetrics", "RunResult", "RESULT_SCHEMA", "RESULT_LIST_SCHEMA"]
 
 #: Version tag embedded in every serialized result; bump on breaking change.
 RESULT_SCHEMA = "repro.run-result/1"
+
+#: Version tag of the multi-run document (``repro sweep --format json``):
+#: ``{"schema": ..., "runs": [RunResult documents]}``.
+RESULT_LIST_SCHEMA = "repro.run-result-list/1"
 
 
 @dataclass(frozen=True)
@@ -73,11 +77,18 @@ class RunResult:
         epochs: Per-epoch metrics; single-epoch runs have exactly one.
         attackers: Process ids of the Byzantine coalition ("attack
             outcome" echo; empty without an active attack).
+        runtime: Which substrate executed the run — ``"sim"``
+            (deterministic discrete-event) or ``"live"`` (asyncio TCP
+            cluster).  Both emit this same schema.
+        wall_clock_seconds: Real elapsed time of the run (for sim runs
+            this is the host time spent simulating, not virtual time).
     """
 
     spec: ScenarioSpec
     epochs: List[EpochMetrics] = field(default_factory=list)
     attackers: Tuple[int, ...] = ()
+    runtime: str = "sim"
+    wall_clock_seconds: Optional[float] = None
 
     # -- convenience accessors --------------------------------------------------
     @property
@@ -95,6 +106,11 @@ class RunResult:
     def latency(self):
         """Latency stats of the first epoch (see :class:`LatencyStats`)."""
         return self.metrics.latency
+
+    @property
+    def transport(self) -> Dict[str, Dict[str, int]]:
+        """Per-replica transport counters of the first epoch."""
+        return self.metrics.transport
 
     # -- row/summary/artifact views ---------------------------------------------
     def rows(self) -> List[Dict[str, object]]:
@@ -159,9 +175,11 @@ class RunResult:
         """The versioned JSON document (inverse of :meth:`from_dict`)."""
         return {
             "schema": RESULT_SCHEMA,
+            "runtime": self.runtime,
             "spec": self.spec.to_dict(),
             "seed": self.seed,
             "attackers": list(self.attackers),
+            "wall_clock_seconds": self.wall_clock_seconds,
             "epochs": [outcome.to_dict() for outcome in self.epochs],
             "summary": self.summary(),
         }
@@ -173,10 +191,13 @@ class RunResult:
         schema = data.get("schema")
         if schema != RESULT_SCHEMA:
             raise ValueError(f"unsupported result schema {schema!r} (want {RESULT_SCHEMA!r})")
+        wall_clock = data.get("wall_clock_seconds")
         return cls(
             spec=ScenarioSpec.from_dict(data["spec"]),
             epochs=[EpochMetrics.from_dict(entry) for entry in data["epochs"]],
             attackers=tuple(int(pid) for pid in data.get("attackers", ())),
+            runtime=str(data.get("runtime", "sim")),
+            wall_clock_seconds=None if wall_clock is None else float(wall_clock),
         )
 
     def to_json(self, indent: int = 2) -> str:

@@ -1,0 +1,25 @@
+"""Pluggable execution runtimes for the sans-I/O protocol core.
+
+The protocol state machines in :mod:`repro.consensus` and
+:mod:`repro.aggregation` are pure: they only speak the narrow
+:class:`~repro.runtime.base.Runtime` interface (now / send / multicast /
+set_timer / spawn).  This package provides the substrates:
+
+* :mod:`repro.runtime.sim` — the deterministic discrete-event runtime
+  over :mod:`repro.simnet` (the correctness oracle; fixed seeds give
+  bit-identical results);
+* :mod:`repro.runtime.live` — an asyncio runtime running each replica as
+  a task (or ``--procs`` subprocesses) over localhost TCP, framing every
+  wire message with the versioned codec in :mod:`repro.runtime.codec`.
+"""
+
+from repro.runtime.base import Clock, Runtime, TimerHandle, Transport
+from repro.runtime.sim import SimRuntime
+
+__all__ = [
+    "Clock",
+    "Runtime",
+    "SimRuntime",
+    "TimerHandle",
+    "Transport",
+]

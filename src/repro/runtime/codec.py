@@ -1,0 +1,372 @@
+"""Versioned binary wire codec for the live runtime (msgpack-free).
+
+Frames every message type the protocol core puts on the wire — the six
+aggregation/consensus messages of :mod:`repro.aggregation.messages` plus
+their nested :class:`~repro.consensus.block.Block`,
+:class:`~repro.consensus.block.QuorumCertificate`,
+:class:`~repro.crypto.multisig.SignatureShare` and
+:class:`~repro.crypto.multisig.AggregateSignature` — with no external
+dependency: a one-byte type tag per value, big-endian fixed-width lengths
+and arbitrary-precision signed integers (BLS coordinates are 512-bit).
+
+Signature *values* are backend-specific opaque objects; the codec covers
+all three registered backends:
+
+* ``hashsig`` — plain ints and :class:`_HashSigAggregateValue` wrappers;
+* ``hash`` — bytes digests and ``{"digest": ..., "shares": {...}}`` dicts;
+* ``bls`` — affine curve :class:`~repro.crypto.curve.Point` s.  Curve
+  parameters do not travel with every point: both ends derive them from
+  the shared :class:`~repro.scenarios.spec.ScenarioSpec`, so the decoder
+  is constructed with the matching :class:`CurveParams`.
+
+The first byte of every frame is :data:`WIRE_VERSION`; decoding a frame
+with an unknown version raises :class:`CodecError` so incompatible nodes
+fail loudly instead of mis-parsing.  The length prefix itself (4 bytes,
+big-endian) is applied by :func:`frame` / consumed by the stream reader.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.aggregation.messages import (
+    AckMessage,
+    NewViewMessage,
+    ProposalMessage,
+    SecondChanceMessage,
+    SecondChanceReply,
+    SignatureMessage,
+)
+from repro.consensus.block import Block, QuorumCertificate
+from repro.crypto.curve import Point
+from repro.crypto.multisig import (
+    AggregateSignature,
+    SignatureShare,
+    _HashSigAggregateValue,
+)
+from repro.crypto.params import CurveParams
+
+__all__ = [
+    "CodecError",
+    "WIRE_MESSAGE_TYPES",
+    "WIRE_VERSION",
+    "WireCodec",
+]
+
+#: Bump on any incompatible change to the encoding below.
+WIRE_VERSION = 1
+
+#: Every message type the protocol core sends between replicas.
+WIRE_MESSAGE_TYPES: Tuple[type, ...] = (
+    ProposalMessage,
+    SignatureMessage,
+    AckMessage,
+    SecondChanceMessage,
+    SecondChanceReply,
+    NewViewMessage,
+)
+
+
+class CodecError(ValueError):
+    """Raised for unsupported values, truncated frames or bad versions."""
+
+
+# -- value tags ---------------------------------------------------------------
+_T_NONE = 0x00
+_T_FALSE = 0x01
+_T_TRUE = 0x02
+_T_INT = 0x03
+_T_FLOAT = 0x04
+_T_STR = 0x05
+_T_BYTES = 0x06
+_T_SEQ = 0x07
+_T_DICT = 0x08
+_T_SHARE = 0x10
+_T_AGGREGATE = 0x11
+_T_HASHSIG_ACC = 0x12
+_T_POINT = 0x13
+_T_POINT_INF = 0x14
+_T_QC = 0x15
+_T_BLOCK = 0x16
+_T_PROPOSAL = 0x20
+_T_SIGNATURE_MSG = 0x21
+_T_ACK = 0x22
+_T_SECOND_CHANCE = 0x23
+_T_SECOND_CHANCE_REPLY = 0x24
+_T_NEW_VIEW = 0x25
+
+_U32 = struct.Struct(">I")
+_F64 = struct.Struct(">d")
+
+
+class WireCodec:
+    """Encode/decode protocol messages to self-describing binary frames.
+
+    Args:
+        curve_params: Parameters used to reconstruct BLS curve points;
+            required only when decoding frames produced by the ``bls``
+            signature backend.
+    """
+
+    def __init__(self, curve_params: Optional[CurveParams] = None) -> None:
+        self._params = curve_params
+
+    # -- public API ----------------------------------------------------------
+    def encode(self, message: Any) -> bytes:
+        """Encode ``message`` into a version-tagged frame body."""
+        out = bytearray([WIRE_VERSION])
+        self._write(out, message)
+        return bytes(out)
+
+    def decode(self, payload: bytes) -> Any:
+        """Decode one frame body produced by :meth:`encode`."""
+        if not payload:
+            raise CodecError("empty frame")
+        if payload[0] != WIRE_VERSION:
+            raise CodecError(
+                f"unsupported wire version {payload[0]} (this node speaks {WIRE_VERSION})"
+            )
+        value, offset = self._read(payload, 1)
+        if offset != len(payload):
+            raise CodecError(f"{len(payload) - offset} trailing bytes after message")
+        return value
+
+    def frame(self, message: Any) -> bytes:
+        """Length-prefixed frame, ready to write to a TCP stream."""
+        body = self.encode(message)
+        return _U32.pack(len(body)) + body
+
+    # -- encoding ------------------------------------------------------------
+    def _write(self, out: bytearray, value: Any) -> None:
+        if value is None:
+            out.append(_T_NONE)
+        elif value is True:
+            out.append(_T_TRUE)
+        elif value is False:
+            out.append(_T_FALSE)
+        elif isinstance(value, int):
+            out.append(_T_INT)
+            raw = value.to_bytes((value.bit_length() + 8) // 8 or 1, "big", signed=True)
+            out += _U32.pack(len(raw))
+            out += raw
+        elif isinstance(value, float):
+            out.append(_T_FLOAT)
+            out += _F64.pack(value)
+        elif isinstance(value, str):
+            raw = value.encode("utf-8")
+            out.append(_T_STR)
+            out += _U32.pack(len(raw))
+            out += raw
+        elif isinstance(value, (bytes, bytearray)):
+            out.append(_T_BYTES)
+            out += _U32.pack(len(value))
+            out += value
+        elif isinstance(value, (list, tuple)):
+            out.append(_T_SEQ)
+            out += _U32.pack(len(value))
+            for item in value:
+                self._write(out, item)
+        elif isinstance(value, dict):
+            out.append(_T_DICT)
+            out += _U32.pack(len(value))
+            for key, item in value.items():
+                self._write(out, key)
+                self._write(out, item)
+        elif isinstance(value, SignatureShare):
+            out.append(_T_SHARE)
+            self._write(out, value.signer)
+            self._write(out, value.value)
+        elif isinstance(value, AggregateSignature):
+            out.append(_T_AGGREGATE)
+            self._write(out, value.value)
+            self._write(out, dict(value.multiplicities))
+        elif isinstance(value, _HashSigAggregateValue):
+            out.append(_T_HASHSIG_ACC)
+            self._write(out, value.accumulator)
+        elif isinstance(value, Point):
+            if value.is_infinity:
+                out.append(_T_POINT_INF)
+            else:
+                out.append(_T_POINT)
+                self._write(out, value.x.value)
+                self._write(out, value.y.value)
+        elif isinstance(value, QuorumCertificate):
+            out.append(_T_QC)
+            self._write(out, value.block_id)
+            self._write(out, value.view)
+            self._write(out, value.height)
+            self._write(out, value.aggregate)
+            self._write(out, value.collector)
+        elif isinstance(value, Block):
+            out.append(_T_BLOCK)
+            self._write(out, value.height)
+            self._write(out, value.view)
+            self._write(out, value.proposer)
+            self._write(out, value.parent_id)
+            self._write(out, value.qc)
+            self._write(out, tuple(value.payload))
+            self._write(out, value.payload_bytes)
+            self._write(out, value.timestamp)
+        elif isinstance(value, ProposalMessage):
+            out.append(_T_PROPOSAL)
+            self._write(out, value.block)
+        elif isinstance(value, SignatureMessage):
+            out.append(_T_SIGNATURE_MSG)
+            self._write(out, value.block_id)
+            self._write(out, value.view)
+            self._write(out, value.signature)
+        elif isinstance(value, AckMessage):
+            out.append(_T_ACK)
+            self._write(out, value.block_id)
+            self._write(out, value.view)
+            self._write(out, value.aggregate)
+        elif isinstance(value, SecondChanceMessage):
+            out.append(_T_SECOND_CHANCE)
+            self._write(out, value.block)
+            self._write(out, value.proof)
+        elif isinstance(value, SecondChanceReply):
+            out.append(_T_SECOND_CHANCE_REPLY)
+            self._write(out, value.block_id)
+            self._write(out, value.view)
+            self._write(out, value.signature)
+        elif isinstance(value, NewViewMessage):
+            out.append(_T_NEW_VIEW)
+            self._write(out, value.view)
+            self._write(out, value.highest_qc)
+        else:
+            raise CodecError(f"cannot encode value of type {type(value).__name__}")
+
+    # -- decoding ------------------------------------------------------------
+    def _read(self, buf: bytes, offset: int) -> Tuple[Any, int]:
+        try:
+            tag = buf[offset]
+        except IndexError:
+            raise CodecError("truncated frame") from None
+        offset += 1
+        if tag == _T_NONE:
+            return None, offset
+        if tag == _T_TRUE:
+            return True, offset
+        if tag == _T_FALSE:
+            return False, offset
+        if tag == _T_INT:
+            raw, offset = self._read_sized(buf, offset)
+            return int.from_bytes(raw, "big", signed=True), offset
+        if tag == _T_FLOAT:
+            self._need(buf, offset, 8)
+            return _F64.unpack_from(buf, offset)[0], offset + 8
+        if tag == _T_STR:
+            raw, offset = self._read_sized(buf, offset)
+            return raw.decode("utf-8"), offset
+        if tag == _T_BYTES:
+            raw, offset = self._read_sized(buf, offset)
+            return bytes(raw), offset
+        if tag == _T_SEQ:
+            count, offset = self._read_count(buf, offset)
+            items: List[Any] = []
+            for _ in range(count):
+                item, offset = self._read(buf, offset)
+                items.append(item)
+            return tuple(items), offset
+        if tag == _T_DICT:
+            count, offset = self._read_count(buf, offset)
+            mapping: Dict[Any, Any] = {}
+            for _ in range(count):
+                key, offset = self._read(buf, offset)
+                item, offset = self._read(buf, offset)
+                mapping[key] = item
+            return mapping, offset
+        if tag == _T_SHARE:
+            signer, offset = self._read(buf, offset)
+            value, offset = self._read(buf, offset)
+            return SignatureShare(signer=signer, value=value), offset
+        if tag == _T_AGGREGATE:
+            value, offset = self._read(buf, offset)
+            multiplicities, offset = self._read(buf, offset)
+            return AggregateSignature(value=value, multiplicities=multiplicities), offset
+        if tag == _T_HASHSIG_ACC:
+            accumulator, offset = self._read(buf, offset)
+            return _HashSigAggregateValue(accumulator), offset
+        if tag == _T_POINT_INF:
+            return Point.infinity(self._require_params()), offset
+        if tag == _T_POINT:
+            x, offset = self._read(buf, offset)
+            y, offset = self._read(buf, offset)
+            return Point.from_ints(x, y, self._require_params()), offset
+        if tag == _T_QC:
+            block_id, offset = self._read(buf, offset)
+            view, offset = self._read(buf, offset)
+            height, offset = self._read(buf, offset)
+            aggregate, offset = self._read(buf, offset)
+            collector, offset = self._read(buf, offset)
+            qc = QuorumCertificate(
+                block_id=block_id, view=view, height=height,
+                aggregate=aggregate, collector=collector,
+            )
+            return qc, offset
+        if tag == _T_BLOCK:
+            height, offset = self._read(buf, offset)
+            view, offset = self._read(buf, offset)
+            proposer, offset = self._read(buf, offset)
+            parent_id, offset = self._read(buf, offset)
+            qc, offset = self._read(buf, offset)
+            payload, offset = self._read(buf, offset)
+            payload_bytes, offset = self._read(buf, offset)
+            timestamp, offset = self._read(buf, offset)
+            block = Block(
+                height=height, view=view, proposer=proposer, parent_id=parent_id,
+                qc=qc, payload=payload, payload_bytes=payload_bytes, timestamp=timestamp,
+            )
+            return block, offset
+        if tag == _T_PROPOSAL:
+            block, offset = self._read(buf, offset)
+            return ProposalMessage(block), offset
+        if tag == _T_SIGNATURE_MSG:
+            block_id, offset = self._read(buf, offset)
+            view, offset = self._read(buf, offset)
+            signature, offset = self._read(buf, offset)
+            return SignatureMessage(block_id=block_id, view=view, signature=signature), offset
+        if tag == _T_ACK:
+            block_id, offset = self._read(buf, offset)
+            view, offset = self._read(buf, offset)
+            aggregate, offset = self._read(buf, offset)
+            return AckMessage(block_id=block_id, view=view, aggregate=aggregate), offset
+        if tag == _T_SECOND_CHANCE:
+            block, offset = self._read(buf, offset)
+            proof, offset = self._read(buf, offset)
+            return SecondChanceMessage(block=block, proof=proof), offset
+        if tag == _T_SECOND_CHANCE_REPLY:
+            block_id, offset = self._read(buf, offset)
+            view, offset = self._read(buf, offset)
+            signature, offset = self._read(buf, offset)
+            return SecondChanceReply(block_id=block_id, view=view, signature=signature), offset
+        if tag == _T_NEW_VIEW:
+            view, offset = self._read(buf, offset)
+            highest_qc, offset = self._read(buf, offset)
+            return NewViewMessage(view=view, highest_qc=highest_qc), offset
+        raise CodecError(f"unknown wire tag 0x{tag:02x}")
+
+    # -- helpers -------------------------------------------------------------
+    def _require_params(self) -> CurveParams:
+        if self._params is None:
+            raise CodecError(
+                "decoding a BLS curve point requires the codec's curve_params"
+            )
+        return self._params
+
+    @staticmethod
+    def _need(buf: bytes, offset: int, count: int) -> None:
+        if offset + count > len(buf):
+            raise CodecError("truncated frame")
+
+    @classmethod
+    def _read_count(cls, buf: bytes, offset: int) -> Tuple[int, int]:
+        cls._need(buf, offset, 4)
+        return _U32.unpack_from(buf, offset)[0], offset + 4
+
+    @classmethod
+    def _read_sized(cls, buf: bytes, offset: int) -> Tuple[bytes, int]:
+        size, offset = cls._read_count(buf, offset)
+        cls._need(buf, offset, size)
+        return buf[offset : offset + size], offset + size

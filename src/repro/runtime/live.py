@@ -1,0 +1,615 @@
+"""The live asyncio runtime: real replicas over localhost TCP.
+
+This is the second substrate behind the sans-I/O protocol core.  Each
+replica of a :class:`~repro.scenarios.spec.ScenarioSpec` runs as its own
+:class:`LiveNode` — an asyncio task owning a TCP server, outgoing peer
+connections, a replicated mempool copy and a metrics collector — and the
+unchanged :class:`~repro.consensus.replica.HotStuffReplica` drives it
+through :class:`LiveRuntime`.  All wire traffic is framed with the
+versioned codec in :mod:`repro.runtime.codec`.
+
+Two deployment shapes:
+
+* **task mode** (default): all replicas as tasks in one event loop —
+  the fastest way to get a cluster up, and what the cross-runtime
+  equivalence tests use;
+* **``procs`` mode**: replicas are spread over worker subprocesses
+  (``python -m repro.runtime.live_worker``), each hosting a slice of the
+  committee in its own loop; all traffic still flows over localhost TCP,
+  so the wire path is identical.
+
+Determinism: the client workload is always *preloaded* (the full request
+volume submitted at time zero — see ``WorkloadSpec.preload``), so leaders
+batch identical request sequences in both runtimes and a fixed-seed spec
+finalizes the same block ids under sim and live (pinned by
+``tests/runtime/test_equivalence.py``).
+
+Faults: crash schedules are supported (a timer crash-stops the local
+process); partitions, Byzantine attacks, message loss and churn are
+simulator-only for now and are rejected with a clear error.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.consensus.leader import make_leader_election
+from repro.consensus.mempool import Mempool
+from repro.consensus.replica import HotStuffReplica
+from repro.crypto.keys import Committee
+from repro.crypto.params import TOY_PARAMS
+from repro.experiments.runner import ExperimentResult, _make_signature_scheme
+from repro.experiments.workloads import ClientWorkload
+from repro.results import EpochMetrics, RunResult
+from repro.runtime.base import Runtime, TimerHandle
+from repro.runtime.codec import WireCodec
+from repro.scenarios.engine import CompiledScenario, compile_scenario
+from repro.scenarios.spec import ScenarioSpec
+from repro.simnet.metrics import LatencyStats, MetricsCollector
+
+__all__ = [
+    "LiveCluster",
+    "LiveNode",
+    "LiveRuntime",
+    "run_live",
+    "serve_window",
+    "validate_live_spec",
+]
+
+#: How long (wall seconds) nodes wait between "servers are up" and
+#: ``replica.start()`` so every peer is listening before view 1.
+_START_GRACE = 0.15
+
+#: Frame read limit — a proposal with a large batch stays far below this.
+_READ_LIMIT = 16 * 1024 * 1024
+
+
+def validate_live_spec(spec: ScenarioSpec) -> None:
+    """Reject spec features the live runtime does not implement yet."""
+    unsupported = []
+    if spec.faults.partitions:
+        unsupported.append("timed partitions")
+    if spec.attack.strategy != "none":
+        unsupported.append("byzantine attacks")
+    if spec.churn.epochs > 1:
+        unsupported.append("membership churn (epochs > 1)")
+    if spec.topology.loss_probability > 0:
+        unsupported.append("probabilistic message loss")
+    if spec.committee.pool_size > spec.committee.size:
+        unsupported.append("stake-weighted committee selection")
+    if unsupported:
+        raise ValueError(
+            "the live runtime does not support: "
+            + ", ".join(unsupported)
+            + " (run this spec on the sim runtime)"
+        )
+
+
+class _LiveTimer(TimerHandle):
+    """Adapter from ``asyncio.TimerHandle`` to the runtime's handle."""
+
+    __slots__ = ("_handle", "_cancelled")
+
+    def __init__(self, handle: asyncio.TimerHandle) -> None:
+        self._handle = handle
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        self._cancelled = True
+        self._handle.cancel()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"_LiveTimer(cancelled={self._cancelled})"
+
+
+class LiveRuntime(Runtime):
+    """The :class:`Runtime` one live node hands its protocol process."""
+
+    models_cpu = False
+    name = "live"
+
+    def __init__(self, node: "LiveNode") -> None:
+        self._node = node
+
+    @property
+    def now(self) -> float:
+        return self._node.now
+
+    def register(self, process: Any) -> None:
+        self._node.attach(process)
+
+    def send(self, src: int, dst: int, message: Any, size_bytes: int = 0) -> None:
+        self._node.transport_send(dst, message, size_bytes)
+
+    def set_timer(self, delay: float, callback: Callable[..., None], *args: Any) -> TimerHandle:
+        loop = self._node.loop
+        return _LiveTimer(loop.call_later(max(delay, 0.0), callback, *args))
+
+    def call_at(self, when: float, callback: Callable[..., None], *args: Any) -> TimerHandle:
+        return self.set_timer(when - self.now, callback, *args)
+
+    def counters(self) -> Dict[str, int]:
+        return dict(self._node.counters)
+
+    def per_replica_counters(self) -> Dict[int, Dict[str, int]]:
+        return {self._node.pid: dict(self._node.counters)}
+
+
+class LiveNode:
+    """One replica: TCP server + peer connections + protocol process."""
+
+    def __init__(
+        self,
+        pid: int,
+        compiled: CompiledScenario,
+        committee: Committee,
+        epoch: float,
+        host: str = "127.0.0.1",
+    ) -> None:
+        self.pid = pid
+        self.compiled = compiled
+        self.host = host
+        self.epoch = epoch
+        self.port: Optional[int] = None
+        self.peer_addresses: Dict[int, Tuple[str, int]] = {}
+        self.loop: asyncio.AbstractEventLoop = None  # set in serve()
+        config = compiled.config
+        params = TOY_PARAMS if config.signature_scheme == "bls" else None
+        self.codec = WireCodec(curve_params=params)
+        self.metrics = MetricsCollector(warmup=0.0)
+        self.mempool = Mempool(metrics=self.metrics, track_reservations=True)
+        self.committee = committee
+        self.counters: Dict[str, int] = {
+            "messages_sent": 0,
+            "messages_received": 0,
+            "bytes_sent": 0,
+        }
+        # Frames that reached this node after it crash-stopped; kept out of
+        # the per-replica transport schema (which mirrors the sim network's
+        # three counters) and aggregated into message_counters instead.
+        self.messages_dropped = 0
+        self.runtime = LiveRuntime(self)
+        self.replica = HotStuffReplica(
+            process_id=pid,
+            committee=committee,
+            config=config,
+            mempool=self.mempool,
+            election=make_leader_election(config.leader_policy, config.committee_size),
+            metrics=self.metrics,
+            runtime=self.runtime,
+        )
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._send_queues: Dict[int, asyncio.Queue] = {}
+        self._tasks: List[asyncio.Task] = []
+        self._stopping = False
+
+    # -- clock ----------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Wall-clock seconds since the cluster epoch (shared by workers)."""
+        return time.time() - self.epoch
+
+    # -- runtime hooks ---------------------------------------------------------
+    def attach(self, process: Any) -> None:
+        # The replica registers itself during construction; nothing to do —
+        # the node already holds it.
+        pass
+
+    def transport_send(self, dst: int, message: Any, size_bytes: int) -> None:
+        if self._stopping:
+            return
+        self.counters["messages_sent"] += 1
+        self.counters["bytes_sent"] += size_bytes
+        if dst == self.pid:
+            # Self-sends stay local but are never re-entrant (the sim
+            # delivers them through the event queue too).
+            self.loop.call_soon(self.replica._deliver, self.pid, message)
+            return
+        queue = self._send_queues.get(dst)
+        if queue is None:
+            if dst not in self.peer_addresses:
+                return  # unknown peer: drop, like the sim network
+            queue = asyncio.Queue()
+            self._send_queues[dst] = queue
+            self._tasks.append(self.loop.create_task(self._writer(dst, queue)))
+        queue.put_nowait(message)
+
+    # -- server side -----------------------------------------------------------
+    async def serve(self, port: int = 0) -> int:
+        """Start this node's TCP server; returns the bound port."""
+        self.loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, port, limit=_READ_LIMIT
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._tasks.append(task)
+        try:
+            hello = await self._read_frame(reader)
+            peer = self.codec.decode(hello)
+            if not isinstance(peer, int):
+                return
+            while True:
+                frame = await self._read_frame(reader)
+                message = self.codec.decode(frame)
+                if self.replica.crashed:
+                    # Mirror the sim network: traffic to a crashed replica
+                    # is a drop, not a receipt.
+                    self.messages_dropped += 1
+                    continue
+                self.counters["messages_received"] += 1
+                if not self._stopping:
+                    self.replica._deliver(peer, message)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            return
+        except asyncio.CancelledError:
+            # Shutdown path: completing normally (instead of re-raising)
+            # keeps asyncio's stream-protocol completion callback quiet.
+            return
+        finally:
+            writer.close()
+
+    @staticmethod
+    async def _read_frame(reader: asyncio.StreamReader) -> Optional[bytes]:
+        header = await reader.readexactly(4)
+        size = int.from_bytes(header, "big")
+        if size > _READ_LIMIT:
+            raise ConnectionError(f"oversized frame ({size} bytes)")
+        return await reader.readexactly(size)
+
+    # -- client side -----------------------------------------------------------
+    async def _writer(self, dst: int, queue: asyncio.Queue) -> None:
+        """Connect to ``dst`` (with retries) and drain its send queue."""
+        host, port = self.peer_addresses[dst]
+        writer: Optional[asyncio.StreamWriter] = None
+        backoff = 0.01
+        while writer is None and not self._stopping:
+            try:
+                _, writer = await asyncio.open_connection(host, port, limit=_READ_LIMIT)
+            except (ConnectionError, OSError):
+                await asyncio.sleep(backoff)
+                backoff = min(backoff * 2, 0.25)
+        if writer is None:  # pragma: no cover - stopped before connecting
+            return
+        try:
+            writer.write(self.codec.frame(self.pid))
+            while True:
+                message = await queue.get()
+                writer.write(self.codec.frame(message))
+                await writer.drain()
+        except (ConnectionError, OSError):  # peer went away (e.g. crashed)
+            return
+        except asyncio.CancelledError:
+            raise
+        finally:
+            writer.close()
+
+    # -- lifecycle --------------------------------------------------------------
+    def start_protocol(self) -> None:
+        """Preload the workload, arm crash timers and start the replica."""
+        spec = self.compiled.spec
+        workload_seed = (
+            spec.workload.seed if spec.workload.seed is not None else self.compiled.config.seed
+        )
+        ClientWorkload(
+            rate=spec.workload.rate,
+            payload_size=spec.workload.payload_size,
+            num_clients=spec.workload.num_clients,
+            jitter=spec.workload.jitter,
+            seed=workload_seed,
+        ).preload_into(self.mempool, self.compiled.epoch_duration)
+        if self.compiled.failure_plan is not None:
+            crash_at = self.compiled.failure_plan.crashes.get(self.pid)
+            if crash_at is not None:
+                self.runtime.set_timer(max(crash_at - self.now, 0.0), self.replica.crash)
+        self.replica.start()
+
+    async def stop(self) -> None:
+        self._stopping = True
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001 - teardown
+                pass
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    # -- reporting ---------------------------------------------------------------
+    def summary(self, elapsed: float) -> Dict[str, Any]:
+        """JSON-safe per-node stats (shared by task and subprocess modes)."""
+        self.metrics.mark_window(0.0, elapsed)
+        return {
+            "pid": self.pid,
+            "elapsed": elapsed,
+            "crashed": self.replica.crashed,
+            "current_view": self.replica.current_view,
+            "committed_blocks": self.metrics.committed_blocks(),
+            "committed_operations": self.metrics.committed_operations(),
+            "committed_order": list(self.mempool.committed_order),
+            "latency": self.metrics.latency_stats().to_dict(),
+            "views_recorded": self.metrics.total_views(),
+            "qc_size_sum": sum(self.metrics.qc_sizes()),
+            "qc_count": len(self.metrics.qc_sizes()),
+            "second_chance_inclusions": self.metrics.second_chance_inclusions(),
+            "busy_time": self.replica.busy_time,
+            "messages_dropped": self.messages_dropped,
+            "transport": dict(self.counters),
+        }
+
+
+async def serve_window(
+    nodes: List[LiveNode],
+    epoch: float,
+    duration: float,
+    target_blocks: Optional[int],
+) -> List[Dict[str, Any]]:
+    """The shared serve loop: barrier, start, poll, stop, summarise.
+
+    Both deployment shapes go through this exact code path — task mode
+    (all nodes in one loop) and each ``--procs`` worker (its slice of the
+    committee) — so their lifecycle semantics cannot diverge.  Nodes must
+    already be listening with ``peer_addresses`` populated.
+    """
+    await asyncio.sleep(max(epoch - time.time(), 0.0))
+    run_started = time.time()
+    for node in nodes:
+        node.start_protocol()
+    deadline = run_started + duration
+    try:
+        while time.time() < deadline:
+            if target_blocks is not None and any(
+                len(node.mempool.committed_order) >= target_blocks for node in nodes
+            ):
+                break
+            await asyncio.sleep(0.02)
+    finally:
+        elapsed = max(time.time() - run_started, 1e-9)
+        for node in nodes:
+            await node.stop()
+    return [node.summary(elapsed) for node in nodes]
+
+
+@dataclass
+class LiveCluster:
+    """A not-yet-started live deployment compiled from a spec.
+
+    ``run()`` brings the committee up (asyncio tasks, or ``procs`` worker
+    subprocesses), lets it serve the preloaded workload until ``duration``
+    wall seconds elapse or a node commits ``target_blocks``, and returns
+    the same :class:`RunResult` schema the sim runtime emits.
+    """
+
+    spec: ScenarioSpec
+    duration: Optional[float] = None
+    target_blocks: Optional[int] = None
+    procs: int = 1
+    host: str = "127.0.0.1"
+    #: Pass a precompiled scenario to skip recompiling the spec (the
+    #: engine's ``build_scenario_deployment(runtime="live")`` does).
+    compiled: Optional[CompiledScenario] = None
+    node_summaries: List[Dict[str, Any]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        validate_live_spec(self.spec)
+        if self.procs < 1:
+            raise ValueError("procs must be >= 1")
+        if self.compiled is None:
+            self.compiled = compile_scenario(self.spec)
+        elif self.compiled.spec is not self.spec:
+            raise ValueError("compiled scenario does not belong to this spec")
+
+    # -- public API --------------------------------------------------------------
+    def run(self) -> RunResult:
+        budget = self.duration if self.duration is not None else self.compiled.epoch_duration
+        started = time.perf_counter()
+        if self.procs > 1:
+            summaries = self._run_subprocesses(budget)
+        else:
+            summaries = asyncio.run(self._run_tasks(budget))
+        elapsed = time.perf_counter() - started
+        self.node_summaries = sorted(summaries, key=lambda s: s["pid"])
+        return self._build_result(elapsed)
+
+    # -- task mode ---------------------------------------------------------------
+    async def _run_tasks(self, budget: float) -> List[Dict[str, Any]]:
+        size = self.compiled.config.committee_size
+        committee = Committee(
+            _make_signature_scheme(self.compiled.config), size, seed=self.compiled.config.seed
+        )
+        epoch = time.time() + _START_GRACE
+        nodes = [
+            LiveNode(pid, self.compiled, committee, epoch, host=self.host)
+            for pid in range(size)
+        ]
+        addresses: Dict[int, Tuple[str, int]] = {}
+        for node in nodes:
+            port = await node.serve()
+            addresses[node.pid] = (self.host, port)
+        for node in nodes:
+            node.peer_addresses = addresses
+        return await serve_window(nodes, epoch, budget, self.target_blocks)
+
+    # -- subprocess (--procs) mode -------------------------------------------------
+    def _run_subprocesses(self, budget: float) -> List[Dict[str, Any]]:
+        # The ports are reserve-and-release probed, so another process can
+        # steal one before the worker binds it (a ~1s window behind
+        # interpreter startup); on an address-in-use failure the whole
+        # round is retried once with freshly probed ports.
+        try:
+            return self._spawn_workers_once(budget)
+        except RuntimeError as exc:
+            if "address already in use" not in str(exc).lower():
+                raise
+            return self._spawn_workers_once(budget)
+
+    def _spawn_workers_once(self, budget: float) -> List[Dict[str, Any]]:
+        size = self.compiled.config.committee_size
+        procs = min(self.procs, size)
+        ports = {pid: _free_port(self.host) for pid in range(size)}
+        assignments = [list(range(size))[worker::procs] for worker in range(procs)]
+        epoch = time.time() + 1.0  # generous start barrier across processes
+        config = {
+            "spec": self.spec.to_dict(),
+            "ports": {str(pid): port for pid, port in ports.items()},
+            "host": self.host,
+            "epoch": epoch,
+            "duration": budget,
+            "target_blocks": self.target_blocks,
+        }
+        workers = []
+        for pids in assignments:
+            payload = json.dumps({**config, "pids": pids})
+            workers.append(
+                subprocess.Popen(
+                    [sys.executable, "-m", "repro.runtime.live_worker"],
+                    stdin=subprocess.PIPE,
+                    stdout=subprocess.PIPE,
+                    stderr=subprocess.PIPE,
+                    text=True,
+                    env=None,
+                )
+            )
+            workers[-1].stdin.write(payload)
+            workers[-1].stdin.close()
+            # communicate() must not try to flush the already-closed pipe.
+            workers[-1].stdin = None
+        summaries: List[Dict[str, Any]] = []
+        timeout = budget + (epoch - time.time()) + 30.0
+        errors = []
+        for worker in workers:
+            try:
+                out, err = worker.communicate(timeout=timeout)
+            except subprocess.TimeoutExpired:
+                worker.kill()
+                out, err = worker.communicate()
+            if worker.returncode != 0:
+                errors.append(err.strip() or f"worker exited {worker.returncode}")
+                continue
+            summaries.extend(json.loads(out)["nodes"])
+        if errors:
+            raise RuntimeError("live worker failed: " + " | ".join(errors))
+        return summaries
+
+    # -- result assembly -----------------------------------------------------------
+    def _build_result(self, elapsed: float) -> RunResult:
+        summaries = self.node_summaries
+        if not summaries:
+            raise RuntimeError("live run produced no node summaries")
+        observer = max(summaries, key=lambda s: s["committed_blocks"])
+        size = self.compiled.config.committee_size
+        # Rates use the *serving* window each node measured (protocol start
+        # to stop), not the full wall clock — which also covers server
+        # bring-up, the start barrier and teardown (and, in procs mode,
+        # worker interpreter startup).
+        measured = max(s["elapsed"] for s in summaries)
+        successful_views = sum(s["views_recorded"] for s in summaries)
+        alive = [s for s in summaries if not s["crashed"]] or summaries
+        max_view = max(s["current_view"] for s in alive)
+        total_views = max(max_view - 1, successful_views)
+        failed_fraction = 0.0
+        if total_views > 0:
+            failed_fraction = max(0.0, 1.0 - successful_views / total_views)
+        qc_size_sum = sum(s["qc_size_sum"] for s in summaries)
+        qc_count = sum(s["qc_count"] for s in summaries)
+        cpu = [min(1.0, s["busy_time"] / measured) for s in summaries]
+        transport = {str(s["pid"]): dict(s["transport"]) for s in summaries}
+        message_counters = {
+            "messages_sent": sum(s["transport"]["messages_sent"] for s in summaries),
+            "messages_delivered": sum(s["transport"]["messages_received"] for s in summaries),
+            "messages_dropped": sum(s.get("messages_dropped", 0) for s in summaries),
+            "messages_blocked": 0,
+            "bytes_sent": sum(s["transport"]["bytes_sent"] for s in summaries),
+        }
+        result = ExperimentResult(
+            config_label=f"live {self.compiled.config.describe()}",
+            duration=measured,
+            throughput=observer["committed_operations"] / measured if measured > 0 else 0.0,
+            latency=LatencyStats.from_dict(observer["latency"]),
+            failed_view_fraction=failed_fraction,
+            total_views=total_views,
+            successful_views=successful_views,
+            average_qc_size=qc_size_sum / qc_count if qc_count else 0.0,
+            second_chance_inclusions=sum(s["second_chance_inclusions"] for s in summaries),
+            cpu_utilisation_mean=sum(cpu) / len(cpu) if cpu else 0.0,
+            cpu_utilisation_max=max(cpu) if cpu else 0.0,
+            committed_operations=observer["committed_operations"],
+            committed_blocks=observer["committed_blocks"],
+            message_counters=message_counters,
+            transport=transport,
+        )
+        epoch_metrics = EpochMetrics(
+            epoch=0,
+            committee=tuple(range(size)),
+            overlap=1.0,
+            stake_gini=None,
+            result=result,
+        )
+        return RunResult(
+            spec=self.spec,
+            epochs=[epoch_metrics],
+            attackers=(),
+            runtime="live",
+            wall_clock_seconds=elapsed,
+        )
+
+    # -- convenience ---------------------------------------------------------------
+    def committed_order(self, pid: int = 0) -> List[str]:
+        """Block ids node ``pid`` committed, in order (after ``run()``)."""
+        for summary in self.node_summaries:
+            if summary["pid"] == pid:
+                return list(summary["committed_order"])
+        raise KeyError(f"no summary for pid {pid}")
+
+
+def _free_port(host: str) -> int:
+    """Reserve-and-release an ephemeral port for a worker subprocess."""
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+        sock.bind((host, 0))
+        return sock.getsockname()[1]
+
+
+def run_live(
+    spec: ScenarioSpec,
+    *,
+    quick: bool = False,
+    duration: Optional[float] = None,
+    target_blocks: Optional[int] = None,
+    procs: int = 1,
+) -> RunResult:
+    """Run ``spec`` on the live asyncio runtime and return its result.
+
+    ``quick`` applies the same :meth:`ScenarioSpec.quick` shrink the CLI
+    and CI use and caps the run at 12 committed blocks so a smoke run
+    returns in a couple of seconds.
+    """
+    if quick:
+        spec = spec.quick()
+        if target_blocks is None:
+            target_blocks = 12
+    cluster = LiveCluster(
+        spec=spec,
+        duration=duration,
+        target_blocks=target_blocks,
+        procs=procs,
+    )
+    return cluster.run()

@@ -1,0 +1,73 @@
+"""Worker subprocess for the live runtime's ``--procs`` mode.
+
+Reads one JSON config from stdin::
+
+    {
+      "spec": {...ScenarioSpec.to_dict()...},
+      "pids": [0, 2],              # replicas hosted by this worker
+      "ports": {"0": 51001, ...},  # full pid -> port map
+      "host": "127.0.0.1",
+      "epoch": 1722334455.5,       # shared wall-clock zero / start barrier
+      "duration": 3.0,
+      "target_blocks": null
+    }
+
+hosts the listed replicas as asyncio tasks in this process (the exact same
+:class:`~repro.runtime.live.LiveNode` code path as task mode — only the
+process boundary differs), and writes ``{"nodes": [per-node summary]}`` to
+stdout.  Spawned by :class:`~repro.runtime.live.LiveCluster`; not intended
+to be run by hand.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+from typing import Any, Dict, List
+
+from repro.crypto.keys import Committee
+from repro.experiments.runner import _make_signature_scheme
+from repro.runtime.live import LiveNode, serve_window
+from repro.scenarios.engine import compile_scenario
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = ["run_worker"]
+
+
+async def _run_nodes(config: Dict[str, Any]) -> List[Dict[str, Any]]:
+    spec = ScenarioSpec.from_dict(config["spec"])
+    compiled = compile_scenario(spec)
+    host = config.get("host", "127.0.0.1")
+    epoch = float(config["epoch"])
+    duration = float(config["duration"])
+    target_blocks = config.get("target_blocks")
+    ports = {int(pid): int(port) for pid, port in config["ports"].items()}
+    committee = Committee(
+        _make_signature_scheme(compiled.config),
+        compiled.config.committee_size,
+        seed=compiled.config.seed,
+    )
+    nodes = [LiveNode(pid, compiled, committee, epoch, host=host) for pid in config["pids"]]
+    for node in nodes:
+        await node.serve(port=ports[node.pid])
+        node.peer_addresses = {pid: (host, port) for pid, port in ports.items()}
+    # The shared barrier + poll + stop lifecycle (same code path as task
+    # mode); the epoch acts as the cross-worker start barrier.
+    return await serve_window(
+        nodes, epoch, duration, None if target_blocks is None else int(target_blocks)
+    )
+
+
+def run_worker(stdin: Any = None, stdout: Any = None) -> int:
+    stdin = stdin or sys.stdin
+    stdout = stdout or sys.stdout
+    config = json.load(stdin)
+    summaries = asyncio.run(_run_nodes(config))
+    json.dump({"nodes": summaries}, stdout)
+    stdout.flush()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(run_worker())

@@ -14,12 +14,13 @@ finalized-view metrics on every run.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.attacks.byzantine import corrupt_replicas
 from repro.consensus.config import ConsensusConfig
-from repro.experiments.runner import Deployment, build_deployment, summarise
+from repro.experiments.runner import build_deployment, summarise
 from repro.experiments.workloads import ClientWorkload
 from repro.membership.epochs import EpochSchedule, MembershipManager
 from repro.membership.stake import StakeRegistry
@@ -189,14 +190,29 @@ ScenarioResult = RunResult
 def build_scenario_deployment(
     compiled: CompiledScenario,
     epoch: int = 0,
-) -> Deployment:
+    runtime: str = "sim",
+):
     """Wire one epoch's deployment: workload attached, faults scheduled.
 
     This is the single spec→deployment path — :func:`run_scenario` calls
     it once per epoch, and :func:`repro.api.deploy` exposes it to callers
     that need the live :class:`Deployment` (custom drop rules, message
     tracing, QC audits) rather than just the summarised metrics.
+
+    ``runtime`` selects the substrate: ``"sim"`` (default) returns the
+    fully wired simulator :class:`Deployment`; ``"live"`` returns a
+    not-yet-started :class:`~repro.runtime.live.LiveCluster` that runs
+    the same spec as an asyncio TCP cluster (single epoch only).
     """
+    if runtime == "live":
+        # Imported lazily: repro.runtime.live imports this module.
+        from repro.runtime.live import LiveCluster
+
+        if epoch != 0:
+            raise ValueError("the live runtime runs single-epoch specs (epoch must be 0)")
+        return LiveCluster(spec=compiled.spec, compiled=compiled)
+    if runtime != "sim":
+        raise ValueError(f"unknown runtime {runtime!r} (expected 'sim' or 'live')")
     spec = compiled.spec
     config = compiled.config.with_(seed=spec.seed + 7919 * epoch)
     deployment = build_deployment(
@@ -207,13 +223,17 @@ def build_scenario_deployment(
         link_bandwidth=compiled.link_bandwidth(),
     )
     workload_seed = spec.workload.seed if spec.workload.seed is not None else config.seed
-    ClientWorkload(
+    workload = ClientWorkload(
         rate=spec.workload.rate,
         payload_size=spec.workload.payload_size,
         num_clients=spec.workload.num_clients,
         jitter=spec.workload.jitter,
         seed=workload_seed,
-    ).attach(deployment.simulator, deployment.mempool, compiled.epoch_duration)
+    )
+    if spec.workload.preload:
+        workload.preload_into(deployment.mempool, compiled.epoch_duration)
+    else:
+        workload.attach(deployment.simulator, deployment.mempool, compiled.epoch_duration)
 
     injector = FailureInjector(deployment.simulator, deployment.network)
     if compiled.failure_plan is not None:
@@ -249,6 +269,7 @@ def run_scenario(spec: ScenarioSpec, quick: bool = False) -> RunResult:
     """
     if quick:
         spec = spec.quick()
+    wall_started = time.perf_counter()
     compiled = compile_scenario(spec)
 
     churn = spec.churn.epochs > 1 or spec.committee.pool_size > spec.committee.size
@@ -312,4 +333,10 @@ def run_scenario(spec: ScenarioSpec, quick: bool = False) -> RunResult:
                 result=result,
             )
         )
-    return RunResult(spec=spec, epochs=outcome_list, attackers=compiled.attacker_ids)
+    return RunResult(
+        spec=spec,
+        epochs=outcome_list,
+        attackers=compiled.attacker_ids,
+        runtime="sim",
+        wall_clock_seconds=time.perf_counter() - wall_started,
+    )

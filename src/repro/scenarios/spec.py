@@ -40,6 +40,7 @@ __all__ = [
     "ScenarioSpec",
     "TopologySpec",
     "WorkloadSpec",
+    "parse_scalar",
     "parse_yaml_lite",
 ]
 
@@ -234,6 +235,14 @@ class WorkloadSpec:
     ``seed`` pins the arrival-process RNG independently of the scenario
     seed; ``None`` (the default) derives it from the run's seed so churn
     epochs each see fresh arrivals.
+
+    ``preload`` submits the whole request volume (``rate * duration``
+    requests) at time zero instead of as an arrival process.  Batching
+    then no longer depends on arrival timing, which is what makes a
+    fixed-seed run finalize *the same block ids* under the deterministic
+    sim runtime and the live asyncio cluster — the property the
+    cross-runtime equivalence tests pin.  The live runtime always
+    preloads.
     """
 
     rate: float = 2000.0
@@ -241,6 +250,7 @@ class WorkloadSpec:
     num_clients: int = 4
     jitter: bool = True
     seed: Optional[int] = None
+    preload: bool = False
 
     def __post_init__(self) -> None:
         if self.rate < 0:
@@ -676,6 +686,16 @@ def _parse_list(lines: List[Tuple[int, str]], index: int, indent: int) -> Tuple[
             result.append(_parse_scalar(item_text))
             index += 1
     return result, index
+
+
+def parse_scalar(text: str) -> Any:
+    """Parse one YAML-lite scalar: quoted string, bool, null, number or
+    inline ``[...]`` list, falling back to the bare string.
+
+    Public because the CLI reuses it for ``sweep --set field=value``
+    parsing, so spec files and sweep cells coerce values identically.
+    """
+    return _parse_scalar(text)
 
 
 def _parse_scalar(text: str) -> Any:

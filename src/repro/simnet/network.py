@@ -56,6 +56,11 @@ class Network:
         self.messages_dropped = 0
         self.messages_blocked = 0
         self.bytes_sent = 0
+        # Per-process counters so sim and live runs report the same
+        # per-replica transport schema (RunResult.transport).
+        self._sent_by: Dict[int, int] = {}
+        self._bytes_by: Dict[int, int] = {}
+        self._delivered_to: Dict[int, int] = {}
 
     # -- observation -----------------------------------------------------------
     def add_observer(self, observer) -> None:
@@ -138,6 +143,9 @@ class Network:
         """Send ``message`` from ``src`` to ``dst`` with simulated delays."""
         self.messages_sent += 1
         self.bytes_sent += size_bytes
+        self._sent_by[src] = self._sent_by.get(src, 0) + 1
+        if size_bytes:
+            self._bytes_by[src] = self._bytes_by.get(src, 0) + size_bytes
         self._notify("send", src, dst, message)
         destination = self._processes.get(dst)
         if destination is None or destination.crashed:
@@ -175,6 +183,7 @@ class Network:
             self._notify("drop", src, dst, message)
             return
         self.messages_delivered += 1
+        self._delivered_to[dst] = self._delivered_to.get(dst, 0) + 1
         self._notify("deliver", src, dst, message)
         destination._deliver(src, message)
 
@@ -186,4 +195,15 @@ class Network:
             "messages_dropped": self.messages_dropped,
             "messages_blocked": self.messages_blocked,
             "bytes_sent": self.bytes_sent,
+        }
+
+    def per_replica_counters(self) -> Dict[int, Dict[str, int]]:
+        """Per-process transport counters (same schema as the live runtime)."""
+        return {
+            pid: {
+                "messages_sent": self._sent_by.get(pid, 0),
+                "messages_received": self._delivered_to.get(pid, 0),
+                "bytes_sent": self._bytes_by.get(pid, 0),
+            }
+            for pid in self.process_ids
         }

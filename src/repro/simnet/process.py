@@ -1,10 +1,19 @@
-"""Simulated processes: message handling, timers and a CPU model.
+"""Protocol processes: sans-I/O message handling, timers and a CPU model.
 
-Each process models a single-core machine: handling a message or signing a
-block consumes CPU time, and work queued while the CPU is busy is delayed.
-This is what lets the simulator reproduce the paper's throughput
-saturation and CPU-usage comparisons (Figures 3a and 3b) without real
-hardware.
+A :class:`Process` is a pure protocol state machine: it never touches an
+event loop, a socket or the simulator directly.  All I/O goes through the
+narrow :class:`~repro.runtime.base.Runtime` interface (now / send /
+multicast / set_timer), so the same process runs unchanged under the
+deterministic discrete-event runtime (:class:`~repro.runtime.sim.SimRuntime`)
+and the live asyncio TCP runtime (:class:`~repro.runtime.live.LiveRuntime`).
+
+Each process also models a single-core machine: handling a message or
+signing a block consumes CPU time, and — under a runtime that *models*
+CPU (``runtime.models_cpu``) — work queued while the CPU is busy is
+delayed.  This is what lets the simulator reproduce the paper's
+throughput saturation and CPU-usage comparisons (Figures 3a and 3b)
+without real hardware; under the live runtime the work is real, so the
+charge is only accumulated for utilisation reporting.
 """
 
 from __future__ import annotations
@@ -12,9 +21,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Optional, TYPE_CHECKING
 
-from repro.simnet.events import EventHandle, Simulator
-
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.base import Runtime, TimerHandle
+    from repro.simnet.events import Simulator
     from repro.simnet.network import Network
 
 __all__ = ["CpuCostModel", "Process", "Timer"]
@@ -59,7 +68,7 @@ class CpuCostModel:
 class Timer:
     """A cancellable timer owned by a process."""
 
-    handle: EventHandle
+    handle: "TimerHandle"
 
     def cancel(self) -> None:
         self.handle.cancel()
@@ -70,23 +79,52 @@ class Timer:
 
 
 class Process:
-    """Base class for all simulated protocol participants."""
+    """Base class for all protocol participants (sans-I/O).
+
+    Construct either with an explicit runtime::
+
+        Process(process_id, runtime=my_runtime)
+
+    or — the long-standing simulator signature, kept for the many tests
+    and harnesses wiring deployments by hand — with a simulator/network
+    pair, which is adapted through the shared :class:`SimRuntime`::
+
+        Process(process_id, simulator, network)
+    """
 
     def __init__(
         self,
         process_id: int,
-        simulator: Simulator,
-        network: "Network",
+        simulator: "Optional[Simulator]" = None,
+        network: "Optional[Network]" = None,
         cpu_model: Optional[CpuCostModel] = None,
+        runtime: "Optional[Runtime]" = None,
     ) -> None:
+        if runtime is None:
+            if simulator is None or network is None:
+                raise TypeError(
+                    "Process needs either runtime=... or a (simulator, network) pair"
+                )
+            from repro.runtime.sim import SimRuntime  # local: avoids import cycle
+
+            runtime = SimRuntime.shared(simulator, network)
         self.process_id = process_id
-        self.simulator = simulator
-        self.network = network
+        self.runtime = runtime
+        # Convenience accessors for sim-runtime callers (tests, failure
+        # injectors); ``None`` under runtimes without a simulator.
+        self.simulator = getattr(runtime, "simulator", None)
+        self.network = getattr(runtime, "network", None)
         self.cpu_model = cpu_model or CpuCostModel()
         self.crashed = False
         self.busy_time = 0.0
         self._cpu_available_at = 0.0
-        network.register(self)
+        runtime.register(self)
+
+    # -- clock ---------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current time (virtual under sim, wall-clock under live)."""
+        return self.runtime.now
 
     # -- messaging ----------------------------------------------------------
     def send(self, destination: int, message: Any, size_bytes: int = 0) -> None:
@@ -99,24 +137,25 @@ class Process:
         if self.crashed:
             return
         self.consume_cpu(self.cpu_model.message_overhead + self.cpu_model.per_byte * size_bytes)
-        self.network.send(self.process_id, destination, message, size_bytes)
+        self.runtime.send(self.process_id, destination, message, size_bytes)
 
     def multicast(self, destinations, message: Any, size_bytes: int = 0) -> None:
         for destination in destinations:
             self.send(destination, message, size_bytes)
 
     def _deliver(self, sender: int, message: Any) -> None:
-        """Internal delivery hook called by the network.
+        """Internal delivery hook called by the runtime.
 
-        Queues the message behind any CPU work in progress, then invokes
-        :meth:`on_message`.
+        Under a CPU-modelling runtime, queues the message behind any CPU
+        work in progress, then invokes :meth:`on_message`.
         """
         if self.crashed:
             return
-        now = self.simulator.now
-        if now < self._cpu_available_at:
-            self.simulator.schedule_at(self._cpu_available_at, self._deliver, sender, message)
-            return
+        if self.runtime.models_cpu:
+            now = self.runtime.now
+            if now < self._cpu_available_at:
+                self.runtime.call_at(self._cpu_available_at, self._deliver, sender, message)
+                return
         self.on_message(sender, message)
 
     def on_message(self, sender: int, message: Any) -> None:  # pragma: no cover - abstract
@@ -127,12 +166,13 @@ class Process:
     def consume_cpu(self, seconds: float) -> None:
         """Charge ``seconds`` of CPU time to this process.
 
-        Subsequent message deliveries are delayed until the CPU is free
-        again, which models processing backlog under load.
+        Under the sim runtime, subsequent message deliveries are delayed
+        until the CPU is free again, which models processing backlog under
+        load; under live runtimes the charge only feeds utilisation stats.
         """
         if seconds <= 0:
             return
-        start = max(self.simulator.now, self._cpu_available_at)
+        start = max(self.runtime.now, self._cpu_available_at)
         self._cpu_available_at = start + seconds
         self.busy_time += seconds
 
@@ -150,7 +190,7 @@ class Process:
             if not self.crashed:
                 callback(*args)
 
-        return Timer(self.simulator.schedule(delay, fire))
+        return Timer(self.runtime.set_timer(delay, fire))
 
     # -- fault injection --------------------------------------------------------
     def crash(self) -> None:

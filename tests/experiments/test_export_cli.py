@@ -132,8 +132,12 @@ def test_cli_table1_quick(capsys):
 
 def test_cli_table1_json_format(capsys):
     assert main(["table1", "--quick", "--format", "json"]) == 0
-    rows = json.loads(capsys.readouterr().out)
-    assert any(row.get("scheme") == "Iniva" for row in rows)
+    document = json.loads(capsys.readouterr().out)
+    # Figure commands emit the versioned figure document, mirroring the
+    # RunResult document of run/scenario/live.
+    assert document["schema"] == "repro.figure/1"
+    assert document["name"] == "table1"
+    assert any(row.get("scheme") == "Iniva" for row in document["rows"])
 
 
 def test_cli_run_quick_and_artifacts(tmp_path, capsys):

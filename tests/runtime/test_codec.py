@@ -1,0 +1,240 @@
+"""Round-trip tests for the live runtime's wire codec.
+
+Every message type the protocol core sends must survive
+``decode(encode(m)) == m`` for every signature backend, including
+reconstructing derived values (block ids, signer sets) — plus property
+tests fuzzing the payload space.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.aggregation.messages import (
+    AckMessage,
+    NewViewMessage,
+    ProposalMessage,
+    SecondChanceMessage,
+    SecondChanceReply,
+    SignatureMessage,
+)
+from repro.consensus.block import Block, QuorumCertificate, genesis_qc
+from repro.crypto.multisig import (
+    AggregateSignature,
+    SignatureShare,
+    _HashSigAggregateValue,
+    get_scheme,
+)
+from repro.crypto.params import TOY_PARAMS
+from repro.runtime.codec import (
+    CodecError,
+    WIRE_MESSAGE_TYPES,
+    WIRE_VERSION,
+    WireCodec,
+)
+
+BACKENDS = [
+    ("hashsig", {}, None),
+    ("hash", {}, None),
+    ("bls", {"params": TOY_PARAMS}, TOY_PARAMS),
+]
+
+
+def _fixtures(backend_name, backend_kwargs):
+    scheme = get_scheme(backend_name, **backend_kwargs)
+    pairs = {pid: scheme.keygen(100 + pid) for pid in range(4)}
+    message = b"vote|abc|3|2"
+    shares = {
+        pid: scheme.sign(pair.secret_key, message, pid) for pid, pair in pairs.items()
+    }
+    aggregate = scheme.aggregate([(shares[0], 2), (shares[1], 1), (shares[2], 2)])
+    qc = QuorumCertificate(
+        block_id="abc", view=3, height=2, aggregate=aggregate, collector=1
+    )
+    block = Block(
+        height=3,
+        view=4,
+        proposer=2,
+        parent_id="abc",
+        qc=qc,
+        payload=(10, 11, 12),
+        payload_bytes=192,
+        timestamp=1.25,
+    )
+    return scheme, shares, aggregate, qc, block
+
+
+def _wire_messages(shares, aggregate, qc, block):
+    return [
+        ProposalMessage(block),
+        SignatureMessage(block_id=block.block_id, view=4, signature=shares[3]),
+        SignatureMessage(block_id=block.block_id, view=4, signature=aggregate),
+        AckMessage(block_id=block.block_id, view=4, aggregate=aggregate),
+        SecondChanceMessage(block=block, proof=aggregate),
+        SecondChanceMessage(block=block, proof=None),
+        SecondChanceReply(block_id=block.block_id, view=4, signature=shares[1]),
+        SecondChanceReply(block_id=block.block_id, view=4, signature=aggregate),
+        NewViewMessage(view=5, highest_qc=qc),
+        NewViewMessage(view=1, highest_qc=genesis_qc()),
+    ]
+
+
+@pytest.mark.parametrize("backend_name,backend_kwargs,params", BACKENDS)
+def test_every_wire_message_round_trips(backend_name, backend_kwargs, params):
+    scheme, shares, aggregate, qc, block = _fixtures(backend_name, backend_kwargs)
+    codec = WireCodec(curve_params=params)
+    messages = _wire_messages(shares, aggregate, qc, block)
+    covered = {type(m) for m in messages}
+    assert covered == set(WIRE_MESSAGE_TYPES)
+    for message in messages:
+        assert codec.decode(codec.encode(message)) == message
+
+
+@pytest.mark.parametrize("backend_name,backend_kwargs,params", BACKENDS)
+def test_decoded_values_keep_derived_state(backend_name, backend_kwargs, params):
+    scheme, shares, aggregate, qc, block = _fixtures(backend_name, backend_kwargs)
+    codec = WireCodec(curve_params=params)
+    decoded_block = codec.decode(codec.encode(ProposalMessage(block))).block
+    assert decoded_block.block_id == block.block_id
+    assert decoded_block.signing_payload() == block.signing_payload()
+    decoded_qc = codec.decode(codec.encode(NewViewMessage(view=5, highest_qc=qc))).highest_qc
+    assert decoded_qc.signers == qc.signers
+    assert decoded_qc.digest() == qc.digest()
+
+
+@pytest.mark.parametrize("backend_name,backend_kwargs,params", BACKENDS)
+def test_decoded_aggregate_still_verifies(backend_name, backend_kwargs, params):
+    scheme, shares, aggregate, qc, block = _fixtures(backend_name, backend_kwargs)
+    codec = WireCodec(curve_params=params)
+    public_keys = {pid: scheme.keygen(100 + pid).public_key for pid in range(4)}
+    message = b"vote|abc|3|2"
+    decoded = codec.decode(
+        codec.encode(AckMessage(block_id="abc", view=3, aggregate=aggregate))
+    ).aggregate
+    assert scheme.verify_aggregate(decoded, message, public_keys)
+    decoded_share = codec.decode(
+        codec.encode(SignatureMessage(block_id="abc", view=3, signature=shares[2]))
+    ).signature
+    assert scheme.verify_share(decoded_share, message, public_keys[2])
+
+
+def test_frame_adds_length_prefix():
+    codec = WireCodec()
+    frame = codec.frame(NewViewMessage(view=1, highest_qc=genesis_qc()))
+    length = int.from_bytes(frame[:4], "big")
+    assert length == len(frame) - 4
+    assert frame[4] == WIRE_VERSION
+    assert codec.decode(frame[4:]).view == 1
+
+
+def test_unknown_version_rejected():
+    codec = WireCodec()
+    body = bytearray(codec.encode(NewViewMessage(view=1, highest_qc=genesis_qc())))
+    body[0] = 99
+    with pytest.raises(CodecError, match="version"):
+        codec.decode(bytes(body))
+
+
+def test_truncated_frame_rejected():
+    codec = WireCodec()
+    body = codec.encode(NewViewMessage(view=1, highest_qc=genesis_qc()))
+    with pytest.raises(CodecError):
+        codec.decode(body[: len(body) // 2])
+
+
+def test_trailing_bytes_rejected():
+    codec = WireCodec()
+    body = codec.encode(NewViewMessage(view=1, highest_qc=genesis_qc()))
+    with pytest.raises(CodecError, match="trailing"):
+        codec.decode(body + b"\x00")
+
+
+def test_bls_point_without_params_rejected():
+    _, shares, aggregate, qc, block = _fixtures("bls", {"params": TOY_PARAMS})
+    encoder = WireCodec(curve_params=TOY_PARAMS)
+    body = encoder.encode(AckMessage(block_id="abc", view=3, aggregate=aggregate))
+    with pytest.raises(CodecError, match="curve_params"):
+        WireCodec().decode(body)
+
+
+def test_unencodable_value_rejected():
+    with pytest.raises(CodecError, match="cannot encode"):
+        WireCodec().encode(object())
+
+
+# ---------------------------------------------------------------------------
+# Property tests (hashsig payloads — the default backend on the wire)
+# ---------------------------------------------------------------------------
+_ids = st.integers(min_value=0, max_value=200)
+_views = st.integers(min_value=0, max_value=10_000)
+_block_ids = st.text(
+    alphabet="0123456789abcdef", min_size=1, max_size=32
+)
+
+
+@st.composite
+def _aggregates(draw):
+    multiplicities = draw(
+        st.dictionaries(_ids, st.integers(min_value=1, max_value=9), max_size=8)
+    )
+    return AggregateSignature(
+        value=_HashSigAggregateValue(draw(st.integers(min_value=0, max_value=(1 << 128) - 1))),
+        multiplicities=multiplicities,
+    )
+
+
+@st.composite
+def _blocks(draw):
+    return Block(
+        height=draw(_views),
+        view=draw(_views),
+        proposer=draw(_ids),
+        parent_id=draw(_block_ids),
+        qc=QuorumCertificate(
+            block_id=draw(_block_ids),
+            view=draw(_views),
+            height=draw(_views),
+            aggregate=draw(_aggregates()),
+            collector=draw(st.one_of(st.none(), _ids)),
+        ),
+        payload=tuple(draw(st.lists(st.integers(min_value=0, max_value=10**9), max_size=16))),
+        payload_bytes=draw(st.integers(min_value=0, max_value=1 << 24)),
+        timestamp=draw(
+            st.floats(min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False)
+        ),
+    )
+
+
+@st.composite
+def _messages(draw):
+    kind = draw(st.integers(min_value=0, max_value=5))
+    if kind == 0:
+        return ProposalMessage(draw(_blocks()))
+    if kind == 1:
+        signature = draw(
+            st.one_of(
+                _aggregates(),
+                st.builds(
+                    SignatureShare,
+                    signer=_ids,
+                    value=st.integers(min_value=0, max_value=(1 << 128) - 1),
+                ),
+            )
+        )
+        return SignatureMessage(block_id=draw(_block_ids), view=draw(_views), signature=signature)
+    if kind == 2:
+        return AckMessage(block_id=draw(_block_ids), view=draw(_views), aggregate=draw(_aggregates()))
+    if kind == 3:
+        return SecondChanceMessage(block=draw(_blocks()), proof=draw(st.one_of(st.none(), _aggregates())))
+    if kind == 4:
+        signature = draw(_aggregates())
+        return SecondChanceReply(block_id=draw(_block_ids), view=draw(_views), signature=signature)
+    return NewViewMessage(view=draw(_views), highest_qc=draw(_blocks()).qc)
+
+
+@settings(max_examples=120, deadline=None)
+@given(message=_messages())
+def test_property_round_trip_hashsig(message):
+    codec = WireCodec()
+    assert codec.decode(codec.encode(message)) == message

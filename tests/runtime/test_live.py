@@ -1,0 +1,139 @@
+"""Live asyncio runtime: cluster smoke tests and schema checks.
+
+These spin up real localhost TCP clusters (task mode, and one subprocess
+worker check), so they are small committees with early stop targets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import api
+from repro.results import RESULT_SCHEMA, RunResult
+from repro.runtime.live import LiveCluster, run_live, validate_live_spec
+from repro.scenarios.presets import load_preset
+from repro.scenarios.spec import (
+    CommitteeSpec,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+)
+
+
+def _small_spec(**overrides) -> ScenarioSpec:
+    base = dict(
+        name="live-test",
+        aggregation="iniva",
+        signature_scheme="hashsig",
+        batch_size=20,
+        duration=2.0,
+        warmup=0.0,
+        seed=11,
+        delta=0.0025,
+        second_chance_timeout=0.005,
+        view_timeout=0.25,
+        committee=CommitteeSpec(size=4),
+        topology=TopologySpec(kind="constant", intra_delay=0.0005),
+        workload=WorkloadSpec(rate=2000, payload_size=64, preload=True, seed=11),
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+@pytest.mark.slow
+def test_four_replica_cluster_finalizes_blocks():
+    result = run_live(_small_spec(), target_blocks=6, duration=15.0)
+    assert isinstance(result, RunResult)
+    assert result.runtime == "live"
+    assert result.metrics.committed_blocks >= 6
+    assert result.metrics.successful_views >= 6
+    assert result.metrics.throughput > 0
+    assert result.wall_clock_seconds is not None and result.wall_clock_seconds > 0
+
+
+@pytest.mark.slow
+def test_live_result_schema_round_trips():
+    result = run_live(_small_spec(), target_blocks=4, duration=15.0)
+    document = result.to_dict()
+    assert document["schema"] == RESULT_SCHEMA
+    assert document["runtime"] == "live"
+    restored = RunResult.from_dict(document)
+    assert restored.runtime == "live"
+    assert restored.metrics.committed_blocks == result.metrics.committed_blocks
+    # Per-replica transport counters are present for the whole committee
+    # and every replica actually exchanged messages.
+    assert sorted(result.transport) == [str(pid) for pid in range(4)]
+    for counters in result.transport.values():
+        assert counters["messages_sent"] > 0
+
+
+@pytest.mark.slow
+def test_live_aggregation_schemes_star_and_tree():
+    for aggregation in ("star", "tree"):
+        result = run_live(
+            _small_spec(aggregation=aggregation), target_blocks=4, duration=15.0
+        )
+        assert result.metrics.committed_blocks >= 4, aggregation
+
+
+@pytest.mark.slow
+def test_live_crash_fault_still_finalizes():
+    spec = _small_spec(committee=CommitteeSpec(size=5)).with_(
+        faults={"crashes": 1, "crash_at": 0.0, "protect_leader": True}
+    )
+    result = run_live(spec, target_blocks=4, duration=15.0)
+    assert result.metrics.committed_blocks >= 4
+    # The crashed replica stops participating: QCs stay below full size.
+    assert result.metrics.average_qc_size <= 5
+
+
+@pytest.mark.slow
+def test_procs_mode_spreads_replicas_over_workers():
+    cluster = LiveCluster(spec=_small_spec(), duration=2.5, target_blocks=4, procs=2)
+    result = cluster.run()
+    assert result.metrics.committed_blocks >= 1
+    assert len(cluster.node_summaries) == 4
+
+
+@pytest.mark.slow
+def test_api_run_live_and_deploy_live():
+    result = api.run(_small_spec(), runtime="live", target_blocks=4, duration=15.0)
+    assert result.runtime == "live"
+    cluster = api.deploy(load_preset("rack-baseline"), quick=True, runtime="live")
+    assert isinstance(cluster, LiveCluster)  # not started yet
+    assert cluster.node_summaries == []
+
+
+def test_api_run_rejects_unknown_runtime():
+    with pytest.raises(ValueError, match="unknown runtime"):
+        api.run(_small_spec(), runtime="fpga")
+    with pytest.raises(TypeError, match="sim runtime"):
+        api.run(_small_spec(), target_blocks=3)
+
+
+def test_unsupported_features_rejected():
+    with pytest.raises(ValueError, match="byzantine attacks"):
+        validate_live_spec(load_preset("omission-cartel"))
+    with pytest.raises(ValueError, match="partitions"):
+        validate_live_spec(load_preset("partition-heal"))
+    with pytest.raises(ValueError, match="churn"):
+        validate_live_spec(load_preset("flash-churn"))
+    with pytest.raises(ValueError, match="loss"):
+        validate_live_spec(load_preset("lossy-wan"))
+    # And the supported baseline passes.
+    validate_live_spec(load_preset("rack-baseline"))
+
+
+def test_cli_live_verb(capsys):
+    from repro.cli import main
+
+    exit_code = main(
+        ["live", "rack-baseline", "--quick", "--target-blocks", "4", "--format", "json"]
+    )
+    assert exit_code == 0
+    import json
+
+    document = json.loads(capsys.readouterr().out)
+    assert document["schema"] == RESULT_SCHEMA
+    assert document["runtime"] == "live"
+    assert document["epochs"][0]["metrics"]["committed_blocks"] >= 1
