@@ -8,14 +8,17 @@ Run as a script (not collected by pytest — the tier-1 suite lives in
 Benchmarks the asyncio localhost-TCP cluster (:mod:`repro.runtime.live`)
 on a 4-replica committee: blocks/sec and ops/sec actually served over
 real sockets with the versioned wire codec, per-scheme (star vs iniva)
-and per-backend (hashsig vs bls), plus raw codec encode/decode rates.
-Because the live workload is preloaded at time zero, per-request timing
-is reported as *time to commit* since cluster start, not client service
+and per-backend (hashsig vs bls); a shaped-link row (five-region WAN
+matrix + 1% loss through the :mod:`repro.chaos` pipeline); and raw codec
+rates including the batched-vs-unbatched framing comparison.  Because
+the live workload is preloaded at time zero, per-request timing is
+reported as *time to commit* since cluster start, not client service
 latency.
-This seeds the live-runtime trajectory next to the simulator-side
-``BENCH_PERF.json``: future PRs that touch the wire path (batched
-framing, uvloop, parallel verification) report their speedups against
-these numbers.
+This tracks the live-runtime trajectory next to the simulator-side
+``BENCH_PERF.json``; note that since the chaos layer landed, clusters
+emulate their spec's topology (the 0.5 ms links below are *shaped*, so
+numbers are not comparable with pre-chaos revisions that ignored the
+latency model).
 
 ``--quick`` (what CI's bench stage runs) shortens the serving window so
 the tracker finishes in a few seconds; ``--procs N`` spreads the
@@ -58,16 +61,32 @@ def _bench_spec(aggregation: str, signature_scheme: str, duration: float) -> Sce
     )
 
 
+def _wan_spec(duration: float) -> ScenarioSpec:
+    """Shaped-link cell: committee over the 5-region WAN matrix, 1% loss."""
+    return _bench_spec("iniva", "hashsig", duration).with_(
+        name="bench-live-wan-lossy",
+        topology={
+            "kind": "wan",
+            "regions": 5,
+            "intra_delay": 0.0005,
+            "jitter": 0.1,
+            "loss_probability": 0.01,
+        },
+    )
+
+
 def bench_cluster(
-    aggregation: str, signature_scheme: str, duration: float, procs: int
+    aggregation: str, signature_scheme: str, duration: float, procs: int,
+    spec: ScenarioSpec | None = None, label: str | None = None,
 ) -> dict:
-    spec = _bench_spec(aggregation, signature_scheme, duration)
+    spec = spec if spec is not None else _bench_spec(aggregation, signature_scheme, duration)
     cluster = LiveCluster(spec=spec, duration=duration, procs=procs)
     result = cluster.run()
     metrics = result.metrics
     sent = sum(c["messages_sent"] for c in result.transport.values())
     return {
-        "label": f"{aggregation}/{signature_scheme} n=4"
+        "label": label
+        or f"{aggregation}/{signature_scheme} n=4"
         + (f" procs={procs}" if procs > 1 else ""),
         "duration_s": round(metrics.duration, 3),
         "wall_clock_s": round(result.wall_clock_seconds, 3),
@@ -82,15 +101,17 @@ def bench_cluster(
         "avg_qc_size": round(metrics.average_qc_size, 2),
         "messages_sent_total": sent,
         "messages_per_sec": round(sent / metrics.duration, 1),
+        "messages_dropped": metrics.message_counters["messages_dropped"],
     }
 
 
 def bench_codec(reps: int) -> dict:
-    """Raw encode/decode rate for a representative proposal frame."""
+    """Raw encode/decode rates, single frames vs one v2 batch frame."""
     from repro.consensus.block import Block, genesis_qc
 
     codec = WireCodec()
-    from repro.aggregation.messages import ProposalMessage
+    from repro.aggregation.messages import ProposalMessage, SignatureMessage
+    from repro.crypto.multisig import SignatureShare
 
     block = Block(
         height=3, view=3, proposer=1, parent_id="a" * 32, qc=genesis_qc(),
@@ -110,12 +131,36 @@ def bench_codec(reps: int) -> dict:
 
     encode_s = timed(lambda: codec.encode(message))
     decode_s = timed(lambda: codec.decode(frame))
+
+    # Batched vs unbatched framing: 16 vote messages flushed as sixteen
+    # individual frames vs one multi-message batch frame (what a peer
+    # writer does when a backlog forms behind a shaped link).
+    votes = [
+        SignatureMessage(
+            block_id=block.block_id, view=3,
+            signature=SignatureShare(signer=pid, value=10**30 + pid),
+        )
+        for pid in range(16)
+    ]
+    unbatched_bytes = sum(len(codec.frame(vote)) for vote in votes)
+    batch_frame = codec.frame_batch(votes)
+    unbatched_s = timed(lambda: [codec.frame(vote) for vote in votes])
+    batched_s = timed(lambda: codec.frame_batch(votes))
     return {
         "frame_bytes": len(frame),
         "encode_us": round(encode_s * 1e6, 2),
         "decode_us": round(decode_s * 1e6, 2),
         "encode_per_sec": round(1.0 / encode_s, 1),
         "decode_per_sec": round(1.0 / decode_s, 1),
+        "batch_of_16_votes": {
+            "unbatched_bytes": unbatched_bytes,
+            "batched_bytes": len(batch_frame),
+            "bytes_saved_pct": round(
+                100.0 * (1 - len(batch_frame) / unbatched_bytes), 1
+            ),
+            "unbatched_encode_us": round(unbatched_s * 1e6, 2),
+            "batched_encode_us": round(batched_s * 1e6, 2),
+        },
     }
 
 
@@ -150,6 +195,16 @@ def main(argv) -> int:
         bench_cluster(aggregation, backend, duration, procs)
         for aggregation, backend in cells
     ]
+    # The shaped-link cell: same protocol, but the chaos pipeline emulates
+    # the five-region WAN matrix with 1% loss on every link.
+    wan_window = max(duration, 3.0)
+    clusters.append(
+        bench_cluster(
+            "iniva", "hashsig", wan_window, procs,
+            spec=_wan_spec(wan_window),
+            label="iniva/hashsig n=4 wan-5-regions loss=1%",
+        )
+    )
     if procs == 1 and not quick:
         clusters.append(bench_cluster("iniva", "hashsig", duration, procs=2))
 

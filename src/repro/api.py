@@ -119,8 +119,11 @@ def run(
         seed: Optional seed override applied before running.
         runtime: ``"sim"`` (deterministic discrete-event simulation, the
             default) or ``"live"`` (an asyncio cluster of real replica
-            processes over localhost TCP).  Both return the same
-            :class:`RunResult` schema.
+            processes over localhost TCP, with the :mod:`repro.chaos`
+            layer injecting the spec's partitions, loss, WAN latency,
+            bandwidth limits, crash-restart churn and Byzantine cartels
+            onto the real transport).  Both return the same
+            :class:`RunResult` schema and run every built-in preset.
         **runtime_options: Live-runtime knobs forwarded to
             :func:`repro.runtime.live.run_live` — ``duration`` (wall
             seconds), ``target_blocks`` (stop early once a node commits

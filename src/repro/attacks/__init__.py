@@ -17,6 +17,7 @@ This package reproduces the paper's security *simulations* (Figure 2):
 """
 
 from repro.attacks.adversary import AdversaryModel, RoleAssignment
+from repro.attacks.byzantine import corrupt_replica, corrupt_replicas
 from repro.attacks.gosig_sim import GosigConfig, GosigSimulator
 from repro.attacks.omission import (
     OmissionOutcome,
@@ -34,6 +35,8 @@ __all__ = [
     "RewardAttackResult",
     "RewardAttackSimulator",
     "RoleAssignment",
+    "corrupt_replica",
+    "corrupt_replicas",
     "iniva_minimal_collateral",
     "omission_probability",
     "star_minimal_collateral",

@@ -22,7 +22,7 @@ from repro.consensus.block import Block
 from repro.core.iniva import InivaAggregator
 from repro.crypto.multisig import AggregateSignature
 
-__all__ = ["OmittingInivaAggregator", "corrupt_replicas"]
+__all__ = ["OmittingInivaAggregator", "corrupt_replica", "corrupt_replicas"]
 
 
 class OmittingInivaAggregator(InivaAggregator):
@@ -100,16 +100,26 @@ class OmittingInivaAggregator(InivaAggregator):
         super()._on_second_chance_reply(sender, message)
 
 
+def corrupt_replica(replica, victim: int) -> None:
+    """Swap one replica's aggregator for the omission attacker.
+
+    Runtime-agnostic: works on any :class:`HotStuffReplica` regardless of
+    the substrate it runs on (the simulator's deployment or a live
+    :class:`~repro.runtime.live.LiveNode`), as long as the replica has not
+    started yet.  The consensus layer of the corrupted replica is left
+    untouched: it still proposes, votes and commits correctly — the attack
+    is purely about which votes it aggregates, exactly as in the paper's
+    threat model.
+    """
+    if replica.process_id == victim:
+        raise ValueError("the victim cannot be one of the attacker processes")
+    replica.aggregator = OmittingInivaAggregator(replica, victim=victim)
+
+
 def corrupt_replicas(deployment, attacker_ids: Iterable[int], victim: int) -> None:
     """Replace the aggregators of ``attacker_ids`` with omission attackers.
 
-    Must be called before ``deployment.start()``.  The consensus layer of
-    the corrupted replicas is left untouched: they still propose, vote and
-    commit correctly — the attack is purely about which votes they
-    aggregate, exactly as in the paper's threat model.
+    Must be called before ``deployment.start()``; see :func:`corrupt_replica`.
     """
     for process_id in attacker_ids:
-        if process_id == victim:
-            raise ValueError("the victim cannot be one of the attacker processes")
-        replica = deployment.replicas[process_id]
-        replica.aggregator = OmittingInivaAggregator(replica, victim=victim)
+        corrupt_replica(deployment.replicas[process_id], victim)

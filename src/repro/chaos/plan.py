@@ -1,0 +1,91 @@
+"""The chaos plan: one scenario's faults and shaping, ready to execute.
+
+:func:`compile_chaos_plan` distils a :class:`CompiledScenario` into the
+flat, substrate-agnostic schedule a live fault driver needs: which
+process crashes (and restarts) when, the timed partition events, the
+Byzantine coalition and its victim, and the link-shaping parameters.
+Everything is already resolved by :func:`repro.scenarios.engine.compile_scenario`
+— the crash draw, the attacker draw and the timers all derive from the
+spec seed — so the plan is deterministic: the same spec + seed yields the
+same plan in every process of a cluster, which is what lets worker
+subprocesses shape their own links without coordination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.scenarios.engine import CompiledScenario
+from repro.simnet.failures import PartitionEvent
+from repro.simnet.latency import LatencyModel
+
+__all__ = ["ChaosPlan", "compile_chaos_plan"]
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """Everything a fault driver must do to one cluster, by process id.
+
+    Attributes:
+        seed: The scenario seed (shaping RNGs derive per-node seeds from it).
+        crashes: ``process id -> crash time`` (seconds since protocol start).
+        restarts: ``process id -> restart time`` for crash-restart churn.
+        partitions: Timed partition events, applied as reference-counted
+            outbound link suppression at every sender.
+        attackers: The Byzantine omission coalition (empty = no attack).
+        victim: The process whose votes the coalition censors.
+        loss_probability: Per-message drop probability on every link.
+        latency_model: Propagation-delay model emulated on every link
+            (``None`` leaves raw localhost latency).
+        bandwidth_bytes_per_sec: Per-link FIFO capacity (``None`` = fat links).
+    """
+
+    seed: int
+    crashes: Dict[int, float] = field(default_factory=dict)
+    restarts: Dict[int, float] = field(default_factory=dict)
+    partitions: Tuple[PartitionEvent, ...] = ()
+    attackers: Tuple[int, ...] = ()
+    victim: Optional[int] = None
+    loss_probability: float = 0.0
+    latency_model: Optional[LatencyModel] = None
+    bandwidth_bytes_per_sec: Optional[float] = None
+
+    @property
+    def shapes_traffic(self) -> bool:
+        """Whether any outbound message needs the shaping pipeline."""
+        return (
+            self.latency_model is not None
+            or self.loss_probability > 0
+            or self.bandwidth_bytes_per_sec is not None
+        )
+
+    @property
+    def has_scheduled_faults(self) -> bool:
+        """Whether any timer-driven fault (crash/restart/partition) exists."""
+        return bool(self.crashes or self.restarts or self.partitions)
+
+    @property
+    def is_adversarial(self) -> bool:
+        return bool(self.attackers)
+
+
+def compile_chaos_plan(compiled: CompiledScenario) -> ChaosPlan:
+    """The chaos plan of one compiled scenario (shared by every node)."""
+    spec = compiled.spec
+    crashes: Dict[int, float] = {}
+    restarts: Dict[int, float] = {}
+    if compiled.failure_plan is not None:
+        crashes = dict(compiled.failure_plan.crashes)
+        restarts = dict(compiled.failure_plan.restarts)
+    return ChaosPlan(
+        seed=spec.seed,
+        crashes=crashes,
+        restarts=restarts,
+        partitions=tuple(spec.faults.partitions),
+        attackers=tuple(compiled.attacker_ids),
+        victim=spec.attack.victim if compiled.attacker_ids else None,
+        loss_probability=compiled.loss_probability,
+        latency_model=compiled.latency_model,
+        bandwidth_bytes_per_sec=spec.topology.bandwidth_bytes_per_sec,
+    )

@@ -29,7 +29,10 @@ metrics, per-replica transport counters) for ``run``/``scenario``/
 ``live`` accept either a built-in preset name (see ``scenario --list``)
 or a path to a JSON/YAML spec file (see :mod:`repro.scenarios`);
 ``live`` executes the spec on the asyncio localhost-TCP cluster instead
-of the simulator.
+of the simulator — including the adversarial and WAN presets, whose
+partitions, loss, latency/bandwidth shaping, crash-restart churn and
+Byzantine omission cartels are injected by :mod:`repro.chaos` (task
+mode; ``--procs`` clusters run clean or shaped links only).
 """
 
 from __future__ import annotations
@@ -127,7 +130,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     live_parser = subparsers.add_parser(
         "live",
-        help="run a scenario on the live asyncio runtime (localhost TCP cluster)",
+        help="run a scenario on the live asyncio runtime (localhost TCP cluster "
+        "with chaos fault injection for adversarial/WAN specs)",
     )
     live_parser.add_argument(
         "spec", help="built-in preset name or path to a .json/.yaml scenario spec"

@@ -102,6 +102,20 @@ class HotStuffReplica(Process):
         if self.leader_of(self.current_view) == self.process_id:
             self._schedule_propose(self.current_view, delay=self.config.delta)
 
+    def recover(self) -> None:
+        """Restart after a crash-stop: re-arm the pacemaker and catch up.
+
+        The chain state survived the crash (restart-from-storage model);
+        what was lost is every message sent while down.  Re-arming the
+        view timer is enough to rejoin: either a proposal arrives and
+        :meth:`process_proposal` fast-forwards the view, or the pacemaker
+        fires and the NEW-VIEW path resynchronises with the next leader.
+        """
+        if not self.crashed:
+            return
+        super().recover()
+        self._reset_view_timer()
+
     def leader_of(self, view: int) -> int:
         return self.election.leader(view, self.highest_qc)
 

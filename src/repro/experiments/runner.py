@@ -321,6 +321,7 @@ def summarise(deployment: Deployment, duration: float, label: Optional[str] = No
     """Collect the post-run metrics from a deployment."""
     metrics = deployment.metrics
     metrics.mark_window(0.0, duration)
+    restarts_by_pid = {replica.process_id: replica.restarts for replica in deployment.replicas}
     correct = deployment.correct_replicas()
     max_view = max((replica.current_view for replica in correct), default=0)
     successful_views = metrics.total_views()  # record_view(True) per formed QC
@@ -345,8 +346,11 @@ def summarise(deployment: Deployment, duration: float, label: Optional[str] = No
         committed_operations=metrics.committed_operations(),
         committed_blocks=metrics.committed_blocks(),
         message_counters=deployment.network.counters(),
+        # The network owns the framing-layer counters; restart counts live
+        # on the processes (crash-restart churn) and are merged in here so
+        # sim and live report the same per-replica transport schema.
         transport={
-            str(pid): counts
+            str(pid): {**counts, "restarts": restarts_by_pid.get(pid, 0)}
             for pid, counts in deployment.network.per_replica_counters().items()
         },
     )

@@ -63,11 +63,19 @@ class Transport(ABC):
             self.send(src, destination, message, size_bytes)
 
     def counters(self) -> Dict[str, int]:
-        """Aggregate transport counters (sent / delivered / dropped / bytes)."""
+        """Aggregate transport counters (sent / delivered / dropped /
+        blocked / bytes), counted once at the framing layer."""
         return {}
 
     def per_replica_counters(self) -> Dict[int, Dict[str, int]]:
-        """Per-process transport counters, keyed by process id."""
+        """Per-process transport counters, keyed by process id.
+
+        Both runtimes emit the same schema so ``RunResult.transport`` is
+        comparable across substrates: ``messages_sent``,
+        ``messages_received``, ``bytes_sent``, ``messages_dropped`` and
+        ``messages_delayed`` (the harness merges in ``restarts`` from
+        process state when summarising).
+        """
         return {}
 
 

@@ -23,12 +23,19 @@ The first byte of every frame is :data:`WIRE_VERSION`; decoding a frame
 with an unknown version raises :class:`CodecError` so incompatible nodes
 fail loudly instead of mis-parsing.  The length prefix itself (4 bytes,
 big-endian) is applied by :func:`frame` / consumed by the stream reader.
+
+Wire version 2 adds the **batch frame**: a :class:`FrameBatch` carries
+several protocol messages in one length-prefixed frame, so a shaped or
+congested link pays the framing and syscall cost once per flush instead
+of once per message.  Batches are flat — a batch inside a batch is a
+codec error — and each contained message is any of the six wire types.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Any, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.aggregation.messages import (
     AckMessage,
@@ -49,13 +56,15 @@ from repro.crypto.params import CurveParams
 
 __all__ = [
     "CodecError",
+    "FrameBatch",
     "WIRE_MESSAGE_TYPES",
     "WIRE_VERSION",
     "WireCodec",
 ]
 
 #: Bump on any incompatible change to the encoding below.
-WIRE_VERSION = 1
+#: v2: multi-message batch frames (:class:`FrameBatch`).
+WIRE_VERSION = 2
 
 #: Every message type the protocol core sends between replicas.
 WIRE_MESSAGE_TYPES: Tuple[type, ...] = (
@@ -70,6 +79,27 @@ WIRE_MESSAGE_TYPES: Tuple[type, ...] = (
 
 class CodecError(ValueError):
     """Raised for unsupported values, truncated frames or bad versions."""
+
+
+@dataclass(frozen=True)
+class FrameBatch:
+    """Several protocol messages travelling in one wire frame.
+
+    The live runtime's per-peer writers opportunistically drain their send
+    queue into one of these, so a backlog behind a shaped (slow) link
+    flushes in a single frame.  Batches are flat: members must be ordinary
+    wire values, never another batch.
+    """
+
+    messages: Tuple[Any, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "messages", tuple(self.messages))
+        if not self.messages:
+            raise ValueError("a frame batch needs at least one message")
+
+    def __len__(self) -> int:
+        return len(self.messages)
 
 
 # -- value tags ---------------------------------------------------------------
@@ -89,6 +119,7 @@ _T_POINT = 0x13
 _T_POINT_INF = 0x14
 _T_QC = 0x15
 _T_BLOCK = 0x16
+_T_BATCH = 0x1F
 _T_PROPOSAL = 0x20
 _T_SIGNATURE_MSG = 0x21
 _T_ACK = 0x22
@@ -136,6 +167,15 @@ class WireCodec:
         """Length-prefixed frame, ready to write to a TCP stream."""
         body = self.encode(message)
         return _U32.pack(len(body)) + body
+
+    def frame_batch(self, messages: Iterable[Any]) -> bytes:
+        """One length-prefixed frame carrying every message in ``messages``.
+
+        Equivalent to ``frame(FrameBatch(tuple(messages)))``; a single
+        message still pays only one frame, so callers can batch
+        opportunistically without special-casing size one.
+        """
+        return self.frame(FrameBatch(tuple(messages)))
 
     # -- encoding ------------------------------------------------------------
     def _write(self, out: bytearray, value: Any) -> None:
@@ -234,6 +274,13 @@ class WireCodec:
             out.append(_T_NEW_VIEW)
             self._write(out, value.view)
             self._write(out, value.highest_qc)
+        elif isinstance(value, FrameBatch):
+            out.append(_T_BATCH)
+            out += _U32.pack(len(value.messages))
+            for member in value.messages:
+                if isinstance(member, FrameBatch):
+                    raise CodecError("batch frames cannot nest")
+                self._write(out, member)
         else:
             raise CodecError(f"cannot encode value of type {type(value).__name__}")
 
@@ -345,6 +392,17 @@ class WireCodec:
             view, offset = self._read(buf, offset)
             highest_qc, offset = self._read(buf, offset)
             return NewViewMessage(view=view, highest_qc=highest_qc), offset
+        if tag == _T_BATCH:
+            count, offset = self._read_count(buf, offset)
+            if count == 0:
+                raise CodecError("empty batch frame")
+            members: List[Any] = []
+            for _ in range(count):
+                member, offset = self._read(buf, offset)
+                if isinstance(member, FrameBatch):
+                    raise CodecError("batch frames cannot nest")
+                members.append(member)
+            return FrameBatch(tuple(members)), offset
         raise CodecError(f"unknown wire tag 0x{tag:02x}")
 
     # -- helpers -------------------------------------------------------------

@@ -24,9 +24,17 @@ batch identical request sequences in both runtimes and a fixed-seed spec
 finalizes the same block ids under sim and live (pinned by
 ``tests/runtime/test_equivalence.py``).
 
-Faults: crash schedules are supported (a timer crash-stops the local
-process); partitions, Byzantine attacks, message loss and churn are
-simulator-only for now and are rejected with a clear error.
+Chaos: every node carries a :class:`~repro.chaos.driver.ChaosDriver`
+compiled from the same spec the simulator consumes (see
+:mod:`repro.chaos`).  Outbound frames pass a per-link shaping pipeline
+(topology-model latency, probabilistic loss, FIFO bandwidth queuing),
+timed partitions suppress directed links with reference counts, crash
+timers stop — and restart timers recover — the local replica, and
+Byzantine omission cartels run the adversarial aggregators from
+:mod:`repro.attacks`.  Multi-epoch churn re-provisions the cluster per
+epoch through the shared :func:`repro.scenarios.engine.run_epochs`
+orchestrator.  The scheduled fault driver and churn loop need task mode;
+``validate_live_spec`` rejects those spec fields under ``--procs``.
 """
 
 from __future__ import annotations
@@ -40,6 +48,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.chaos.driver import ChaosDriver
+from repro.chaos.plan import ChaosPlan, compile_chaos_plan
 from repro.consensus.leader import make_leader_election
 from repro.consensus.mempool import Mempool
 from repro.consensus.replica import HotStuffReplica
@@ -49,8 +59,13 @@ from repro.experiments.runner import ExperimentResult, _make_signature_scheme
 from repro.experiments.workloads import ClientWorkload
 from repro.results import EpochMetrics, RunResult
 from repro.runtime.base import Runtime, TimerHandle
-from repro.runtime.codec import WireCodec
-from repro.scenarios.engine import CompiledScenario, compile_scenario
+from repro.runtime.codec import FrameBatch, WireCodec
+from repro.scenarios.engine import (
+    CompiledScenario,
+    compile_scenario,
+    compiled_for_epoch,
+    run_epochs,
+)
 from repro.scenarios.spec import ScenarioSpec
 from repro.simnet.metrics import LatencyStats, MetricsCollector
 
@@ -70,25 +85,60 @@ _START_GRACE = 0.15
 #: Frame read limit — a proposal with a large batch stays far below this.
 _READ_LIMIT = 16 * 1024 * 1024
 
+#: Most messages flushed as one multi-message wire frame by a peer writer.
+_MAX_WIRE_BATCH = 64
 
-def validate_live_spec(spec: ScenarioSpec) -> None:
-    """Reject spec features the live runtime does not implement yet."""
-    unsupported = []
-    if spec.faults.partitions:
-        unsupported.append("timed partitions")
-    if spec.attack.strategy != "none":
-        unsupported.append("byzantine attacks")
-    if spec.churn.epochs > 1:
-        unsupported.append("membership churn (epochs > 1)")
-    if spec.topology.loss_probability > 0:
-        unsupported.append("probabilistic message loss")
-    if spec.committee.pool_size > spec.committee.size:
-        unsupported.append("stake-weighted committee selection")
-    if unsupported:
+
+#: Capability table behind :func:`validate_live_spec`: each entry is a
+#: spec feature the live runtime cannot execute in the given deployment
+#: shape — ``(spec fields, why, predicate(spec, procs))``.  Everything
+#: not listed here (partitions, loss, WAN latency, bandwidth, Byzantine
+#: cartels, crash/restart churn, membership epochs, stake pools) is
+#: supported since the chaos layer landed; the scheduled fault driver and
+#: the churn loop coordinate in-process, so those features need task mode.
+_LIVE_UNSUPPORTED = (
+    (
+        "faults.partitions",
+        "timed partitions need the in-process fault driver (task mode)",
+        lambda spec, procs: procs > 1 and spec.faults.partitions,
+    ),
+    (
+        "faults.restart_at",
+        "crash-restart churn needs the in-process fault driver (task mode)",
+        lambda spec, procs: procs > 1 and spec.faults.restart_at is not None,
+    ),
+    (
+        "attack.strategy",
+        "Byzantine cartels need the in-process fault driver (task mode)",
+        lambda spec, procs: procs > 1 and spec.attack.strategy != "none",
+    ),
+    (
+        "churn.epochs",
+        "membership churn re-provisions the cluster once per epoch (task mode)",
+        lambda spec, procs: procs > 1 and spec.churn.epochs > 1,
+    ),
+)
+
+
+def validate_live_spec(spec: ScenarioSpec, *, procs: int = 1) -> None:
+    """Capability-based validation of a spec for the live runtime.
+
+    Every built-in preset — partitions, loss, WAN shaping, omission
+    cartels, churn — runs live in task mode; only the capability table's
+    entries are rejected, with an error naming the offending spec fields
+    so the caller knows exactly what to change.
+    """
+    offending = [
+        (fields, why)
+        for fields, why, predicate in _LIVE_UNSUPPORTED
+        if predicate(spec, procs)
+    ]
+    if offending:
         raise ValueError(
-            "the live runtime does not support: "
-            + ", ".join(unsupported)
-            + " (run this spec on the sim runtime)"
+            "the live runtime does not support these spec fields in this "
+            "deployment shape: "
+            + "; ".join(f"{fields} — {why}" for fields, why in offending)
+            + " (drop --procs to run in task mode, or use the sim runtime)"
         )
 
 
@@ -156,6 +206,7 @@ class LiveNode:
         committee: Committee,
         epoch: float,
         host: str = "127.0.0.1",
+        plan: "Optional[ChaosPlan]" = None,
     ) -> None:
         self.pid = pid
         self.compiled = compiled
@@ -170,15 +221,20 @@ class LiveNode:
         self.metrics = MetricsCollector(warmup=0.0)
         self.mempool = Mempool(metrics=self.metrics, track_reservations=True)
         self.committee = committee
+        # Per-replica transport counters, maintained once at this framing
+        # layer (logical messages, modeled byte sizes) so sim and live
+        # report the same per-replica schema; ``restarts`` is merged in
+        # from the replica when summarising.
         self.counters: Dict[str, int] = {
             "messages_sent": 0,
             "messages_received": 0,
             "bytes_sent": 0,
+            "messages_dropped": 0,
+            "messages_delayed": 0,
         }
-        # Frames that reached this node after it crash-stopped; kept out of
-        # the per-replica transport schema (which mirrors the sim network's
-        # three counters) and aggregated into message_counters instead.
-        self.messages_dropped = 0
+        # Partition-suppressed sends (also counted as dropped), aggregated
+        # into the run's ``messages_blocked`` like the sim network does.
+        self.messages_blocked = 0
         self.runtime = LiveRuntime(self)
         self.replica = HotStuffReplica(
             process_id=pid,
@@ -193,6 +249,12 @@ class LiveNode:
         self._send_queues: Dict[int, asyncio.Queue] = {}
         self._tasks: List[asyncio.Task] = []
         self._stopping = False
+        # The chaos layer: traffic shaping + scheduled faults + attacker
+        # corruption, all derived deterministically from the spec seed
+        # (corruption happens here, before the replica ever starts).  The
+        # cluster compiles one plan and shares it across its nodes; a
+        # bare node (tests) compiles its own.
+        self.chaos = ChaosDriver(self, plan if plan is not None else compile_chaos_plan(compiled))
 
     # -- clock ----------------------------------------------------------------
     @property
@@ -213,13 +275,41 @@ class LiveNode:
         self.counters["bytes_sent"] += size_bytes
         if dst == self.pid:
             # Self-sends stay local but are never re-entrant (the sim
-            # delivers them through the event queue too).
+            # delivers them through the event queue too) — and they count
+            # as received, like the sim network counts self-deliveries.
+            self.counters["messages_received"] += 1
             self.loop.call_soon(self.replica._deliver, self.pid, message)
+            return
+        if self.chaos.blocked(dst):
+            # Partition suppression: a drop at the sender, mirroring the
+            # sim network's blocked-link accounting.
+            self.counters["messages_dropped"] += 1
+            self.messages_blocked += 1
+            return
+        shaper = self.chaos.shaper
+        if shaper is None:
+            self._enqueue(dst, message)
+            return
+        delay = shaper.shape(dst, size_bytes, self.now)
+        if delay is None:  # probabilistic loss
+            self.counters["messages_dropped"] += 1
+            return
+        if delay > 0:
+            self.counters["messages_delayed"] += 1
+            self.loop.call_later(delay, self._enqueue, dst, message)
+        else:
+            self._enqueue(dst, message)
+
+    def _enqueue(self, dst: int, message: Any) -> None:
+        """Hand one (possibly shaping-delayed) message to ``dst``'s writer."""
+        if self._stopping:
             return
         queue = self._send_queues.get(dst)
         if queue is None:
             if dst not in self.peer_addresses:
-                return  # unknown peer: drop, like the sim network
+                # Unknown peer: drop, like the sim network.
+                self.counters["messages_dropped"] += 1
+                return
             queue = asyncio.Queue()
             self._send_queues[dst] = queue
             self._tasks.append(self.loop.create_task(self._writer(dst, queue)))
@@ -248,15 +338,19 @@ class LiveNode:
                 return
             while True:
                 frame = await self._read_frame(reader)
-                message = self.codec.decode(frame)
-                if self.replica.crashed:
-                    # Mirror the sim network: traffic to a crashed replica
-                    # is a drop, not a receipt.
-                    self.messages_dropped += 1
-                    continue
-                self.counters["messages_received"] += 1
-                if not self._stopping:
-                    self.replica._deliver(peer, message)
+                decoded = self.codec.decode(frame)
+                members = (
+                    decoded.messages if isinstance(decoded, FrameBatch) else (decoded,)
+                )
+                for message in members:
+                    if self.replica.crashed:
+                        # Mirror the sim network: traffic to a crashed
+                        # replica is a drop, not a receipt.
+                        self.counters["messages_dropped"] += 1
+                        continue
+                    self.counters["messages_received"] += 1
+                    if not self._stopping:
+                        self.replica._deliver(peer, message)
         except (asyncio.IncompleteReadError, ConnectionError):
             return
         except asyncio.CancelledError:
@@ -292,7 +386,16 @@ class LiveNode:
             writer.write(self.codec.frame(self.pid))
             while True:
                 message = await queue.get()
-                writer.write(self.codec.frame(message))
+                if queue.empty():
+                    writer.write(self.codec.frame(message))
+                else:
+                    # Drain the backlog into one multi-message batch frame
+                    # so a shaped (slow) link pays the framing and syscall
+                    # cost once per flush instead of once per message.
+                    batch = [message]
+                    while len(batch) < _MAX_WIRE_BATCH and not queue.empty():
+                        batch.append(queue.get_nowait())
+                    writer.write(self.codec.frame_batch(batch))
                 await writer.drain()
         except (ConnectionError, OSError):  # peer went away (e.g. crashed)
             return
@@ -303,7 +406,7 @@ class LiveNode:
 
     # -- lifecycle --------------------------------------------------------------
     def start_protocol(self) -> None:
-        """Preload the workload, arm crash timers and start the replica."""
+        """Preload the workload, arm the chaos schedule, start the replica."""
         spec = self.compiled.spec
         workload_seed = (
             spec.workload.seed if spec.workload.seed is not None else self.compiled.config.seed
@@ -315,23 +418,31 @@ class LiveNode:
             jitter=spec.workload.jitter,
             seed=workload_seed,
         ).preload_into(self.mempool, self.compiled.epoch_duration)
-        if self.compiled.failure_plan is not None:
-            crash_at = self.compiled.failure_plan.crashes.get(self.pid)
-            if crash_at is not None:
-                self.runtime.set_timer(max(crash_at - self.now, 0.0), self.replica.crash)
+        self.chaos.arm()
         self.replica.start()
 
     async def stop(self) -> None:
         self._stopping = True
-        for task in self._tasks:
-            task.cancel()
-        for task in self._tasks:
-            try:
-                await task
-            except (asyncio.CancelledError, Exception):  # noqa: BLE001 - teardown
-                pass
+        # Refuse new connections before touching tasks: a still-running
+        # peer's (shaping-delayed, or retrying) writer may connect at any
+        # moment during shutdown.
         if self._server is not None:
             self._server.close()
+        # Cancel in rounds: a handler task that registered between one
+        # round's cancel pass and its await pass would otherwise be
+        # awaited *uncancelled* — and a live peer pumping frames into it
+        # would block this node's shutdown forever.
+        while self._tasks:
+            doomed = self._tasks
+            self._tasks = []
+            for task in doomed:
+                task.cancel()
+            for task in doomed:
+                try:
+                    await task
+                except (asyncio.CancelledError, Exception):  # noqa: BLE001 - teardown
+                    pass
+        if self._server is not None:
             await self._server.wait_closed()
 
     # -- reporting ---------------------------------------------------------------
@@ -352,8 +463,8 @@ class LiveNode:
             "qc_count": len(self.metrics.qc_sizes()),
             "second_chance_inclusions": self.metrics.second_chance_inclusions(),
             "busy_time": self.replica.busy_time,
-            "messages_dropped": self.messages_dropped,
-            "transport": dict(self.counters),
+            "messages_blocked": self.messages_blocked,
+            "transport": {**self.counters, "restarts": self.replica.restarts},
         }
 
 
@@ -407,28 +518,73 @@ class LiveCluster:
     #: Pass a precompiled scenario to skip recompiling the spec (the
     #: engine's ``build_scenario_deployment(runtime="live")`` does).
     compiled: Optional[CompiledScenario] = None
+    #: Which churn epoch this cluster serves; shifts the config seed the
+    #: same way the sim runtime does (see ``compiled_for_epoch``).
+    epoch: int = 0
     node_summaries: List[Dict[str, Any]] = field(default_factory=list)
 
     def __post_init__(self) -> None:
-        validate_live_spec(self.spec)
+        validate_live_spec(self.spec, procs=self.procs)
         if self.procs < 1:
             raise ValueError("procs must be >= 1")
+        if self.epoch and self.procs > 1:
+            raise ValueError("multi-epoch clusters run in task mode (procs=1)")
         if self.compiled is None:
             self.compiled = compile_scenario(self.spec)
         elif self.compiled.spec is not self.spec:
             raise ValueError("compiled scenario does not belong to this spec")
+        self.compiled = compiled_for_epoch(self.compiled, self.epoch)
 
     # -- public API --------------------------------------------------------------
     def run(self) -> RunResult:
-        budget = self.duration if self.duration is not None else self.compiled.epoch_duration
+        """Serve the spec and return a :class:`RunResult`.
+
+        A multi-epoch churn spec (unless this cluster was built for one
+        specific ``epoch``) is handed to the :func:`run_live` orchestrator
+        so committee re-selection and reward feedback happen exactly as
+        they would through ``api.run(runtime="live")`` — a deploy-then-run
+        must never silently truncate to epoch 0.
+        """
+        if self.epoch == 0 and self.spec.churn.epochs > 1:
+            return run_live(
+                self.spec,
+                duration=self.duration,
+                target_blocks=self.target_blocks,
+                procs=self.procs,
+            )
         started = time.perf_counter()
+        result, _crashed = self.run_epoch()
+        elapsed = time.perf_counter() - started
+        epoch_metrics = EpochMetrics(
+            epoch=self.epoch,
+            committee=tuple(range(self.compiled.config.committee_size)),
+            overlap=1.0,
+            stake_gini=None,
+            result=result,
+        )
+        return RunResult(
+            spec=self.spec,
+            epochs=[epoch_metrics],
+            attackers=self.compiled.attacker_ids,
+            runtime="live",
+            wall_clock_seconds=elapsed,
+        )
+
+    def run_epoch(self) -> Tuple[ExperimentResult, set]:
+        """Bring the committee up, serve the window, summarise.
+
+        Returns the epoch's metrics plus the set of process ids that
+        ended the epoch crashed (the ``run_epochs`` orchestrator excludes
+        them from reward feedback, exactly like the sim runtime).
+        """
+        budget = self.duration if self.duration is not None else self.compiled.epoch_duration
         if self.procs > 1:
             summaries = self._run_subprocesses(budget)
         else:
             summaries = asyncio.run(self._run_tasks(budget))
-        elapsed = time.perf_counter() - started
         self.node_summaries = sorted(summaries, key=lambda s: s["pid"])
-        return self._build_result(elapsed)
+        crashed = {s["pid"] for s in self.node_summaries if s["crashed"]}
+        return self._experiment_result(), crashed
 
     # -- task mode ---------------------------------------------------------------
     async def _run_tasks(self, budget: float) -> List[Dict[str, Any]]:
@@ -437,8 +593,9 @@ class LiveCluster:
             _make_signature_scheme(self.compiled.config), size, seed=self.compiled.config.seed
         )
         epoch = time.time() + _START_GRACE
+        plan = compile_chaos_plan(self.compiled)
         nodes = [
-            LiveNode(pid, self.compiled, committee, epoch, host=self.host)
+            LiveNode(pid, self.compiled, committee, epoch, host=self.host, plan=plan)
             for pid in range(size)
         ]
         addresses: Dict[int, Tuple[str, int]] = {}
@@ -511,12 +668,11 @@ class LiveCluster:
         return summaries
 
     # -- result assembly -----------------------------------------------------------
-    def _build_result(self, elapsed: float) -> RunResult:
+    def _experiment_result(self) -> ExperimentResult:
         summaries = self.node_summaries
         if not summaries:
             raise RuntimeError("live run produced no node summaries")
         observer = max(summaries, key=lambda s: s["committed_blocks"])
-        size = self.compiled.config.committee_size
         # Rates use the *serving* window each node measured (protocol start
         # to stop), not the full wall clock — which also covers server
         # bring-up, the start barrier and teardown (and, in procs mode,
@@ -536,11 +692,11 @@ class LiveCluster:
         message_counters = {
             "messages_sent": sum(s["transport"]["messages_sent"] for s in summaries),
             "messages_delivered": sum(s["transport"]["messages_received"] for s in summaries),
-            "messages_dropped": sum(s.get("messages_dropped", 0) for s in summaries),
-            "messages_blocked": 0,
+            "messages_dropped": sum(s["transport"]["messages_dropped"] for s in summaries),
+            "messages_blocked": sum(s.get("messages_blocked", 0) for s in summaries),
             "bytes_sent": sum(s["transport"]["bytes_sent"] for s in summaries),
         }
-        result = ExperimentResult(
+        return ExperimentResult(
             config_label=f"live {self.compiled.config.describe()}",
             duration=measured,
             throughput=observer["committed_operations"] / measured if measured > 0 else 0.0,
@@ -556,20 +712,6 @@ class LiveCluster:
             committed_blocks=observer["committed_blocks"],
             message_counters=message_counters,
             transport=transport,
-        )
-        epoch_metrics = EpochMetrics(
-            epoch=0,
-            committee=tuple(range(size)),
-            overlap=1.0,
-            stake_gini=None,
-            result=result,
-        )
-        return RunResult(
-            spec=self.spec,
-            epochs=[epoch_metrics],
-            attackers=(),
-            runtime="live",
-            wall_clock_seconds=elapsed,
         )
 
     # -- convenience ---------------------------------------------------------------
@@ -600,16 +742,29 @@ def run_live(
 
     ``quick`` applies the same :meth:`ScenarioSpec.quick` shrink the CLI
     and CI use and caps the run at 12 committed blocks so a smoke run
-    returns in a couple of seconds.
+    returns in a couple of seconds.  Multi-epoch churn specs re-provision
+    the cluster once per epoch (crash-restart of the whole committee)
+    through the same :func:`~repro.scenarios.engine.run_epochs`
+    orchestrator the sim runtime uses, so committee selection, reward
+    feedback and stake drift behave identically; ``duration`` and
+    ``target_blocks`` then apply per epoch.
     """
     if quick:
         spec = spec.quick()
         if target_blocks is None:
             target_blocks = 12
-    cluster = LiveCluster(
-        spec=spec,
-        duration=duration,
-        target_blocks=target_blocks,
-        procs=procs,
-    )
-    return cluster.run()
+    validate_live_spec(spec, procs=procs)
+    compiled = compile_scenario(spec)
+
+    def live_epoch(compiled_scenario: CompiledScenario, epoch: int):
+        cluster = LiveCluster(
+            spec=spec,
+            duration=duration,
+            target_blocks=target_blocks,
+            procs=procs,
+            compiled=compiled_scenario,
+            epoch=epoch,
+        )
+        return cluster.run_epoch()
+
+    return run_epochs(spec, compiled, live_epoch, runtime_name="live")

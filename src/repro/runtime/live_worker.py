@@ -26,6 +26,7 @@ import json
 import sys
 from typing import Any, Dict, List
 
+from repro.chaos.plan import compile_chaos_plan
 from repro.crypto.keys import Committee
 from repro.experiments.runner import _make_signature_scheme
 from repro.runtime.live import LiveNode, serve_window
@@ -48,7 +49,11 @@ async def _run_nodes(config: Dict[str, Any]) -> List[Dict[str, Any]]:
         compiled.config.committee_size,
         seed=compiled.config.seed,
     )
-    nodes = [LiveNode(pid, compiled, committee, epoch, host=host) for pid in config["pids"]]
+    plan = compile_chaos_plan(compiled)
+    nodes = [
+        LiveNode(pid, compiled, committee, epoch, host=host, plan=plan)
+        for pid in config["pids"]
+    ]
     for node in nodes:
         await node.serve(port=ports[node.pid])
         node.peer_addresses = {pid: (host, port) for pid, port in ports.items()}

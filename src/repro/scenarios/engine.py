@@ -15,12 +15,12 @@ from __future__ import annotations
 
 import random
 import time
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from dataclasses import dataclass, replace as dataclass_replace
+from typing import Callable, List, Optional, Set, Tuple
 
 from repro.attacks.byzantine import corrupt_replicas
 from repro.consensus.config import ConsensusConfig
-from repro.experiments.runner import build_deployment, summarise
+from repro.experiments.runner import ExperimentResult, build_deployment, summarise
 from repro.experiments.workloads import ClientWorkload
 from repro.membership.epochs import EpochSchedule, MembershipManager
 from repro.membership.stake import StakeRegistry
@@ -48,6 +48,8 @@ __all__ = [
     "build_latency_model",
     "build_scenario_deployment",
     "compile_scenario",
+    "compiled_for_epoch",
+    "run_epochs",
     "run_scenario",
 ]
 
@@ -116,6 +118,13 @@ def compile_scenario(spec: ScenarioSpec) -> CompiledScenario:
     size = spec.committee.size
     latency_model = build_latency_model(spec.topology, size)
     bound = latency_model.upper_bound
+    # On thin links, serialization dominates propagation: a hop is only
+    # "delivered" once a full proposal has finished transmitting, so the
+    # synchrony bound must cover one batch's transmission time or
+    # bandwidth-crunched scenarios live in permanent view timeout.
+    if spec.topology.bandwidth_bytes_per_sec:
+        proposal_bytes = spec.batch_size * spec.workload.payload_size
+        bound += proposal_bytes / spec.topology.bandwidth_bytes_per_sec
     # Timers derive from the topology unless pinned: Δ covers one hop plus
     # processing headroom, the 2ND-CHANCE δ one extra round trip, and the
     # pacemaker must outlast Iniva's 7Δ critical path.
@@ -167,6 +176,7 @@ def compile_scenario(spec: ScenarioSpec) -> CompiledScenario:
             seed=crash_seed,
             at_time=spec.faults.crash_at,
             exclude=sorted(protected),
+            restart_at=spec.faults.restart_at,
         )
 
     epoch_duration = spec.duration / spec.churn.epochs
@@ -187,6 +197,22 @@ EpochOutcome = EpochMetrics
 ScenarioResult = RunResult
 
 
+def compiled_for_epoch(compiled: CompiledScenario, epoch: int) -> CompiledScenario:
+    """The per-epoch view of a compiled scenario.
+
+    Epoch ``e`` runs with the config seed shifted by ``7919 * e`` so each
+    committee generation sees fresh trees/latency draws while staying
+    deterministic; everything else (latency model, failure plan, attacker
+    coalition, partition schedule) is shared across epochs.  Epoch 0 is
+    the compiled scenario itself.
+    """
+    if epoch == 0:
+        return compiled
+    return dataclass_replace(
+        compiled, config=compiled.config.with_(seed=compiled.spec.seed + 7919 * epoch)
+    )
+
+
 def build_scenario_deployment(
     compiled: CompiledScenario,
     epoch: int = 0,
@@ -202,19 +228,20 @@ def build_scenario_deployment(
     ``runtime`` selects the substrate: ``"sim"`` (default) returns the
     fully wired simulator :class:`Deployment`; ``"live"`` returns a
     not-yet-started :class:`~repro.runtime.live.LiveCluster` that runs
-    the same spec as an asyncio TCP cluster (single epoch only).
+    the same spec as an asyncio TCP cluster — with the chaos layer
+    (:mod:`repro.chaos`) translating the spec's topology shaping,
+    partitions, crash/restart churn and Byzantine cartel onto the live
+    transport.
     """
     if runtime == "live":
         # Imported lazily: repro.runtime.live imports this module.
         from repro.runtime.live import LiveCluster
 
-        if epoch != 0:
-            raise ValueError("the live runtime runs single-epoch specs (epoch must be 0)")
-        return LiveCluster(spec=compiled.spec, compiled=compiled)
+        return LiveCluster(spec=compiled.spec, compiled=compiled, epoch=epoch)
     if runtime != "sim":
         raise ValueError(f"unknown runtime {runtime!r} (expected 'sim' or 'live')")
     spec = compiled.spec
-    config = compiled.config.with_(seed=spec.seed + 7919 * epoch)
+    config = compiled_for_epoch(compiled, epoch).config
     deployment = build_deployment(
         config,
         warmup=min(spec.warmup, compiled.epoch_duration / 4),
@@ -261,17 +288,28 @@ def _stake_gini(stakes: List[float]) -> float:
     return (2.0 * weighted) / (n * total) - (n + 1.0) / n
 
 
-def run_scenario(spec: ScenarioSpec, quick: bool = False) -> RunResult:
-    """Run a scenario end to end and collect per-epoch metrics.
+#: Per-epoch execution callback: ``(compiled, epoch) -> (metrics, crashed
+#: process ids)``.  ``run_epochs`` owns everything around it (membership
+#: churn, reward feedback, stake drift); the runner owns the substrate.
+EpochRunner = Callable[[CompiledScenario, int], Tuple[ExperimentResult, Set[int]]]
 
-    With ``quick`` the spec is first shrunk via :meth:`ScenarioSpec.quick`
-    so the run finishes in seconds.  Fixed spec ⇒ identical metrics.
+
+def run_epochs(
+    spec: ScenarioSpec,
+    compiled: CompiledScenario,
+    epoch_runner: EpochRunner,
+    runtime_name: str,
+) -> RunResult:
+    """The epoch-loop orchestration shared by the sim and live runtimes.
+
+    Handles committee (re-)selection from the stake pool, per-epoch
+    overlap, reward-to-stake feedback and Gini tracking identically for
+    every substrate; ``epoch_runner`` executes one epoch on the sim
+    (:func:`run_scenario`) or the live cluster
+    (:func:`repro.runtime.live.run_live`) and reports which replicas
+    ended the epoch crashed (they earn no rewards).
     """
-    if quick:
-        spec = spec.quick()
     wall_started = time.perf_counter()
-    compiled = compile_scenario(spec)
-
     churn = spec.churn.epochs > 1 or spec.committee.pool_size > spec.committee.size
     registry: Optional[StakeRegistry] = None
     manager: Optional[MembershipManager] = None
@@ -295,14 +333,7 @@ def run_scenario(spec: ScenarioSpec, quick: bool = False) -> RunResult:
         else:
             committee = tuple(range(spec.committee.size))
 
-        deployment = build_scenario_deployment(compiled, epoch)
-        deployment.start()
-        deployment.simulator.run(until=compiled.epoch_duration)
-        result = summarise(
-            deployment,
-            compiled.epoch_duration,
-            label=f"{spec.name} epoch={epoch} {deployment.config.describe()}",
-        )
+        result, crashed = epoch_runner(compiled, epoch)
 
         overlap = 1.0
         if previous_committee is not None:
@@ -312,9 +343,6 @@ def run_scenario(spec: ScenarioSpec, quick: bool = False) -> RunResult:
         gini: Optional[float] = None
         if registry is not None and manager is not None:
             if spec.churn.reward_feedback and result.committed_blocks:
-                crashed = set(deployment.network.process_ids) - {
-                    replica.process_id for replica in deployment.correct_replicas()
-                }
                 reward_total = spec.churn.reward_per_block * result.committed_blocks
                 earners = [pid for pid in range(len(committee)) if pid not in crashed]
                 if earners:
@@ -337,6 +365,33 @@ def run_scenario(spec: ScenarioSpec, quick: bool = False) -> RunResult:
         spec=spec,
         epochs=outcome_list,
         attackers=compiled.attacker_ids,
-        runtime="sim",
+        runtime=runtime_name,
         wall_clock_seconds=time.perf_counter() - wall_started,
     )
+
+
+def run_scenario(spec: ScenarioSpec, quick: bool = False) -> RunResult:
+    """Run a scenario end to end and collect per-epoch metrics.
+
+    With ``quick`` the spec is first shrunk via :meth:`ScenarioSpec.quick`
+    so the run finishes in seconds.  Fixed spec ⇒ identical metrics.
+    """
+    if quick:
+        spec = spec.quick()
+    compiled = compile_scenario(spec)
+
+    def sim_epoch(compiled_scenario: CompiledScenario, epoch: int):
+        deployment = build_scenario_deployment(compiled_scenario, epoch)
+        deployment.start()
+        deployment.simulator.run(until=compiled_scenario.epoch_duration)
+        result = summarise(
+            deployment,
+            compiled_scenario.epoch_duration,
+            label=f"{spec.name} epoch={epoch} {deployment.config.describe()}",
+        )
+        crashed = set(deployment.network.process_ids) - {
+            replica.process_id for replica in deployment.correct_replicas()
+        }
+        return result, crashed
+
+    return run_epochs(spec, compiled, sim_epoch, runtime_name="sim")

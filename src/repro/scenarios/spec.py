@@ -166,12 +166,14 @@ class TopologySpec:
 
 @dataclass(frozen=True)
 class FaultSpec:
-    """Crash schedule and timed partitions.
+    """Crash schedule, crash-restart churn and timed partitions.
 
     Attributes:
         crashes: Number of replicas crashed (chosen pseudo-randomly from
             the crash seed, never the attack victim).
         crash_at: Virtual time the crashes happen.
+        restart_at: Virtual time the crashed cohort recovers (crash-restart
+            churn); ``None`` (the default) leaves them crash-stopped.
         crash_seed: Seed for the crash draw; ``None`` uses the scenario's
             seed.
         crash_exclude: Extra process ids protected from crashing.
@@ -184,6 +186,7 @@ class FaultSpec:
 
     crashes: int = 0
     crash_at: float = 0.0
+    restart_at: Optional[float] = None
     crash_seed: Optional[int] = None
     crash_exclude: Tuple[int, ...] = ()
     protect_leader: bool = True
@@ -194,6 +197,8 @@ class FaultSpec:
             raise ValueError("crash count cannot be negative")
         if self.crash_at < 0:
             raise ValueError("crash time cannot be negative")
+        if self.restart_at is not None and self.restart_at <= self.crash_at:
+            raise ValueError("restart time must be after the crash time")
         object.__setattr__(self, "crash_exclude", tuple(self.crash_exclude))
         object.__setattr__(self, "partitions", tuple(self.partitions))
 
@@ -428,6 +433,13 @@ class ScenarioSpec:
                 self.topology.inter_delay,
                 max((v for row in (self.topology.matrix or ()) for v in row), default=0.0),
             )
+        if self.topology.bandwidth_bytes_per_sec:
+            # Thin links make serialization part of the hop: timers scale
+            # with one proposal's transmission time (see compile_scenario).
+            worst_hop += (
+                self.batch_size * self.workload.payload_size
+                / self.topology.bandwidth_bytes_per_sec
+            )
         quick_window = 3.0 if worst_hop > 0.01 else 1.2
         duration = min(self.duration, quick_window)
         factor = duration / self.duration
@@ -449,6 +461,8 @@ class ScenarioSpec:
             self.faults,
             crashes=min(self.faults.crashes, max_faulty),
             crash_at=self.faults.crash_at * factor,
+            restart_at=None if self.faults.restart_at is None
+            else self.faults.restart_at * factor,
             partitions=tuple(event.scaled(factor) for event in self.faults.partitions),
         )
         return replace(

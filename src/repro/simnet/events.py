@@ -17,6 +17,7 @@ class _Event:
     callback: Callable[..., None]
     args: tuple = ()
     cancelled: bool = False
+    popped: bool = False
 
 
 @dataclass(slots=True)
@@ -37,7 +38,12 @@ class EventHandle:
     def cancel(self) -> None:
         if not self._event.cancelled:
             self._event.cancelled = True
-            if self._queue is not None:
+            # Cancelling an event that already fired (popped) must not
+            # touch the live count — it no longer occupies the heap.  The
+            # pacemaker does this constantly (a timeout handler re-arms
+            # the timer that just fired), and the spurious decrements used
+            # to starve far-future events such as restart schedules.
+            if self._queue is not None and not self._event.popped:
                 self._queue._live -= 1
 
 
@@ -69,6 +75,7 @@ class EventQueue:
         while True:
             event = heapq.heappop(self._heap)[2]
             if not event.cancelled:
+                event.popped = True
                 self._live -= 1
                 return event
 

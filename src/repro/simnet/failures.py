@@ -55,17 +55,52 @@ class PartitionEvent:
             heal_at=None if self.heal_at is None else self.heal_at * factor,
         )
 
+    def group_map(self) -> Dict[int, int]:
+        """Process id -> connectivity-group index (unlisted ids absent)."""
+        return {
+            pid: index for index, group in enumerate(self.groups) for pid in group
+        }
+
+    def severs(self, src: int, dst: int, group_of: Optional[Dict[int, int]] = None) -> bool:
+        """Whether this partition cuts the directed link ``src -> dst``.
+
+        The single crossing predicate shared by the simulated network's
+        :meth:`FailureInjector.schedule_partition` and the live chaos
+        driver, so the two substrates cannot drift: messages flow only
+        within a group, and processes not listed in any group are
+        isolated from everyone (never from themselves).
+        """
+        if src == dst:
+            return False
+        if group_of is None:
+            group_of = self.group_map()
+        return not (
+            src in group_of and dst in group_of and group_of[src] == group_of[dst]
+        )
+
 
 @dataclass(frozen=True)
 class FailurePlan:
-    """A declarative description of which processes crash and when.
+    """A declarative description of which processes crash (and restart) when.
 
     Attributes:
         crashes: Mapping ``process id -> crash time`` (seconds of virtual
             time).  A time of ``0.0`` means crashed from the start.
+        restarts: Mapping ``process id -> restart time`` for crash-restart
+            churn; a process listed here recovers (keeping its pre-crash
+            state, losing every message sent meanwhile) at that time.
     """
 
     crashes: Dict[int, float] = field(default_factory=dict)
+    restarts: Dict[int, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for pid, restart_time in self.restarts.items():
+            crash_time = self.crashes.get(pid)
+            if crash_time is None:
+                raise ValueError(f"process {pid} restarts but never crashes")
+            if restart_time <= crash_time:
+                raise ValueError(f"process {pid} restarts before it crashes")
 
     @classmethod
     def crash_from_start(cls, process_ids: Iterable[int]) -> "FailurePlan":
@@ -79,14 +114,20 @@ class FailurePlan:
         seed: int = 0,
         at_time: float = 0.0,
         exclude: Sequence[int] = (),
+        restart_at: Optional[float] = None,
     ) -> "FailurePlan":
-        """Crash ``count`` random processes (excluding ``exclude``) at ``at_time``."""
+        """Crash ``count`` random processes (excluding ``exclude``) at ``at_time``.
+
+        With ``restart_at`` the crashed cohort recovers at that time
+        (crash-restart churn instead of permanent crash-stop).
+        """
         rng = random.Random(seed)
         candidates = [pid for pid in range(committee_size) if pid not in set(exclude)]
         if count > len(candidates):
             raise ValueError("cannot crash more processes than are available")
         chosen = rng.sample(candidates, count)
-        return cls(crashes={pid: at_time for pid in chosen})
+        restarts = {} if restart_at is None else {pid: restart_at for pid in chosen}
+        return cls(crashes={pid: at_time for pid in chosen}, restarts=restarts)
 
     @property
     def faulty_ids(self) -> List[int]:
@@ -105,18 +146,23 @@ class FailureInjector:
         self._applied: List[int] = []
 
     def apply(self, plan: FailurePlan) -> None:
-        """Schedule every crash in ``plan``."""
+        """Schedule every crash (and restart) in ``plan``."""
         for process_id, crash_time in plan.crashes.items():
             if crash_time <= self.simulator.now:
                 self._crash_now(process_id)
             else:
                 self.simulator.schedule_at(crash_time, self._crash_now, process_id)
+        for process_id, restart_time in plan.restarts.items():
+            self.simulator.schedule_at(restart_time, self._restart_now, process_id)
 
     def _crash_now(self, process_id: int) -> None:
         process = self.network.process(process_id)
         if not process.crashed:
             process.crash()
             self._applied.append(process_id)
+
+    def _restart_now(self, process_id: int) -> None:
+        self.network.process(process_id).recover()
 
     # -- partitions -----------------------------------------------------------
     def schedule_partition(self, event: PartitionEvent) -> None:
@@ -130,21 +176,10 @@ class FailureInjector:
         blocked: Set[Tuple[int, int]] = set()
 
         def apply() -> None:
-            group_of: Dict[int, int] = {}
-            for index, group in enumerate(event.groups):
-                for pid in group:
-                    group_of[pid] = index
+            group_of = event.group_map()
             for src in self.network.process_ids:
                 for dst in self.network.process_ids:
-                    if src == dst:
-                        continue
-                    # Unlisted processes (group None) are isolated.
-                    same = (
-                        src in group_of
-                        and dst in group_of
-                        and group_of[src] == group_of[dst]
-                    )
-                    if not same:
+                    if event.severs(src, dst, group_of):
                         self.network.block_link(src, dst, bidirectional=False)
                         blocked.add((src, dst))
 

@@ -57,10 +57,15 @@ class Network:
         self.messages_blocked = 0
         self.bytes_sent = 0
         # Per-process counters so sim and live runs report the same
-        # per-replica transport schema (RunResult.transport).
+        # per-replica transport schema (RunResult.transport).  Drops and
+        # delays are attributed to the *sender* — the live runtime counts
+        # them at whichever node observed the event, so the per-replica
+        # split is comparable-in-aggregate, not identical.
         self._sent_by: Dict[int, int] = {}
         self._bytes_by: Dict[int, int] = {}
         self._delivered_to: Dict[int, int] = {}
+        self._dropped_by: Dict[int, int] = {}
+        self._delayed_by: Dict[int, int] = {}
 
     # -- observation -----------------------------------------------------------
     def add_observer(self, observer) -> None:
@@ -149,22 +154,23 @@ class Network:
         self._notify("send", src, dst, message)
         destination = self._processes.get(dst)
         if destination is None or destination.crashed:
-            self.messages_dropped += 1
-            self._notify("drop", src, dst, message)
+            self._count_drop(src, dst, message)
             return
-        if self._partitioned(src, dst) or (src, dst) in self._blocked_links:
-            self.messages_dropped += 1
-            self.messages_blocked += 1
-            self._notify("drop", src, dst, message)
-            return
-        if any(rule(src, dst, message) for rule in self._drop_rules):
-            self.messages_dropped += 1
-            self._notify("drop", src, dst, message)
-            return
-        if self.loss_probability and self.rng.random() < self.loss_probability:
-            self.messages_dropped += 1
-            self._notify("drop", src, dst, message)
-            return
+        # A process's message to itself never crosses the network, so
+        # partitions, drop rules and loss cannot touch it — mirroring the
+        # live runtime, whose self-sends bypass the chaos pipeline.
+        # (Delivery still goes through the event queue: never re-entrant.)
+        if src != dst:
+            if self._partitioned(src, dst) or (src, dst) in self._blocked_links:
+                self.messages_blocked += 1
+                self._count_drop(src, dst, message)
+                return
+            if any(rule(src, dst, message) for rule in self._drop_rules):
+                self._count_drop(src, dst, message)
+                return
+            if self.loss_probability and self.rng.random() < self.loss_probability:
+                self._count_drop(src, dst, message)
+                return
         delay = self.latency_model.sample(self.rng, src, dst)
         if self.bandwidth and size_bytes:
             delay += size_bytes / self.bandwidth
@@ -174,13 +180,19 @@ class Network:
             )
         if src == dst:
             delay = 0.0
+        if delay > 0:
+            self._delayed_by[src] = self._delayed_by.get(src, 0) + 1
         self.simulator.schedule(delay, self._finalise_delivery, src, dst, message)
+
+    def _count_drop(self, src: int, dst: int, message: Any) -> None:
+        self.messages_dropped += 1
+        self._dropped_by[src] = self._dropped_by.get(src, 0) + 1
+        self._notify("drop", src, dst, message)
 
     def _finalise_delivery(self, src: int, dst: int, message: Any) -> None:
         destination = self._processes.get(dst)
         if destination is None or destination.crashed:
-            self.messages_dropped += 1
-            self._notify("drop", src, dst, message)
+            self._count_drop(src, dst, message)
             return
         self.messages_delivered += 1
         self._delivered_to[dst] = self._delivered_to.get(dst, 0) + 1
@@ -198,12 +210,19 @@ class Network:
         }
 
     def per_replica_counters(self) -> Dict[int, Dict[str, int]]:
-        """Per-process transport counters (same schema as the live runtime)."""
+        """Per-process transport counters (same schema as the live runtime).
+
+        All four counters are maintained once, at this framing/transport
+        layer, so sim and live report comparable per-replica stats
+        (``restarts`` is merged in by the harness from process state).
+        """
         return {
             pid: {
                 "messages_sent": self._sent_by.get(pid, 0),
                 "messages_received": self._delivered_to.get(pid, 0),
                 "bytes_sent": self._bytes_by.get(pid, 0),
+                "messages_dropped": self._dropped_by.get(pid, 0),
+                "messages_delayed": self._delayed_by.get(pid, 0),
             }
             for pid in self.process_ids
         }

@@ -116,6 +116,7 @@ class Process:
         self.network = getattr(runtime, "network", None)
         self.cpu_model = cpu_model or CpuCostModel()
         self.crashed = False
+        self.restarts = 0
         self.busy_time = 0.0
         self._cpu_available_at = 0.0
         runtime.register(self)
@@ -196,6 +197,19 @@ class Process:
     def crash(self) -> None:
         """Crash-stop this process: it neither sends nor receives afterwards."""
         self.crashed = True
+
+    def recover(self) -> None:
+        """Restart a crashed process (crash-restart churn).
+
+        The process keeps its pre-crash state — the model is a restart
+        from durable storage, not a fresh join — but every message sent
+        to it while down was dropped, so subclasses typically re-arm
+        their timers to catch up with the rest of the system.
+        """
+        if not self.crashed:
+            return
+        self.crashed = False
+        self.restarts += 1
 
     def __repr__(self) -> str:
         status = "crashed" if self.crashed else "up"

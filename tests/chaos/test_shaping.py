@@ -1,0 +1,60 @@
+"""Unit tests for the live runtime's per-link shaping pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos.shaping import LinkShaper, shaper_seed
+from repro.simnet.latency import ConstantLatency
+from repro.simnet.topology import RegionMatrixLatency, WAN_REGION_MATRIX
+
+
+def test_shaping_is_deterministic_per_seed_and_pid():
+    model = RegionMatrixLatency.evenly_spread(8, WAN_REGION_MATRIX, jitter=0.2)
+    first = LinkShaper(pid=3, latency_model=model, loss_probability=0.1, seed=42)
+    second = LinkShaper(pid=3, latency_model=model, loss_probability=0.1, seed=42)
+    sequence = [(dst, first.shape(dst, 100, 0.0)) for dst in range(8) for _ in range(20)]
+    replay = [(dst, second.shape(dst, 100, 0.0)) for dst in range(8) for _ in range(20)]
+    assert sequence == replay
+
+
+def test_nodes_draw_decorrelated_streams():
+    assert shaper_seed(1, 0) != shaper_seed(1, 1)
+    assert shaper_seed(1, 0) != shaper_seed(2, 0)
+    model = ConstantLatency(0.01)
+    a = LinkShaper(pid=0, latency_model=model, loss_probability=0.5, seed=9)
+    b = LinkShaper(pid=1, latency_model=model, loss_probability=0.5, seed=9)
+    fates_a = [a.shape(2, 10, 0.0) is None for _ in range(64)]
+    fates_b = [b.shape(2, 10, 0.0) is None for _ in range(64)]
+    assert fates_a != fates_b
+
+
+def test_loss_rate_approximates_probability():
+    shaper = LinkShaper(pid=0, loss_probability=0.25, seed=7)
+    drops = sum(shaper.shape(1, 10, 0.0) is None for _ in range(4000))
+    assert 0.20 < drops / 4000 < 0.30
+
+
+def test_latency_model_sets_the_delay():
+    shaper = LinkShaper(pid=0, latency_model=ConstantLatency(0.02), seed=1)
+    assert shaper.shape(1, 0, 0.0) == pytest.approx(0.02)
+
+
+def test_bandwidth_queuing_is_fifo_per_link():
+    # 1000 B/s: each 100-byte message occupies the link for 0.1 s, so a
+    # burst at t=0 queues: delays grow by one transmission time each.
+    shaper = LinkShaper(pid=0, bandwidth_bytes_per_sec=1000.0, seed=1)
+    delays = [shaper.shape(1, 100, 0.0) for _ in range(3)]
+    assert delays == pytest.approx([0.1, 0.2, 0.3])
+    # A different link has its own queue.
+    assert shaper.shape(2, 100, 0.0) == pytest.approx(0.1)
+
+
+def test_no_shaping_returns_zero_delay():
+    shaper = LinkShaper(pid=0, seed=1)
+    assert shaper.shape(1, 1000, 5.0) == 0.0
+
+
+def test_invalid_loss_probability_rejected():
+    with pytest.raises(ValueError):
+        LinkShaper(pid=0, loss_probability=1.0)

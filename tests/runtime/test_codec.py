@@ -29,6 +29,7 @@ from repro.crypto.multisig import (
 from repro.crypto.params import TOY_PARAMS
 from repro.runtime.codec import (
     CodecError,
+    FrameBatch,
     WIRE_MESSAGE_TYPES,
     WIRE_VERSION,
     WireCodec,
@@ -117,6 +118,50 @@ def test_decoded_aggregate_still_verifies(backend_name, backend_kwargs, params):
         codec.encode(SignatureMessage(block_id="abc", view=3, signature=shares[2]))
     ).signature
     assert scheme.verify_share(decoded_share, message, public_keys[2])
+
+
+@pytest.mark.parametrize("backend_name,backend_kwargs,params", BACKENDS)
+def test_mixed_batch_of_all_wire_messages_round_trips(backend_name, backend_kwargs, params):
+    # One batch carrying every wire message type at once, per backend.
+    scheme, shares, aggregate, qc, block = _fixtures(backend_name, backend_kwargs)
+    codec = WireCodec(curve_params=params)
+    messages = _wire_messages(shares, aggregate, qc, block)
+    assert {type(m) for m in messages} == set(WIRE_MESSAGE_TYPES)
+    batch = FrameBatch(tuple(messages))
+    decoded = codec.decode(codec.encode(batch))
+    assert isinstance(decoded, FrameBatch)
+    assert decoded == batch
+    assert list(decoded.messages) == messages
+
+
+@pytest.mark.parametrize("backend_name,backend_kwargs,params", BACKENDS)
+def test_frame_batch_framing_round_trips(backend_name, backend_kwargs, params):
+    scheme, shares, aggregate, qc, block = _fixtures(backend_name, backend_kwargs)
+    codec = WireCodec(curve_params=params)
+    messages = _wire_messages(shares, aggregate, qc, block)[:3]
+    frame = codec.frame_batch(messages)
+    length = int.from_bytes(frame[:4], "big")
+    assert length == len(frame) - 4
+    decoded = codec.decode(frame[4:])
+    assert decoded.messages == tuple(messages)
+    # Batching amortises framing: one batch frame is smaller than the sum
+    # of the individual frames it replaces.
+    assert len(frame) < sum(len(codec.frame(m)) for m in messages)
+
+
+def test_single_message_batch_allowed_empty_rejected():
+    codec = WireCodec()
+    single = FrameBatch((NewViewMessage(view=1, highest_qc=genesis_qc()),))
+    assert codec.decode(codec.encode(single)) == single
+    with pytest.raises(ValueError):
+        FrameBatch(())
+
+
+def test_nested_batches_rejected():
+    codec = WireCodec()
+    inner = FrameBatch((NewViewMessage(view=1, highest_qc=genesis_qc()),))
+    with pytest.raises(CodecError, match="nest"):
+        codec.encode(FrameBatch((inner,)))
 
 
 def test_frame_adds_length_prefix():
@@ -238,3 +283,12 @@ def _messages(draw):
 def test_property_round_trip_hashsig(message):
     codec = WireCodec()
     assert codec.decode(codec.encode(message)) == message
+
+
+@settings(max_examples=80, deadline=None)
+@given(messages=st.lists(_messages(), min_size=1, max_size=12))
+def test_property_mixed_batches_round_trip(messages):
+    codec = WireCodec()
+    decoded = codec.decode(codec.frame_batch(messages)[4:])
+    assert isinstance(decoded, FrameBatch)
+    assert decoded.messages == tuple(messages)

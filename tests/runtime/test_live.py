@@ -11,7 +11,7 @@ import pytest
 from repro import api
 from repro.results import RESULT_SCHEMA, RunResult
 from repro.runtime.live import LiveCluster, run_live, validate_live_spec
-from repro.scenarios.presets import load_preset
+from repro.scenarios.presets import load_preset, preset_names
 from repro.scenarios.spec import (
     CommitteeSpec,
     ScenarioSpec,
@@ -111,17 +111,56 @@ def test_api_run_rejects_unknown_runtime():
         api.run(_small_spec(), target_blocks=3)
 
 
-def test_unsupported_features_rejected():
-    with pytest.raises(ValueError, match="byzantine attacks"):
-        validate_live_spec(load_preset("omission-cartel"))
-    with pytest.raises(ValueError, match="partitions"):
-        validate_live_spec(load_preset("partition-heal"))
-    with pytest.raises(ValueError, match="churn"):
-        validate_live_spec(load_preset("flash-churn"))
-    with pytest.raises(ValueError, match="loss"):
-        validate_live_spec(load_preset("lossy-wan"))
-    # And the supported baseline passes.
-    validate_live_spec(load_preset("rack-baseline"))
+def test_capability_validation_accepts_every_preset_in_task_mode():
+    # Since the chaos layer landed, every built-in preset — partitions,
+    # loss, WAN shaping, omission cartels, churn — validates for the live
+    # runtime in task mode.
+    for name in preset_names():
+        validate_live_spec(load_preset(name))
+
+
+def test_capability_validation_rejects_fault_driver_under_procs():
+    # Regression for the genuinely unsupported shape: the scheduled fault
+    # driver coordinates in-process, so chaos spec fields are rejected
+    # under worker-subprocess mode — naming the offending fields.
+    with pytest.raises(ValueError, match="faults.partitions"):
+        validate_live_spec(load_preset("partition-heal"), procs=2)
+    with pytest.raises(ValueError, match="attack.strategy"):
+        validate_live_spec(load_preset("omission-cartel"), procs=2)
+    with pytest.raises(ValueError, match="churn.epochs"):
+        validate_live_spec(load_preset("flash-churn"), procs=2)
+    with pytest.raises(ValueError, match="faults.restart_at"):
+        validate_live_spec(
+            load_preset("crash-storm").with_(faults={"restart_at": 3.0}), procs=2
+        )
+    # Clean and shaped-only specs still run under procs.
+    validate_live_spec(load_preset("rack-baseline"), procs=2)
+    validate_live_spec(load_preset("lossy-wan"), procs=2)
+    validate_live_spec(load_preset("crash-storm"), procs=2)
+
+
+@pytest.mark.slow
+def test_transport_schema_comparable_across_runtimes():
+    # The satellite guarantee behind RunResult.transport: both substrates
+    # count messages/bytes once at the framing layer and emit the same
+    # per-replica keys, so sim and live runs can be diffed directly.
+    spec = _small_spec()
+    live = run_live(spec, target_blocks=4, duration=15.0)
+    sim = api.run(spec)
+    expected = {
+        "messages_sent",
+        "messages_received",
+        "bytes_sent",
+        "messages_dropped",
+        "messages_delayed",
+        "restarts",
+    }
+    for result in (live, sim):
+        assert sorted(result.transport) == [str(pid) for pid in range(4)]
+        for counters in result.transport.values():
+            assert set(counters) == expected
+    assert set(live.metrics.message_counters) == set(sim.metrics.message_counters)
+    assert "messages_blocked" in live.metrics.message_counters
 
 
 def test_cli_live_verb(capsys):

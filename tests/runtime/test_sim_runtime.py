@@ -105,6 +105,8 @@ def test_per_replica_counters_through_runtime():
         "messages_sent": 2,
         "messages_received": 0,
         "bytes_sent": 150,
+        "messages_dropped": 0,
+        "messages_delayed": 2,  # both sends paid the constant link latency
     }
     assert per_replica[1]["messages_received"] == 2
     assert a.runtime.counters()["messages_sent"] == 2
