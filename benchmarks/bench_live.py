@@ -9,8 +9,11 @@ Benchmarks the asyncio localhost-TCP cluster (:mod:`repro.runtime.live`)
 on a 4-replica committee: blocks/sec and ops/sec actually served over
 real sockets with the versioned wire codec, per-scheme (star vs iniva)
 and per-backend (hashsig vs bls); a shaped-link row (five-region WAN
-matrix + 1% loss through the :mod:`repro.chaos` pipeline); and raw codec
-rates including the batched-vs-unbatched framing comparison.  Because
+matrix + 1% loss through the :mod:`repro.chaos` pipeline); a
+crash-restart row measuring catch-up sync and *time to rejoin* (recovery
+to first post-recovery commit — the resilience layer's headline number);
+and raw codec rates including the batched-vs-unbatched framing
+comparison.  Because
 the live workload is preloaded at time zero, per-request timing is
 reported as *time to commit* since cluster start, not client service
 latency.
@@ -102,6 +105,43 @@ def bench_cluster(
         "messages_sent_total": sent,
         "messages_per_sec": round(sent / metrics.duration, 1),
         "messages_dropped": metrics.message_counters["messages_dropped"],
+    }
+
+
+def bench_recovery(duration: float) -> dict:
+    """Crash-restart cell: one replica down mid-window, then catching up.
+
+    Always runs in task mode (the scheduled fault driver needs it) and
+    reports the resilience layer's headline number — time to rejoin: the
+    gap between the replica's recovery and its first post-recovery commit
+    through the ordinary three-chain rule, with catch-up sync closing the
+    committed-block gap in between.
+    """
+    spec = _bench_spec("iniva", "hashsig", duration).with_(
+        name="bench-live-crash-restart",
+        view_timeout=0.15,
+        faults={"crashes": 1, "crash_at": duration * 0.3, "restart_at": duration * 0.6},
+        resilience={"phi_threshold": 6.0},
+        workload={"rate": 2000},
+    )
+    cluster = LiveCluster(spec=spec, duration=duration)
+    result = cluster.run()
+    metrics = result.metrics
+    per_replica = result.resilience.get("per_replica", {})
+    record = next((r for r in per_replica.values() if r.get("restarts")), {})
+    rejoin = record.get("time_to_rejoin")
+    return {
+        "label": "iniva/hashsig n=4 crash-restart",
+        "duration_s": round(metrics.duration, 3),
+        "wall_clock_s": round(result.wall_clock_seconds, 3),
+        "committed_blocks": metrics.committed_blocks,
+        "blocks_per_sec": round(metrics.committed_blocks / metrics.duration, 1),
+        "catchup_blocks": record.get("catchup_blocks", 0),
+        "sync_requests_sent": record.get("sync_requests_sent", 0),
+        "time_to_rejoin_ms": None if rejoin is None else round(rejoin * 1000, 2),
+        "suspicions_raised": sum(
+            len(r.get("suspicions", [])) for r in per_replica.values()
+        ),
     }
 
 
@@ -207,6 +247,9 @@ def main(argv) -> int:
     )
     if procs == 1 and not quick:
         clusters.append(bench_cluster("iniva", "hashsig", duration, procs=2))
+    # The recovery cell: crash-restart with catch-up sync (task mode —
+    # the scheduled fault driver coordinates in-process).
+    clusters.append(bench_recovery(max(duration, 2.5)))
 
     report = {
         "benchmark": "live-runtime",

@@ -69,10 +69,15 @@ class ChaosDriver:
         now = runtime.now
         crash_at = self.plan.crashes.get(self.node.pid)
         if crash_at is not None:
-            runtime.set_timer(max(crash_at - now, 0.0), self.node.replica.crash)
+            # Route through the node's fault hooks when it has them (the
+            # live node resets failure-detector clocks on recovery); fall
+            # back to the bare replica for stub nodes in tests.
+            crash = getattr(self.node, "crash_replica", self.node.replica.crash)
+            runtime.set_timer(max(crash_at - now, 0.0), crash)
             restart_at = self.plan.restarts.get(self.node.pid)
             if restart_at is not None:
-                runtime.set_timer(max(restart_at - now, 0.0), self.node.replica.recover)
+                recover = getattr(self.node, "recover_replica", self.node.replica.recover)
+                runtime.set_timer(max(restart_at - now, 0.0), recover)
         for event in self.plan.partitions:
             self._arm_partition(event, now)
 

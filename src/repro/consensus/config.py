@@ -69,6 +69,15 @@ class ConsensusConfig:
     handel_level_delay: float = 0.002
     handel_peers_per_level: int = 2
     kauri_fallback_threshold: int = 3
+    # -- resilience knobs (see ResilienceSpec) -----------------------------------
+    #: A replica recovering from a crash multicasts a SyncRequest and
+    #: catches up from a peer's SyncResponse instead of waiting for the
+    #: pacemaker to drag it forward.
+    sync_on_recover: bool = True
+    #: Most committed blocks one SyncResponse carries (the suffix stays
+    #: contiguous from the requester's height; a still-behind requester
+    #: simply asks again).
+    max_sync_blocks: int = 64
 
     #: All registered vote aggregation schemes accepted by ``aggregation``.
     SUPPORTED_AGGREGATIONS = frozenset({"star", "tree", "iniva", "gosig", "handel", "kauri"})
@@ -93,6 +102,8 @@ class ConsensusConfig:
             raise ValueError("free-rider fraction must be in [0, 1]")
         if self.kauri_fallback_threshold < 1:
             raise ValueError("Kauri fallback threshold must be positive")
+        if self.max_sync_blocks < 1:
+            raise ValueError("max_sync_blocks must be positive")
 
     # -- derived quantities ---------------------------------------------------
     @property

@@ -29,6 +29,7 @@ from repro.consensus.leader import LeaderElection, RoundRobinElection
 from repro.consensus.mempool import Mempool
 from repro.crypto.keys import Committee
 from repro.crypto.multisig import AggregateSignature, SignatureShare
+from repro.resilience.messages import SyncRequest, SyncResponse
 from repro.simnet.metrics import MetricsCollector
 from repro.simnet.process import Process, Timer
 from repro.tree.overlay import AggregationTree
@@ -86,6 +87,12 @@ class HotStuffReplica(Process):
         self._proposed_views: set[int] = set()
         self._propose_scheduled: set[int] = set()
         self._view_timer: Optional[Timer] = None
+        # Catch-up bookkeeping (the state-transfer half of the resilience
+        # layer; see repro.resilience.messages).
+        self.catchup_blocks = 0
+        self.sync_requests_sent = 0
+        self.sync_requests_served = 0
+        self.first_commit_after_recovery: Optional[float] = None
 
         # Imported lazily to avoid a circular import: the aggregation schemes
         # depend on consensus.block, while this module needs their registry.
@@ -107,14 +114,19 @@ class HotStuffReplica(Process):
 
         The chain state survived the crash (restart-from-storage model);
         what was lost is every message sent while down.  Re-arming the
-        view timer is enough to rejoin: either a proposal arrives and
-        :meth:`process_proposal` fast-forwards the view, or the pacemaker
-        fires and the NEW-VIEW path resynchronises with the next leader.
+        view timer lets the pacemaker resynchronise eventually; with
+        ``sync_on_recover`` the replica additionally asks its peers for
+        the committed-block suffix it missed (see :meth:`request_sync`),
+        so it rejoins at the chain head instead of waiting to be dragged
+        forward view by view.
         """
         if not self.crashed:
             return
         super().recover()
+        self.first_commit_after_recovery = None
         self._reset_view_timer()
+        if self.config.sync_on_recover:
+            self.request_sync()
 
     def leader_of(self, view: int) -> int:
         return self.election.leader(view, self.highest_qc)
@@ -157,6 +169,10 @@ class HotStuffReplica(Process):
             return
         if isinstance(message, NewViewMessage):
             self._on_new_view(sender, message)
+        elif isinstance(message, SyncRequest):
+            self._on_sync_request(sender, message)
+        elif isinstance(message, SyncResponse):
+            self._on_sync_response(sender, message)
 
     def _on_new_view(self, sender: int, message: NewViewMessage) -> None:
         self._update_highest_qc(message.highest_qc)
@@ -169,6 +185,66 @@ class HotStuffReplica(Process):
             and self.current_view not in self._proposed_views
         ):
             self._schedule_propose(self.current_view, delay=2 * self.config.delta)
+
+    # ------------------------------------------------------------------
+    # State-transfer catch-up (crash-restart rejoin)
+    # ------------------------------------------------------------------
+    def request_sync(self) -> None:
+        """Ask every peer for the committed suffix above our height.
+
+        Multicast rather than targeted: whichever live peer answers first
+        wins, and duplicate responses are idempotent (committed blocks
+        are deduplicated by id, QC/view updates are monotonic).
+        """
+        message = SyncRequest(sender=self.process_id, from_height=self.committed_height)
+        peers = [p for p in range(self.config.committee_size) if p != self.process_id]
+        self.sync_requests_sent += 1
+        self.multicast(peers, message, size_bytes=message.size_bytes)
+
+    def committed_suffix(self, from_height: int) -> list[Block]:
+        """Committed blocks above ``from_height``, oldest first, capped at
+        ``max_sync_blocks`` — keeping the suffix contiguous from the
+        requester's height so it can apply every block it receives."""
+        suffix = sorted(
+            (
+                block
+                for block in self.blocks.values()
+                if block.block_id in self.committed_blocks
+                and block.height > from_height
+            ),
+            key=lambda block: block.height,
+        )
+        return suffix[: self.config.max_sync_blocks]
+
+    def _on_sync_request(self, sender: int, message: SyncRequest) -> None:
+        if sender == self.process_id:
+            return
+        blocks = self.committed_suffix(message.from_height)
+        self.sync_requests_served += 1
+        response = SyncResponse(
+            sender=self.process_id,
+            view=self.current_view,
+            highest_qc=self.highest_qc,
+            blocks=tuple(blocks),
+        )
+        # Always answer — even an empty suffix carries the responder's
+        # view and highest QC, which re-seats the requester's pacemaker.
+        self.consume_cpu(self.config.cpu_model.per_byte * response.size_bytes)
+        self.send(sender, response, size_bytes=response.size_bytes)
+
+    def _on_sync_response(self, sender: int, message: SyncResponse) -> None:
+        for block in message.blocks:
+            self.blocks.setdefault(block.block_id, block)
+            if block.block_id in self.committed_blocks:
+                continue
+            self.committed_blocks.add(block.block_id)
+            self.committed_height = max(self.committed_height, block.height)
+            self.mempool.mark_committed(block.block_id, block.payload, self.now)
+            self.catchup_blocks += 1
+        self._update_highest_qc(message.highest_qc)
+        if message.view > self.current_view:
+            self.current_view = message.view
+            self._reset_view_timer()
 
     # ------------------------------------------------------------------
     # Proposing
@@ -283,6 +359,11 @@ class HotStuffReplica(Process):
             self.committed_blocks.add(ancestor.block_id)
             self.committed_height = max(self.committed_height, ancestor.height)
             self.mempool.mark_committed(ancestor.block_id, ancestor.payload, self.now)
+        # Time-to-rejoin instrumentation: the first commit reached through
+        # the *protocol* path after a recovery (catch-up applies in
+        # _on_sync_response and deliberately does not count).
+        if chain and self.recovered_at is not None and self.first_commit_after_recovery is None:
+            self.first_commit_after_recovery = self.now
 
     # ------------------------------------------------------------------
     # Aggregation completion (the paper's ``aggregate`` upcall)

@@ -78,6 +78,11 @@ class ExperimentResult:
     ``transport`` holds per-replica transport counters (messages/bytes
     sent, messages received) keyed by the process id as a string; the sim
     and live runtimes fill the same schema so their results diff cleanly.
+
+    ``resilience`` carries the recovery telemetry of runs with faults:
+    per-replica crash/recovery timestamps, catch-up sync stats and (live
+    runtime) suspicion timelines, reconnect counts and worker supervision
+    events.  Empty for fault-free runs and absent from old documents.
     """
 
     config_label: str
@@ -95,6 +100,7 @@ class ExperimentResult:
     committed_blocks: int
     message_counters: Dict[str, int] = field(default_factory=dict)
     transport: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    resilience: Dict[str, object] = field(default_factory=dict)
 
     def row(self) -> Dict[str, float]:
         """A flat representation used by the benchmark reporting."""
@@ -126,6 +132,7 @@ class ExperimentResult:
             "committed_blocks": self.committed_blocks,
             "message_counters": dict(self.message_counters),
             "transport": {pid: dict(counts) for pid, counts in self.transport.items()},
+            "resilience": dict(self.resilience),
         }
 
     @classmethod
@@ -140,6 +147,8 @@ class ExperimentResult:
             str(pid): {str(key): int(value) for key, value in dict(counts).items()}
             for pid, counts in dict(payload.get("transport", {})).items()
         }
+        # Absent from pre-resilience documents; default to empty.
+        payload["resilience"] = dict(payload.get("resilience", {}))
         return cls(**payload)
 
 
@@ -331,6 +340,28 @@ def summarise(deployment: Deployment, duration: float, label: Optional[str] = No
         failed_fraction = max(0.0, 1.0 - successful_views / total_views)
     cpu = [replica.cpu_utilisation(duration) for replica in deployment.replicas]
     latency = metrics.latency_stats()
+    # Recovery telemetry, only for replicas that actually crashed or
+    # restarted — fault-free runs keep an empty resilience record.
+    per_replica = {}
+    for replica in deployment.replicas:
+        if replica.restarts == 0 and getattr(replica, "crashed_at", None) is None:
+            continue
+        recovered_at = replica.recovered_at
+        first_commit = replica.first_commit_after_recovery
+        time_to_rejoin = None
+        if recovered_at is not None and first_commit is not None:
+            time_to_rejoin = max(first_commit - recovered_at, 0.0)
+        per_replica[str(replica.process_id)] = {
+            "restarts": replica.restarts,
+            "crashed_at": replica.crashed_at,
+            "recovered_at": recovered_at,
+            "first_commit_after_recovery": first_commit,
+            "time_to_rejoin": time_to_rejoin,
+            "catchup_blocks": replica.catchup_blocks,
+            "sync_requests_sent": replica.sync_requests_sent,
+            "sync_requests_served": replica.sync_requests_served,
+        }
+    resilience = {"per_replica": per_replica} if per_replica else {}
     return ExperimentResult(
         config_label=label or deployment.config.describe(),
         duration=duration,
@@ -353,4 +384,5 @@ def summarise(deployment: Deployment, duration: float, label: Optional[str] = No
             str(pid): {**counts, "restarts": restarts_by_pid.get(pid, 0)}
             for pid, counts in deployment.network.per_replica_counters().items()
         },
+        resilience=resilience,
     )

@@ -1,0 +1,46 @@
+"""repro.resilience — the self-healing layer of the live runtime.
+
+The paper's claim is robustness of the *protocol* (Iniva's fault-tolerant
+aggregation); this package makes the *harness* robust enough to measure
+it: supervised per-peer connections that resend what a broken link never
+delivered (:mod:`.session`), phi-accrual failure detection over
+piggybacked heartbeats (:mod:`.detector`), a state-transfer catch-up
+protocol for replicas rejoining after a crash (:mod:`.messages`, handled
+in :class:`~repro.consensus.replica.HotStuffReplica` so it behaves
+identically on the sim and live runtimes), and restart supervision for
+``--procs`` worker subprocesses (:mod:`.supervisor`).
+
+Knobs live in :class:`~repro.scenarios.spec.ResilienceSpec`; what
+happened during a run is surfaced as ``RunResult.resilience``.
+"""
+
+from repro.resilience.detector import PhiAccrualDetector, Suspicion
+from repro.resilience.messages import (
+    Heartbeat,
+    SessionAck,
+    SessionEnvelope,
+    SessionHello,
+    SyncRequest,
+    SyncResponse,
+)
+from repro.resilience.session import PeerSession
+from repro.resilience.supervisor import (
+    RestartPolicy,
+    SupervisedWorker,
+    WorkerSupervisor,
+)
+
+__all__ = [
+    "Heartbeat",
+    "PeerSession",
+    "PhiAccrualDetector",
+    "RestartPolicy",
+    "SessionAck",
+    "SessionEnvelope",
+    "SessionHello",
+    "SupervisedWorker",
+    "Suspicion",
+    "SyncRequest",
+    "SyncResponse",
+    "WorkerSupervisor",
+]

@@ -1,0 +1,143 @@
+"""Wire messages of the resilience layer.
+
+Two families live here:
+
+* **Session control** (:class:`SessionHello`, :class:`SessionEnvelope`,
+  :class:`SessionAck`, :class:`Heartbeat`) — spoken only by the live
+  runtime's connection supervisor (:mod:`repro.resilience.session`).
+  Envelopes carry sequence numbers so an established-then-broken TCP link
+  can resend everything the peer never acknowledged; heartbeats feed the
+  phi-accrual failure detector (:mod:`repro.resilience.detector`).
+  These frames never reach the protocol core and are not counted in the
+  per-replica transport schema.
+
+* **State transfer** (:class:`SyncRequest`, :class:`SyncResponse`) —
+  ordinary protocol messages handled by
+  :class:`~repro.consensus.replica.HotStuffReplica`.  A replica restarted
+  by ``Process.recover`` (or a cold-started worker replica) multicasts a
+  :class:`SyncRequest` carrying its committed height; live peers answer
+  with the committed-block suffix above that height plus their current
+  view and highest QC, so the rejoiner commits the blocks it missed
+  instead of waiting for the pacemaker to drag it forward.  They travel
+  through the normal :class:`~repro.runtime.base.Runtime` send path, so
+  catch-up behaves identically under the sim and live substrates (which
+  is what lets the parity tests pin it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+from repro.consensus.block import Block, QuorumCertificate
+
+__all__ = [
+    "Heartbeat",
+    "SessionAck",
+    "SessionEnvelope",
+    "SessionHello",
+    "SyncRequest",
+    "SyncResponse",
+]
+
+
+# ---------------------------------------------------------------------------
+# Session control frames (live transport only)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class SessionHello:
+    """First frame on every outbound connection: who is calling, and which
+    incarnation of the session this connection belongs to (0 for the
+    first connect, +1 per reconnect)."""
+
+    pid: int
+    incarnation: int = 0
+
+    @property
+    def size_bytes(self) -> int:
+        return 16
+
+
+@dataclass(frozen=True, slots=True)
+class SessionEnvelope:
+    """A sequence-numbered frame carrying one flush of protocol messages.
+
+    The sender keeps the envelope buffered until the peer's cumulative
+    :class:`SessionAck` covers ``seq``; on reconnect every still-buffered
+    envelope is resent, and the receiver deduplicates by sequence number.
+    Members are ordinary wire values — an envelope inside an envelope is
+    a codec error, like nested batches.
+    """
+
+    seq: int
+    messages: Tuple[Any, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "messages", tuple(self.messages))
+        if not self.messages:
+            raise ValueError("a session envelope needs at least one message")
+        if self.seq < 1:
+            raise ValueError("envelope sequence numbers start at 1")
+
+    def __len__(self) -> int:
+        return len(self.messages)
+
+
+@dataclass(frozen=True, slots=True)
+class SessionAck:
+    """Cumulative acknowledgement: every envelope with ``seq <= acked`` has
+    been delivered.  Written back on the *inbound* connection (full
+    duplex), so acks are never routed through an independently shaped or
+    partitioned reverse link."""
+
+    acked: int
+
+    @property
+    def size_bytes(self) -> int:
+        return 16
+
+
+@dataclass(frozen=True, slots=True)
+class Heartbeat:
+    """Explicit liveness beacon, sent only when a link has been idle for a
+    heartbeat interval — any envelope doubles as a heartbeat."""
+
+    pid: int
+    seq: int
+
+    @property
+    def size_bytes(self) -> int:
+        return 16
+
+
+# ---------------------------------------------------------------------------
+# State-transfer protocol messages (both runtimes)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class SyncRequest:
+    """A recovering replica asking peers for the chain it missed."""
+
+    sender: int
+    from_height: int
+
+    @property
+    def size_bytes(self) -> int:
+        return 24
+
+
+@dataclass(frozen=True, slots=True)
+class SyncResponse:
+    """A live peer's catch-up payload: the committed-block suffix above the
+    requester's height, plus the responder's pacemaker position."""
+
+    sender: int
+    view: int
+    highest_qc: QuorumCertificate
+    blocks: Tuple[Block, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "blocks", tuple(self.blocks))
+
+    @property
+    def size_bytes(self) -> int:
+        return 192 + sum(256 + block.payload_bytes for block in self.blocks)

@@ -112,6 +112,18 @@ class RunResult:
         """Per-replica transport counters of the first epoch."""
         return self.metrics.transport
 
+    @property
+    def resilience(self) -> Dict[str, object]:
+        """Recovery telemetry of the first epoch.
+
+        ``per_replica`` maps process ids to crash/recovery timestamps,
+        catch-up sync counts and (live runtime) suspicion timelines and
+        reconnect stats; live runs add a ``cluster`` record with worker
+        supervision events and the quiescence/readiness flags.  Empty for
+        fault-free runs.
+        """
+        return self.metrics.resilience
+
     # -- row/summary/artifact views ---------------------------------------------
     def rows(self) -> List[Dict[str, object]]:
         rows: List[Dict[str, object]] = []

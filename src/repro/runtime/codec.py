@@ -29,6 +29,14 @@ several protocol messages in one length-prefixed frame, so a shaped or
 congested link pays the framing and syscall cost once per flush instead
 of once per message.  Batches are flat — a batch inside a batch is a
 codec error — and each contained message is any of the six wire types.
+
+Wire version 3 adds the **resilience layer**
+(:mod:`repro.resilience.messages`): sequence-numbered session frames
+(hello / envelope / cumulative ack / heartbeat) spoken by the live
+runtime's connection supervisor, and the ``SyncRequest`` /
+``SyncResponse`` state-transfer pair a recovering replica uses to fetch
+the committed-block suffix it missed.  Envelopes are flat like batches:
+an envelope may not contain another envelope or a batch.
 """
 
 from __future__ import annotations
@@ -53,6 +61,14 @@ from repro.crypto.multisig import (
     _HashSigAggregateValue,
 )
 from repro.crypto.params import CurveParams
+from repro.resilience.messages import (
+    Heartbeat,
+    SessionAck,
+    SessionEnvelope,
+    SessionHello,
+    SyncRequest,
+    SyncResponse,
+)
 
 __all__ = [
     "CodecError",
@@ -64,7 +80,8 @@ __all__ = [
 
 #: Bump on any incompatible change to the encoding below.
 #: v2: multi-message batch frames (:class:`FrameBatch`).
-WIRE_VERSION = 2
+#: v3: resilience layer — session control frames and state-transfer sync.
+WIRE_VERSION = 3
 
 #: Every message type the protocol core sends between replicas.
 WIRE_MESSAGE_TYPES: Tuple[type, ...] = (
@@ -74,6 +91,8 @@ WIRE_MESSAGE_TYPES: Tuple[type, ...] = (
     SecondChanceMessage,
     SecondChanceReply,
     NewViewMessage,
+    SyncRequest,
+    SyncResponse,
 )
 
 
@@ -126,6 +145,12 @@ _T_ACK = 0x22
 _T_SECOND_CHANCE = 0x23
 _T_SECOND_CHANCE_REPLY = 0x24
 _T_NEW_VIEW = 0x25
+_T_SYNC_REQ = 0x26
+_T_SYNC_RESP = 0x27
+_T_SESSION_HELLO = 0x30
+_T_SESSION_ENVELOPE = 0x31
+_T_SESSION_ACK = 0x32
+_T_HEARTBEAT = 0x33
 
 _U32 = struct.Struct(">I")
 _F64 = struct.Struct(">d")
@@ -274,6 +299,35 @@ class WireCodec:
             out.append(_T_NEW_VIEW)
             self._write(out, value.view)
             self._write(out, value.highest_qc)
+        elif isinstance(value, SyncRequest):
+            out.append(_T_SYNC_REQ)
+            self._write(out, value.sender)
+            self._write(out, value.from_height)
+        elif isinstance(value, SyncResponse):
+            out.append(_T_SYNC_RESP)
+            self._write(out, value.sender)
+            self._write(out, value.view)
+            self._write(out, value.highest_qc)
+            self._write(out, tuple(value.blocks))
+        elif isinstance(value, SessionHello):
+            out.append(_T_SESSION_HELLO)
+            self._write(out, value.pid)
+            self._write(out, value.incarnation)
+        elif isinstance(value, SessionAck):
+            out.append(_T_SESSION_ACK)
+            self._write(out, value.acked)
+        elif isinstance(value, Heartbeat):
+            out.append(_T_HEARTBEAT)
+            self._write(out, value.pid)
+            self._write(out, value.seq)
+        elif isinstance(value, SessionEnvelope):
+            out.append(_T_SESSION_ENVELOPE)
+            self._write(out, value.seq)
+            out += _U32.pack(len(value.messages))
+            for member in value.messages:
+                if isinstance(member, (SessionEnvelope, FrameBatch)):
+                    raise CodecError("session envelopes are flat wire containers")
+                self._write(out, member)
         elif isinstance(value, FrameBatch):
             out.append(_T_BATCH)
             out += _U32.pack(len(value.messages))
@@ -392,6 +446,42 @@ class WireCodec:
             view, offset = self._read(buf, offset)
             highest_qc, offset = self._read(buf, offset)
             return NewViewMessage(view=view, highest_qc=highest_qc), offset
+        if tag == _T_SYNC_REQ:
+            sender, offset = self._read(buf, offset)
+            from_height, offset = self._read(buf, offset)
+            return SyncRequest(sender=sender, from_height=from_height), offset
+        if tag == _T_SYNC_RESP:
+            sender, offset = self._read(buf, offset)
+            view, offset = self._read(buf, offset)
+            highest_qc, offset = self._read(buf, offset)
+            blocks, offset = self._read(buf, offset)
+            return (
+                SyncResponse(sender=sender, view=view, highest_qc=highest_qc, blocks=blocks),
+                offset,
+            )
+        if tag == _T_SESSION_HELLO:
+            pid, offset = self._read(buf, offset)
+            incarnation, offset = self._read(buf, offset)
+            return SessionHello(pid=pid, incarnation=incarnation), offset
+        if tag == _T_SESSION_ACK:
+            acked, offset = self._read(buf, offset)
+            return SessionAck(acked=acked), offset
+        if tag == _T_HEARTBEAT:
+            pid, offset = self._read(buf, offset)
+            seq, offset = self._read(buf, offset)
+            return Heartbeat(pid=pid, seq=seq), offset
+        if tag == _T_SESSION_ENVELOPE:
+            seq, offset = self._read(buf, offset)
+            count, offset = self._read_count(buf, offset)
+            if count == 0:
+                raise CodecError("empty session envelope")
+            members: List[Any] = []
+            for _ in range(count):
+                member, offset = self._read(buf, offset)
+                if isinstance(member, (SessionEnvelope, FrameBatch)):
+                    raise CodecError("session envelopes are flat wire containers")
+                members.append(member)
+            return SessionEnvelope(seq=seq, messages=tuple(members)), offset
         if tag == _T_BATCH:
             count, offset = self._read_count(buf, offset)
             if count == 0:

@@ -2,11 +2,12 @@
 
 This is the second substrate behind the sans-I/O protocol core.  Each
 replica of a :class:`~repro.scenarios.spec.ScenarioSpec` runs as its own
-:class:`LiveNode` — an asyncio task owning a TCP server, outgoing peer
-connections, a replicated mempool copy and a metrics collector — and the
-unchanged :class:`~repro.consensus.replica.HotStuffReplica` drives it
-through :class:`LiveRuntime`.  All wire traffic is framed with the
-versioned codec in :mod:`repro.runtime.codec`.
+:class:`LiveNode` — an asyncio task owning a TCP server, supervised
+outgoing peer sessions, a replicated mempool copy and a metrics
+collector — and the unchanged
+:class:`~repro.consensus.replica.HotStuffReplica` drives it through
+:class:`LiveRuntime`.  All wire traffic is framed with the versioned
+codec in :mod:`repro.runtime.codec`.
 
 Two deployment shapes:
 
@@ -35,18 +36,30 @@ Byzantine omission cartels run the adversarial aggregators from
 epoch through the shared :func:`repro.scenarios.engine.run_epochs`
 orchestrator.  The scheduled fault driver and churn loop need task mode;
 ``validate_live_spec`` rejects those spec fields under ``--procs``.
+
+Resilience (see :mod:`repro.resilience`): outbound links are
+:class:`~repro.resilience.session.PeerSession` objects — sequenced
+envelopes with cumulative acks, bounded resend buffers and jittered
+reconnect — instead of fire-and-forget writers; a phi-accrual failure
+detector builds suspicion timelines from heartbeats piggybacked on the
+wire; recovered replicas catch up on missed commits through the
+``SyncRequest``/``SyncResponse`` protocol; ``--procs`` workers run under
+a restart-capable :class:`~repro.resilience.supervisor.WorkerSupervisor`
+and a quiescence watchdog (``resilience.quiesce_after``) ends a run that
+has stopped committing.  Everything lands in ``RunResult.resilience``.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import logging
 import socket
 import subprocess
 import sys
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.chaos.driver import ChaosDriver
 from repro.chaos.plan import ChaosPlan, compile_chaos_plan
@@ -57,6 +70,10 @@ from repro.crypto.keys import Committee
 from repro.crypto.params import TOY_PARAMS
 from repro.experiments.runner import ExperimentResult, _make_signature_scheme
 from repro.experiments.workloads import ClientWorkload
+from repro.resilience.detector import PhiAccrualDetector
+from repro.resilience.messages import Heartbeat, SessionAck, SessionEnvelope, SessionHello
+from repro.resilience.session import PeerSession
+from repro.resilience.supervisor import RestartPolicy, SupervisedWorker, WorkerSupervisor
 from repro.results import EpochMetrics, RunResult
 from repro.runtime.base import Runtime, TimerHandle
 from repro.runtime.codec import FrameBatch, WireCodec
@@ -78,9 +95,7 @@ __all__ = [
     "validate_live_spec",
 ]
 
-#: How long (wall seconds) nodes wait between "servers are up" and
-#: ``replica.start()`` so every peer is listening before view 1.
-_START_GRACE = 0.15
+logger = logging.getLogger("repro.runtime.live")
 
 #: Frame read limit — a proposal with a large batch stays far below this.
 _READ_LIMIT = 16 * 1024 * 1024
@@ -197,7 +212,7 @@ class LiveRuntime(Runtime):
 
 
 class LiveNode:
-    """One replica: TCP server + peer connections + protocol process."""
+    """One replica: TCP server + supervised peer sessions + protocol process."""
 
     def __init__(
         self,
@@ -224,7 +239,8 @@ class LiveNode:
         # Per-replica transport counters, maintained once at this framing
         # layer (logical messages, modeled byte sizes) so sim and live
         # report the same per-replica schema; ``restarts`` is merged in
-        # from the replica when summarising.
+        # from the replica when summarising.  Session control traffic
+        # (hellos, acks, heartbeats) stays out of these on purpose.
         self.counters: Dict[str, int] = {
             "messages_sent": 0,
             "messages_received": 0,
@@ -246,9 +262,23 @@ class LiveNode:
             runtime=self.runtime,
         )
         self._server: Optional[asyncio.base_events.Server] = None
-        self._send_queues: Dict[int, asyncio.Queue] = {}
         self._tasks: List[asyncio.Task] = []
         self._stopping = False
+        # Resilience layer: supervised outbound sessions, phi-accrual
+        # failure detection and heartbeat bookkeeping.
+        self.resilience = compiled.spec.resilience
+        self.detector = PhiAccrualDetector(
+            threshold=self.resilience.phi_threshold,
+            window=self.resilience.detector_window,
+            bootstrap_interval=self.resilience.heartbeat_interval,
+        )
+        self.sessions: Dict[int, PeerSession] = {}
+        self._recv_seq: Dict[int, int] = {}  # per-peer envelope dedup floor
+        self._last_beat: Dict[int, float] = {}  # loop-time of last heartbeat out
+        self._heartbeat_seq = 0
+        self.heartbeats_sent = 0
+        self.frames_duplicate = 0
+        self._maintenance_task: Optional[asyncio.Task] = None
         # The chaos layer: traffic shaping + scheduled faults + attacker
         # corruption, all derived deterministically from the spec seed
         # (corruption happens here, before the replica ever starts).  The
@@ -301,19 +331,55 @@ class LiveNode:
             self._enqueue(dst, message)
 
     def _enqueue(self, dst: int, message: Any) -> None:
-        """Hand one (possibly shaping-delayed) message to ``dst``'s writer."""
+        """Hand one (possibly shaping-delayed) message to ``dst``'s session."""
         if self._stopping:
             return
-        queue = self._send_queues.get(dst)
-        if queue is None:
-            if dst not in self.peer_addresses:
-                # Unknown peer: drop, like the sim network.
-                self.counters["messages_dropped"] += 1
-                return
-            queue = asyncio.Queue()
-            self._send_queues[dst] = queue
-            self._tasks.append(self.loop.create_task(self._writer(dst, queue)))
-        queue.put_nowait(message)
+        if dst not in self.peer_addresses:
+            # Unknown peer: drop, like the sim network.
+            self.counters["messages_dropped"] += 1
+            return
+        self._session_for(dst).send(message)
+
+    def _session_for(self, dst: int) -> PeerSession:
+        session = self.sessions.get(dst)
+        if session is None:
+            host, port = self.peer_addresses[dst]
+            res = self.resilience
+            session = PeerSession(
+                self.pid,
+                dst,
+                host,
+                port,
+                self.codec,
+                max_batch=_MAX_WIRE_BATCH,
+                resend_buffer=res.resend_buffer,
+                reconnect_base=res.reconnect_base,
+                reconnect_cap=res.reconnect_cap,
+                on_drop=self._on_session_drop,
+                read_limit=_READ_LIMIT,
+            )
+            self.sessions[dst] = session
+            session.start()
+        return session
+
+    def _on_session_drop(self, count: int) -> None:
+        # Resend-buffer overflow: the loss is counted, never hidden.
+        self.counters["messages_dropped"] += count
+
+    def open_sessions(self) -> None:
+        """Eagerly dial every peer (the readiness barrier awaits these)."""
+        for dst in self.peer_addresses:
+            if dst != self.pid:
+                self._session_for(dst)
+
+    async def wait_peers_ready(self, timeout: float) -> bool:
+        """True once every open session has connected at least once."""
+        deadline = self.loop.time() + timeout
+        for session in list(self.sessions.values()):
+            remaining = deadline - self.loop.time()
+            if remaining <= 0 or not await session.wait_ready(remaining):
+                return False
+        return True
 
     # -- server side -----------------------------------------------------------
     async def serve(self, port: int = 0) -> int:
@@ -332,26 +398,41 @@ class LiveNode:
         if task is not None:
             self._tasks.append(task)
         try:
-            hello = await self._read_frame(reader)
-            peer = self.codec.decode(hello)
-            if not isinstance(peer, int):
+            hello = self.codec.decode(await self._read_frame(reader))
+            if isinstance(hello, SessionHello):
+                peer = hello.pid
+            elif isinstance(hello, int):  # pre-session peers (bare tests)
+                peer = hello
+            else:
                 return
             while True:
-                frame = await self._read_frame(reader)
-                decoded = self.codec.decode(frame)
+                decoded = self.codec.decode(await self._read_frame(reader))
+                # Any frame from a live peer is a liveness observation —
+                # unless this replica is down and "observes" nothing.
+                if not self.replica.crashed:
+                    self.detector.heartbeat(peer, self.now)
+                if isinstance(decoded, Heartbeat):
+                    continue
+                if isinstance(decoded, SessionEnvelope):
+                    last = self._recv_seq.get(peer, 0)
+                    if decoded.seq <= last:
+                        # Resent after reconnect but already delivered:
+                        # re-ack (the ack that would have advanced the
+                        # sender's floor may have died with the link).
+                        self.frames_duplicate += 1
+                        writer.write(self.codec.frame(SessionAck(last)))
+                        await writer.drain()
+                        continue
+                    self._recv_seq[peer] = decoded.seq
+                    self._deliver_members(peer, decoded.messages)
+                    writer.write(self.codec.frame(SessionAck(decoded.seq)))
+                    await writer.drain()
+                    continue
                 members = (
                     decoded.messages if isinstance(decoded, FrameBatch) else (decoded,)
                 )
-                for message in members:
-                    if self.replica.crashed:
-                        # Mirror the sim network: traffic to a crashed
-                        # replica is a drop, not a receipt.
-                        self.counters["messages_dropped"] += 1
-                        continue
-                    self.counters["messages_received"] += 1
-                    if not self._stopping:
-                        self.replica._deliver(peer, message)
-        except (asyncio.IncompleteReadError, ConnectionError):
+                self._deliver_members(peer, members)
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
             return
         except asyncio.CancelledError:
             # Shutdown path: completing normally (instead of re-raising)
@@ -359,6 +440,17 @@ class LiveNode:
             return
         finally:
             writer.close()
+
+    def _deliver_members(self, peer: int, members: Iterable[Any]) -> None:
+        for message in members:
+            if self.replica.crashed:
+                # Mirror the sim network: traffic to a crashed replica is
+                # a drop, not a receipt.
+                self.counters["messages_dropped"] += 1
+                continue
+            self.counters["messages_received"] += 1
+            if not self._stopping:
+                self.replica._deliver(peer, message)
 
     @staticmethod
     async def _read_frame(reader: asyncio.StreamReader) -> Optional[bytes]:
@@ -368,45 +460,48 @@ class LiveNode:
             raise ConnectionError(f"oversized frame ({size} bytes)")
         return await reader.readexactly(size)
 
-    # -- client side -----------------------------------------------------------
-    async def _writer(self, dst: int, queue: asyncio.Queue) -> None:
-        """Connect to ``dst`` (with retries) and drain its send queue."""
-        host, port = self.peer_addresses[dst]
-        writer: Optional[asyncio.StreamWriter] = None
-        backoff = 0.01
-        while writer is None and not self._stopping:
-            try:
-                _, writer = await asyncio.open_connection(host, port, limit=_READ_LIMIT)
-            except (ConnectionError, OSError):
-                await asyncio.sleep(backoff)
-                backoff = min(backoff * 2, 0.25)
-        if writer is None:  # pragma: no cover - stopped before connecting
-            return
-        try:
-            writer.write(self.codec.frame(self.pid))
-            while True:
-                message = await queue.get()
-                if queue.empty():
-                    writer.write(self.codec.frame(message))
-                else:
-                    # Drain the backlog into one multi-message batch frame
-                    # so a shaped (slow) link pays the framing and syscall
-                    # cost once per flush instead of once per message.
-                    batch = [message]
-                    while len(batch) < _MAX_WIRE_BATCH and not queue.empty():
-                        batch.append(queue.get_nowait())
-                    writer.write(self.codec.frame_batch(batch))
-                await writer.drain()
-        except (ConnectionError, OSError):  # peer went away (e.g. crashed)
-            return
-        except asyncio.CancelledError:
-            raise
-        finally:
-            writer.close()
+    # -- heartbeats / failure detection ----------------------------------------
+    async def _maintenance(self) -> None:
+        """Periodic tick: emit heartbeats, evaluate peer suspicions."""
+        res = self.resilience
+        tick = res.heartbeat_interval / 2
+        while not self._stopping:
+            await asyncio.sleep(tick)
+            if self.replica.crashed:
+                continue  # a down replica neither beats nor observes
+            self.detector.evaluate(self.now)
+            loop_now = self.loop.time()
+            for dst, session in self.sessions.items():
+                if not session.connected or self.chaos.blocked(dst):
+                    continue
+                if loop_now - session.last_payload_at < res.heartbeat_interval:
+                    continue  # recent protocol traffic doubles as liveness
+                if loop_now - self._last_beat.get(dst, -1e9) < res.heartbeat_interval:
+                    continue
+                self._heartbeat_seq += 1
+                session.send_control(Heartbeat(self.pid, self._heartbeat_seq))
+                self._last_beat[dst] = loop_now
+                self.heartbeats_sent += 1
+
+    # -- fault hooks (chaos driver) ---------------------------------------------
+    def crash_replica(self) -> None:
+        """Scheduled-crash hook: stop the local replica."""
+        self.replica.crash()
+
+    def recover_replica(self) -> None:
+        """Scheduled-restart hook: recover the replica and reset suspicion
+        clocks — the downtime silence says nothing about the *peers*."""
+        self.replica.recover()
+        self.detector.touch_all(self.now)
 
     # -- lifecycle --------------------------------------------------------------
-    def start_protocol(self) -> None:
-        """Preload the workload, arm the chaos schedule, start the replica."""
+    def start_protocol(self, request_sync: bool = False) -> None:
+        """Preload the workload, arm the chaos schedule, start the replica.
+
+        ``request_sync`` marks a cold-started replica (e.g. hosted by a
+        restarted ``--procs`` worker) that should immediately ask its
+        peers for the committed blocks it missed.
+        """
         spec = self.compiled.spec
         workload_seed = (
             spec.workload.seed if spec.workload.seed is not None else self.compiled.config.seed
@@ -420,14 +515,21 @@ class LiveNode:
         ).preload_into(self.mempool, self.compiled.epoch_duration)
         self.chaos.arm()
         self.replica.start()
+        if request_sync and self.compiled.config.sync_on_recover:
+            self.replica.request_sync()
+        if self._maintenance_task is None and self.loop is not None:
+            self._maintenance_task = self.loop.create_task(self._maintenance())
+            self._tasks.append(self._maintenance_task)
 
     async def stop(self) -> None:
         self._stopping = True
         # Refuse new connections before touching tasks: a still-running
-        # peer's (shaping-delayed, or retrying) writer may connect at any
-        # moment during shutdown.
+        # peer's (shaping-delayed, or reconnecting) session may dial in at
+        # any moment during shutdown.
         if self._server is not None:
             self._server.close()
+        for session in list(self.sessions.values()):
+            await session.stop()
         # Cancel in rounds: a handler task that registered between one
         # round's cancel pass and its await pass would otherwise be
         # awaited *uncancelled* — and a live peer pumping frames into it
@@ -440,8 +542,12 @@ class LiveNode:
             for task in doomed:
                 try:
                     await task
-                except (asyncio.CancelledError, Exception):  # noqa: BLE001 - teardown
+                except asyncio.CancelledError:
                     pass
+                except Exception as exc:  # teardown anomaly: log, don't hide
+                    logger.warning(
+                        "replica %d teardown task raised %r", self.pid, exc
+                    )
         if self._server is not None:
             await self._server.wait_closed()
 
@@ -449,11 +555,17 @@ class LiveNode:
     def summary(self, elapsed: float) -> Dict[str, Any]:
         """JSON-safe per-node stats (shared by task and subprocess modes)."""
         self.metrics.mark_window(0.0, elapsed)
+        replica = self.replica
+        recovered_at = replica.recovered_at
+        first_commit = replica.first_commit_after_recovery
+        time_to_rejoin = None
+        if recovered_at is not None and first_commit is not None:
+            time_to_rejoin = max(first_commit - recovered_at, 0.0)
         return {
             "pid": self.pid,
             "elapsed": elapsed,
-            "crashed": self.replica.crashed,
-            "current_view": self.replica.current_view,
+            "crashed": replica.crashed,
+            "current_view": replica.current_view,
             "committed_blocks": self.metrics.committed_blocks(),
             "committed_operations": self.metrics.committed_operations(),
             "committed_order": list(self.mempool.committed_order),
@@ -462,42 +574,149 @@ class LiveNode:
             "qc_size_sum": sum(self.metrics.qc_sizes()),
             "qc_count": len(self.metrics.qc_sizes()),
             "second_chance_inclusions": self.metrics.second_chance_inclusions(),
-            "busy_time": self.replica.busy_time,
+            "busy_time": replica.busy_time,
             "messages_blocked": self.messages_blocked,
-            "transport": {**self.counters, "restarts": self.replica.restarts},
+            "transport": {**self.counters, "restarts": replica.restarts},
+            "resilience": {
+                "suspicions": self.detector.summary(),
+                "reconnects": sum(s.reconnects for s in self.sessions.values()),
+                "frames_resent": sum(s.frames_resent for s in self.sessions.values()),
+                "frames_duplicate": self.frames_duplicate,
+                "heartbeats_sent": self.heartbeats_sent,
+                "sync_requests_sent": replica.sync_requests_sent,
+                "sync_requests_served": replica.sync_requests_served,
+                "catchup_blocks": replica.catchup_blocks,
+                "restarts": replica.restarts,
+                "crashed_at": replica.crashed_at,
+                "recovered_at": recovered_at,
+                "first_commit_after_recovery": first_commit,
+                "time_to_rejoin": time_to_rejoin,
+            },
         }
+
+
+def _salvaged_summary(pid: int, elapsed: float) -> Dict[str, Any]:
+    """Placeholder summary for a replica whose worker was never recovered.
+
+    Lets a degraded ``--procs`` run complete with a full per-pid report
+    instead of raising; the pid shows up as crashed with zeroed metrics.
+    """
+    return {
+        "pid": pid,
+        "elapsed": elapsed,
+        "crashed": True,
+        "salvaged": True,
+        "current_view": 1,
+        "committed_blocks": 0,
+        "committed_operations": 0,
+        "committed_order": [],
+        "latency": LatencyStats.from_samples([]).to_dict(),
+        "views_recorded": 0,
+        "qc_size_sum": 0,
+        "qc_count": 0,
+        "second_chance_inclusions": 0,
+        "busy_time": 0.0,
+        "messages_blocked": 0,
+        "transport": {
+            "messages_sent": 0,
+            "messages_received": 0,
+            "bytes_sent": 0,
+            "messages_dropped": 0,
+            "messages_delayed": 0,
+            "restarts": 0,
+        },
+        "resilience": {
+            "suspicions": [],
+            "reconnects": 0,
+            "frames_resent": 0,
+            "frames_duplicate": 0,
+            "heartbeats_sent": 0,
+            "sync_requests_sent": 0,
+            "sync_requests_served": 0,
+            "catchup_blocks": 0,
+            "restarts": 0,
+            "crashed_at": None,
+            "recovered_at": None,
+            "first_commit_after_recovery": None,
+            "time_to_rejoin": None,
+        },
+    }
 
 
 async def serve_window(
     nodes: List[LiveNode],
-    epoch: float,
+    epoch: Optional[float],
     duration: float,
     target_blocks: Optional[int],
-) -> List[Dict[str, Any]]:
-    """The shared serve loop: barrier, start, poll, stop, summarise.
+    *,
+    cold_start_pids: Sequence[int] = (),
+) -> Dict[str, Any]:
+    """The shared serve loop: readiness, barrier, start, poll, stop.
 
     Both deployment shapes go through this exact code path — task mode
     (all nodes in one loop) and each ``--procs`` worker (its slice of the
     committee) — so their lifecycle semantics cannot diverge.  Nodes must
     already be listening with ``peer_addresses`` populated.
+
+    ``epoch=None`` (task mode) starts the protocol the moment every
+    session has established — an explicit readiness barrier, replacing
+    the old fixed ``_START_GRACE`` sleep — and rebases every node's
+    clock to that instant.  A wall-clock ``epoch`` (subprocess mode) is
+    the cross-worker barrier: session establishment happens in the
+    pre-barrier window.
+
+    Returns ``{"nodes": [...summaries...], "window": {...}}`` where the
+    window record carries the measured ``elapsed``, whether the run was
+    cut short by the quiescence watchdog, and whether all sessions were
+    ready before the protocol started.
     """
-    await asyncio.sleep(max(epoch - time.time(), 0.0))
-    run_started = time.time()
+    res = nodes[0].resilience
     for node in nodes:
-        node.start_protocol()
+        node.open_sessions()
+    ready = all(
+        await asyncio.gather(
+            *(node.wait_peers_ready(res.ready_timeout) for node in nodes)
+        )
+    )
+    if epoch is None:
+        start = time.time()
+        for node in nodes:
+            node.epoch = start
+    else:
+        await asyncio.sleep(max(epoch - time.time(), 0.0))
+    run_started = time.time()
+    cold = set(cold_start_pids)
+    for node in nodes:
+        node.start_protocol(request_sync=node.pid in cold)
     deadline = run_started + duration
+    quiesced = False
+    progress_total = -1
+    progress_at = run_started
     try:
         while time.time() < deadline:
             if target_blocks is not None and any(
                 len(node.mempool.committed_order) >= target_blocks for node in nodes
             ):
                 break
+            if res.quiesce_after is not None:
+                total = sum(len(node.mempool.committed_order) for node in nodes)
+                if total > progress_total:
+                    progress_total = total
+                    progress_at = time.time()
+                elif time.time() - progress_at >= res.quiesce_after:
+                    # Commit progress has flatlined: end the run instead
+                    # of idling out the rest of the window.
+                    quiesced = True
+                    break
             await asyncio.sleep(0.02)
     finally:
         elapsed = max(time.time() - run_started, 1e-9)
         for node in nodes:
             await node.stop()
-    return [node.summary(elapsed) for node in nodes]
+    return {
+        "nodes": [node.summary(elapsed) for node in nodes],
+        "window": {"elapsed": elapsed, "quiesced": quiesced, "all_ready": ready},
+    }
 
 
 @dataclass
@@ -522,6 +741,13 @@ class LiveCluster:
     #: same way the sim runtime does (see ``compiled_for_epoch``).
     epoch: int = 0
     node_summaries: List[Dict[str, Any]] = field(default_factory=list)
+    #: The last serve window's record (elapsed / quiesced / all_ready).
+    window_info: Dict[str, Any] = field(default_factory=dict)
+    #: Worker supervision report from the last ``--procs`` run.
+    worker_report: Dict[str, Any] = field(default_factory=dict)
+    #: Live supervisor handle during a ``--procs`` run (tests kill
+    #: workers through it to exercise restart).
+    worker_supervisor: Optional[WorkerSupervisor] = None
 
     def __post_init__(self) -> None:
         validate_live_spec(self.spec, procs=self.procs)
@@ -592,10 +818,9 @@ class LiveCluster:
         committee = Committee(
             _make_signature_scheme(self.compiled.config), size, seed=self.compiled.config.seed
         )
-        epoch = time.time() + _START_GRACE
         plan = compile_chaos_plan(self.compiled)
         nodes = [
-            LiveNode(pid, self.compiled, committee, epoch, host=self.host, plan=plan)
+            LiveNode(pid, self.compiled, committee, time.time(), host=self.host, plan=plan)
             for pid in range(size)
         ]
         addresses: Dict[int, Tuple[str, int]] = {}
@@ -604,7 +829,9 @@ class LiveCluster:
             addresses[node.pid] = (self.host, port)
         for node in nodes:
             node.peer_addresses = addresses
-        return await serve_window(nodes, epoch, budget, self.target_blocks)
+        report = await serve_window(nodes, None, budget, self.target_blocks)
+        self.window_info = report["window"]
+        return report["nodes"]
 
     # -- subprocess (--procs) mode -------------------------------------------------
     def _run_subprocesses(self, budget: float) -> List[Dict[str, Any]]:
@@ -625,46 +852,91 @@ class LiveCluster:
         ports = {pid: _free_port(self.host) for pid in range(size)}
         assignments = [list(range(size))[worker::procs] for worker in range(procs)]
         epoch = time.time() + 1.0  # generous start barrier across processes
-        config = {
+        wall_deadline = epoch + budget
+        base_config = {
             "spec": self.spec.to_dict(),
             "ports": {str(pid): port for pid, port in ports.items()},
             "host": self.host,
-            "epoch": epoch,
-            "duration": budget,
             "target_blocks": self.target_blocks,
         }
-        workers = []
-        for pids in assignments:
-            payload = json.dumps({**config, "pids": pids})
-            workers.append(
-                subprocess.Popen(
-                    [sys.executable, "-m", "repro.runtime.live_worker"],
-                    stdin=subprocess.PIPE,
-                    stdout=subprocess.PIPE,
-                    stderr=subprocess.PIPE,
-                    text=True,
-                    env=None,
-                )
+
+        def spawn(pids: Sequence[int], attempt: int) -> SupervisedWorker:
+            if attempt == 0:
+                worker_epoch, worker_budget, cold = epoch, budget, False
+            else:
+                # A restarted worker rebinds the same ports (the dead
+                # incarnation freed them), joins the already-running
+                # committee on its own short barrier, serves out the
+                # remaining window and cold-start-syncs its replicas.
+                worker_epoch = time.time() + 1.0  # interpreter start + bind
+                worker_budget = max(wall_deadline - worker_epoch, 0.75)
+                cold = True
+            payload = json.dumps(
+                {
+                    **base_config,
+                    "pids": list(pids),
+                    "epoch": worker_epoch,
+                    "duration": worker_budget,
+                    "cold_start": cold,
+                }
             )
-            workers[-1].stdin.write(payload)
-            workers[-1].stdin.close()
+            proc = subprocess.Popen(
+                [sys.executable, "-m", "repro.runtime.live_worker"],
+                stdin=subprocess.PIPE,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+                env=None,
+            )
+            proc.stdin.write(payload)
+            proc.stdin.close()
             # communicate() must not try to flush the already-closed pipe.
-            workers[-1].stdin = None
+            proc.stdin = None
+            return SupervisedWorker(pids, proc)
+
+        policy = RestartPolicy(
+            max_attempts=self.spec.resilience.worker_restart_attempts,
+            backoff=self.spec.resilience.worker_restart_backoff,
+        )
+        supervisor = WorkerSupervisor(spawn, policy)
+        self.worker_supervisor = supervisor
+        deadline = time.monotonic() + (epoch - time.time()) + budget + 30.0
+        try:
+            succeeded, failed = supervisor.run(assignments, deadline)
+        finally:
+            self.worker_supervisor = None
+        self.worker_report = {
+            **supervisor.summary(),
+            "failed_pids": sorted(pid for group in failed for pid in group),
+        }
+        bind_failed = any(
+            "address already in use" in event.get("stderr", "").lower()
+            for event in supervisor.events
+        )
         summaries: List[Dict[str, Any]] = []
-        timeout = budget + (epoch - time.time()) + 30.0
-        errors = []
-        for worker in workers:
+        window: Dict[str, Any] = {}
+        seen: set = set()
+        for worker in succeeded:
             try:
-                out, err = worker.communicate(timeout=timeout)
-            except subprocess.TimeoutExpired:
-                worker.kill()
-                out, err = worker.communicate()
-            if worker.returncode != 0:
-                errors.append(err.strip() or f"worker exited {worker.returncode}")
+                document = json.loads(worker.out)
+            except json.JSONDecodeError:
                 continue
-            summaries.extend(json.loads(out)["nodes"])
-        if errors:
-            raise RuntimeError("live worker failed: " + " | ".join(errors))
+            for summary in document["nodes"]:
+                if summary["pid"] not in seen:
+                    seen.add(summary["pid"])
+                    summaries.append(summary)
+            record = document.get("window", {})
+            window["elapsed"] = max(window.get("elapsed", 0.0), record.get("elapsed", 0.0))
+            window["quiesced"] = window.get("quiesced", False) or record.get("quiesced", False)
+            window["all_ready"] = window.get("all_ready", True) and record.get("all_ready", True)
+        if bind_failed and len(seen) < size:
+            # A stolen port keeps failing on restart (same port map); let
+            # the outer retry re-probe a fresh set instead of salvaging.
+            raise RuntimeError("live worker failed: address already in use")
+        for pid in range(size):
+            if pid not in seen:
+                summaries.append(_salvaged_summary(pid, budget))
+        self.window_info = window
         return summaries
 
     # -- result assembly -----------------------------------------------------------
@@ -696,6 +968,16 @@ class LiveCluster:
             "messages_blocked": sum(s.get("messages_blocked", 0) for s in summaries),
             "bytes_sent": sum(s["transport"]["bytes_sent"] for s in summaries),
         }
+        resilience = {
+            "per_replica": {
+                str(s["pid"]): s["resilience"] for s in summaries if "resilience" in s
+            },
+            "cluster": {
+                "quiesced": bool(self.window_info.get("quiesced", False)),
+                "all_ready": bool(self.window_info.get("all_ready", True)),
+                "workers": self.worker_report or {"restarts": 0, "events": []},
+            },
+        }
         return ExperimentResult(
             config_label=f"live {self.compiled.config.describe()}",
             duration=measured,
@@ -712,6 +994,7 @@ class LiveCluster:
             committed_blocks=observer["committed_blocks"],
             message_counters=message_counters,
             transport=transport,
+            resilience=resilience,
         )
 
     # -- convenience ---------------------------------------------------------------

@@ -9,14 +9,18 @@ Reads one JSON config from stdin::
       "host": "127.0.0.1",
       "epoch": 1722334455.5,       # shared wall-clock zero / start barrier
       "duration": 3.0,
-      "target_blocks": null
+      "target_blocks": null,
+      "cold_start": false          # true for a supervisor-restarted worker
     }
 
 hosts the listed replicas as asyncio tasks in this process (the exact same
 :class:`~repro.runtime.live.LiveNode` code path as task mode — only the
-process boundary differs), and writes ``{"nodes": [per-node summary]}`` to
-stdout.  Spawned by :class:`~repro.runtime.live.LiveCluster`; not intended
-to be run by hand.
+process boundary differs), and writes ``{"nodes": [...], "window": {...}}``
+to stdout.  A ``cold_start`` worker — respawned by the
+:class:`~repro.resilience.supervisor.WorkerSupervisor` after its previous
+incarnation died — marks its replicas for catch-up sync, so they request
+the committed blocks they missed the moment they start.  Spawned by
+:class:`~repro.runtime.live.LiveCluster`; not intended to be run by hand.
 """
 
 from __future__ import annotations
@@ -24,7 +28,7 @@ from __future__ import annotations
 import asyncio
 import json
 import sys
-from typing import Any, Dict, List
+from typing import Any, Dict
 
 from repro.chaos.plan import compile_chaos_plan
 from repro.crypto.keys import Committee
@@ -36,7 +40,7 @@ from repro.scenarios.spec import ScenarioSpec
 __all__ = ["run_worker"]
 
 
-async def _run_nodes(config: Dict[str, Any]) -> List[Dict[str, Any]]:
+async def _run_nodes(config: Dict[str, Any]) -> Dict[str, Any]:
     spec = ScenarioSpec.from_dict(config["spec"])
     compiled = compile_scenario(spec)
     host = config.get("host", "127.0.0.1")
@@ -58,9 +62,16 @@ async def _run_nodes(config: Dict[str, Any]) -> List[Dict[str, Any]]:
         await node.serve(port=ports[node.pid])
         node.peer_addresses = {pid: (host, port) for pid, port in ports.items()}
     # The shared barrier + poll + stop lifecycle (same code path as task
-    # mode); the epoch acts as the cross-worker start barrier.
+    # mode); the epoch acts as the cross-worker start barrier.  A restarted
+    # worker's replicas cold-start: they ask the surviving committee for
+    # the committed blocks they missed.
+    cold = bool(config.get("cold_start", False))
     return await serve_window(
-        nodes, epoch, duration, None if target_blocks is None else int(target_blocks)
+        nodes,
+        epoch,
+        duration,
+        None if target_blocks is None else int(target_blocks),
+        cold_start_pids=tuple(config["pids"]) if cold else (),
     )
 
 
@@ -68,8 +79,8 @@ def run_worker(stdin: Any = None, stdout: Any = None) -> int:
     stdin = stdin or sys.stdin
     stdout = stdout or sys.stdout
     config = json.load(stdin)
-    summaries = asyncio.run(_run_nodes(config))
-    json.dump({"nodes": summaries}, stdout)
+    report = asyncio.run(_run_nodes(config))
+    json.dump(report, stdout)
     stdout.flush()
     return 0
 

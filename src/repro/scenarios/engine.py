@@ -145,6 +145,8 @@ def compile_scenario(spec: ScenarioSpec) -> CompiledScenario:
         view_timeout=view_timeout,
         num_internal=spec.num_internal,
         seed=spec.seed,
+        sync_on_recover=spec.resilience.catchup,
+        max_sync_blocks=spec.resilience.max_sync_blocks,
         **dict(spec.scheme_params),
     )
 

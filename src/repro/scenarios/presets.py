@@ -99,6 +99,17 @@ PRESETS: Dict[str, dict] = {
         "faults": {"crashes": 6, "crash_at": 2.0},
         "workload": {"rate": 2000.0},
     },
+    "crash-restart": {
+        "name": "crash-restart",
+        "description": "one replica crashes, restarts and catches up via state sync",
+        "duration": 4.0,
+        "view_timeout": 0.15,
+        "committee": {"size": 7},
+        "faults": {"crashes": 1, "crash_at": 1.2, "restart_at": 2.4},
+        "resilience": {"catchup": True, "heartbeat_interval": 0.05,
+                       "phi_threshold": 6.0},
+        "workload": {"rate": 2000.0},
+    },
     "bandwidth-crunch": {
         "name": "bandwidth-crunch",
         "description": "fat blocks through 200 KB/s links; queuing dominates",

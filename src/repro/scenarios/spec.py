@@ -37,6 +37,7 @@ __all__ = [
     "ChurnSpec",
     "CommitteeSpec",
     "FaultSpec",
+    "ResilienceSpec",
     "ScenarioSpec",
     "TopologySpec",
     "WorkloadSpec",
@@ -295,6 +296,76 @@ class ChurnSpec:
             raise ValueError("reward cannot be negative")
 
 
+@dataclass(frozen=True)
+class ResilienceSpec:
+    """Self-healing knobs of the live runtime (see :mod:`repro.resilience`).
+
+    The defaults are tuned for localhost clusters: heartbeats every 50 ms,
+    suspicion at phi 8 (odds ~1e-8 the silence is jitter), generous resend
+    buffering.  ``catchup`` also applies under the sim runtime (it gates
+    ``ConsensusConfig.sync_on_recover``), so sim/live parity holds for
+    crash-restart scenarios.
+
+    Attributes:
+        heartbeat_interval: Seconds of link idleness before an explicit
+            heartbeat is sent (any payload frame doubles as one).
+        phi_threshold: Phi-accrual suspicion level at which a peer is
+            declared suspect (raised/cleared transitions are recorded in
+            ``RunResult.resilience``).
+        detector_window: Inter-arrival samples per peer in the detector.
+        catchup: Recovering replicas fetch the committed-block suffix
+            from a live peer (``SyncRequest``/``SyncResponse``).
+        max_sync_blocks: Most blocks one sync response carries.
+        resend_buffer: Unacknowledged envelopes kept per peer session for
+            resend-on-reconnect; overflow drops oldest (counted).
+        reconnect_base / reconnect_cap: Exponential backoff bounds for
+            session reconnects, seconds.
+        ready_timeout: Seconds the readiness barrier waits for every peer
+            session to establish before starting the protocol anyway.
+        quiesce_after: End the serve window early once no node has made
+            commit progress for this many seconds (``None`` disables the
+            watchdog and keeps the fixed wall budget).
+        worker_restart_attempts: Restarts the ``--procs`` supervisor
+            grants one worker subprocess (0 disables restarting).
+        worker_restart_backoff: Base backoff between worker restarts.
+    """
+
+    heartbeat_interval: float = 0.05
+    phi_threshold: float = 8.0
+    detector_window: int = 32
+    catchup: bool = True
+    max_sync_blocks: int = 64
+    resend_buffer: int = 512
+    reconnect_base: float = 0.01
+    reconnect_cap: float = 0.25
+    ready_timeout: float = 5.0
+    quiesce_after: Optional[float] = None
+    worker_restart_attempts: int = 2
+    worker_restart_backoff: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat interval must be positive")
+        if self.phi_threshold <= 0:
+            raise ValueError("phi threshold must be positive")
+        if self.detector_window < 2:
+            raise ValueError("detector window needs at least two samples")
+        if self.max_sync_blocks < 1:
+            raise ValueError("max_sync_blocks must be positive")
+        if self.resend_buffer < 1:
+            raise ValueError("resend buffer must hold at least one envelope")
+        if self.reconnect_base <= 0 or self.reconnect_cap < self.reconnect_base:
+            raise ValueError("reconnect backoff bounds must satisfy 0 < base <= cap")
+        if self.ready_timeout <= 0:
+            raise ValueError("ready timeout must be positive")
+        if self.quiesce_after is not None and self.quiesce_after <= 0:
+            raise ValueError("quiesce_after must be positive (or None to disable)")
+        if self.worker_restart_attempts < 0:
+            raise ValueError("worker restart attempts cannot be negative")
+        if self.worker_restart_backoff < 0:
+            raise ValueError("worker restart backoff cannot be negative")
+
+
 # ---------------------------------------------------------------------------
 # The scenario spec
 # ---------------------------------------------------------------------------
@@ -328,6 +399,7 @@ class ScenarioSpec:
     attack: AttackSpec = field(default_factory=AttackSpec)
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
     churn: ChurnSpec = field(default_factory=ChurnSpec)
+    resilience: ResilienceSpec = field(default_factory=ResilienceSpec)
 
     #: ConsensusConfig fields the spec already controls through dedicated
     #: fields — they may not be smuggled in through ``scheme_params``.
@@ -345,6 +417,8 @@ class ScenarioSpec:
             "seed",
             "num_internal",
             "cpu_model",
+            "sync_on_recover",
+            "max_sync_blocks",
         }
     )
 
@@ -397,6 +471,7 @@ class ScenarioSpec:
             "attack": AttackSpec,
             "workload": WorkloadSpec,
             "churn": ChurnSpec,
+            "resilience": ResilienceSpec,
         }
         converted: Dict[str, Any] = {}
         for key, value in overrides.items():
@@ -498,6 +573,7 @@ class ScenarioSpec:
             "attack": _spec_to_dict(self.attack),
             "workload": _spec_to_dict(self.workload),
             "churn": _spec_to_dict(self.churn),
+            "resilience": _spec_to_dict(self.resilience),
         }
         data["faults"]["partitions"] = [
             {"at": event.at, "groups": [list(group) for group in event.groups],
@@ -515,7 +591,16 @@ class ScenarioSpec:
         kwargs: Dict[str, Any] = {
             key: value
             for key, value in data.items()
-            if key not in ("committee", "topology", "faults", "attack", "workload", "churn")
+            if key
+            not in (
+                "committee",
+                "topology",
+                "faults",
+                "attack",
+                "workload",
+                "churn",
+                "resilience",
+            )
         }
         if "committee" in data:
             kwargs["committee"] = _spec_from_dict(CommitteeSpec, data["committee"])
@@ -529,6 +614,8 @@ class ScenarioSpec:
             kwargs["workload"] = _spec_from_dict(WorkloadSpec, data["workload"])
         if "churn" in data:
             kwargs["churn"] = _spec_from_dict(ChurnSpec, data["churn"])
+        if "resilience" in data:
+            kwargs["resilience"] = _spec_from_dict(ResilienceSpec, data["resilience"])
         return cls(**kwargs)
 
     def to_json(self, indent: int = 2) -> str:

@@ -117,6 +117,10 @@ class Process:
         self.cpu_model = cpu_model or CpuCostModel()
         self.crashed = False
         self.restarts = 0
+        # Fault timeline (runtime clock): when this process last went
+        # down and came back — the resilience report's raw material.
+        self.crashed_at: Optional[float] = None
+        self.recovered_at: Optional[float] = None
         self.busy_time = 0.0
         self._cpu_available_at = 0.0
         runtime.register(self)
@@ -196,6 +200,8 @@ class Process:
     # -- fault injection --------------------------------------------------------
     def crash(self) -> None:
         """Crash-stop this process: it neither sends nor receives afterwards."""
+        if not self.crashed:
+            self.crashed_at = self.runtime.now
         self.crashed = True
 
     def recover(self) -> None:
@@ -210,6 +216,7 @@ class Process:
             return
         self.crashed = False
         self.restarts += 1
+        self.recovered_at = self.runtime.now
 
     def __repr__(self) -> str:
         status = "crashed" if self.crashed else "up"

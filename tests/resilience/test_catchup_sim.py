@@ -1,0 +1,67 @@
+"""State-transfer catch-up on the sim runtime (crash-restart preset).
+
+The live integration twin lives in ``tests/runtime/test_resilience_live.py``;
+running the same protocol feature on the deterministic simulator keeps the
+sim/live parity promise for recovery behaviour.
+"""
+
+from __future__ import annotations
+
+from repro import api
+from repro.scenarios.presets import load_preset
+
+
+def _restarted(result):
+    per_replica = result.resilience["per_replica"]
+    assert len(per_replica) == 1, "exactly one replica crash-restarts in the preset"
+    (pid, record), = per_replica.items()
+    return pid, record
+
+
+def test_crash_restart_preset_catches_up_via_state_sync():
+    result = api.run("crash-restart")
+    pid, record = _restarted(result)
+    assert record["restarts"] == 1
+    assert record["crashed_at"] is not None
+    assert record["recovered_at"] > record["crashed_at"]
+    # Peers committed while the replica was down; catch-up closed the gap.
+    assert record["sync_requests_sent"] >= 1
+    assert record["catchup_blocks"] > 0
+    # And the recovered replica rejoined the protocol: it committed again
+    # through the ordinary three-chain rule after recovery.
+    assert record["first_commit_after_recovery"] is not None
+    assert record["time_to_rejoin"] >= 0.0
+    # Someone answered the sync request.
+    deployment = api.deploy("crash-restart")
+    assert deployment is not None  # sanity: preset compiles for sim too
+
+
+def test_recovered_replica_commits_match_the_cluster_prefix():
+    deployment = api.deploy("crash-restart")
+    spec = load_preset("crash-restart")
+    deployment.start()
+    deployment.simulator.run(until=spec.duration)
+    restarted = [r for r in deployment.replicas if r.restarts == 1]
+    assert len(restarted) == 1
+    replica = restarted[0]
+    assert replica.catchup_blocks > 0
+    assert replica.sync_requests_sent >= 1
+    assert sum(r.sync_requests_served for r in deployment.replicas) >= 1
+    # The synced-in blocks put the recovered replica's committed set in
+    # line with a correct peer (same committed ids, possibly trailing).
+    peer = next(r for r in deployment.replicas if r is not replica and not r.crashed)
+    assert set(replica.committed_blocks) <= set(peer.committed_blocks)
+    assert replica.committed_height >= peer.committed_height - 3
+
+
+def test_catchup_can_be_disabled_via_resilience_spec():
+    spec = load_preset("crash-restart").with_(resilience={"catchup": False})
+    result = api.run(spec)
+    _, record = _restarted(result)
+    assert record["sync_requests_sent"] == 0
+    assert record["catchup_blocks"] == 0
+
+
+def test_fault_free_runs_report_empty_resilience():
+    result = api.run("rack-baseline", quick=True)
+    assert result.resilience == {}

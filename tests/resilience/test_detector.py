@@ -1,0 +1,102 @@
+"""Unit tests for the phi-accrual failure detector (pure bookkeeping)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience import PhiAccrualDetector, Suspicion
+
+
+def _feed(detector: PhiAccrualDetector, peer: int, start: float, count: int, step: float):
+    for i in range(count):
+        detector.heartbeat(peer, start + i * step)
+    return start + (count - 1) * step
+
+
+def test_regular_heartbeats_keep_phi_low():
+    detector = PhiAccrualDetector(threshold=8.0)
+    last = _feed(detector, 1, 0.0, 20, 0.05)
+    assert detector.phi(1, last + 0.05) < 8.0
+    assert detector.evaluate(last + 0.05) == []
+    assert not detector.suspected(1)
+
+
+def test_silence_raises_then_heartbeat_clears():
+    detector = PhiAccrualDetector(threshold=8.0)
+    last = _feed(detector, 1, 0.0, 20, 0.05)
+    # Long silence: phi explodes past any threshold.
+    transitions = detector.evaluate(last + 2.0)
+    assert len(transitions) == 1
+    assert transitions[0].peer == 1
+    assert transitions[0].active
+    assert detector.suspected(1)
+    # The peer comes back: the next evaluation clears the suspicion.
+    detector.heartbeat(1, last + 2.1)
+    cleared = detector.evaluate(last + 2.15)
+    assert len(cleared) == 1
+    assert cleared[0].cleared_at == pytest.approx(last + 2.15)
+    assert not detector.suspected(1)
+    # The full raise/clear pair stays on the timeline.
+    assert len(detector.timeline) == 1
+    record = detector.timeline[0].to_dict()
+    assert record["peer"] == 1
+    assert record["cleared_at"] is not None
+    assert record["phi"] >= 8.0
+
+
+def test_single_observation_uses_bootstrap_prior():
+    detector = PhiAccrualDetector(threshold=6.0, bootstrap_interval=0.05)
+    detector.heartbeat(3, 0.0)
+    assert detector.phi(3, 0.01) < 6.0
+    assert detector.phi(3, 5.0) >= 6.0
+
+
+def test_never_seen_peer_is_not_suspect():
+    detector = PhiAccrualDetector()
+    assert detector.phi(9, 100.0) == 0.0
+    assert detector.evaluate(100.0) == []
+
+
+def test_touch_all_resets_silence_clocks():
+    detector = PhiAccrualDetector(threshold=6.0)
+    last = _feed(detector, 1, 0.0, 10, 0.05)
+    _feed(detector, 2, 0.0, 10, 0.05)
+    # The owner was down for 3 seconds; touching suppresses the stale burst.
+    detector.touch_all(last + 3.0)
+    assert detector.evaluate(last + 3.01) == []
+    assert not detector.suspected(1) and not detector.suspected(2)
+
+
+def test_highest_phi_recorded_while_raised():
+    detector = PhiAccrualDetector(threshold=4.0)
+    last = _feed(detector, 1, 0.0, 10, 0.05)
+    detector.evaluate(last + 0.12)
+    assert detector.suspected(1)
+    first_phi = detector.timeline[0].phi
+    detector.evaluate(last + 0.2)  # still silent: phi keeps growing
+    assert detector.timeline[0].phi > first_phi
+
+
+def test_summary_is_json_safe_and_chronological():
+    detector = PhiAccrualDetector(threshold=4.0)
+    last = _feed(detector, 1, 0.0, 10, 0.05)
+    _feed(detector, 2, 0.0, 10, 0.05)
+    detector.evaluate(last + 2.0)
+    summary = detector.summary()
+    assert [record["peer"] for record in summary] == [1, 2]
+    for record in summary:
+        assert set(record) == {"peer", "raised_at", "cleared_at", "phi"}
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        PhiAccrualDetector(threshold=0.0)
+    with pytest.raises(ValueError):
+        PhiAccrualDetector(window=1)
+
+
+def test_suspicion_repr_and_active():
+    suspicion = Suspicion(4, raised_at=1.0, phi=9.0)
+    assert suspicion.active
+    suspicion.cleared_at = 2.0
+    assert not suspicion.active

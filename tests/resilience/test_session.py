@@ -1,0 +1,204 @@
+"""PeerSession against plain asyncio servers: delivery, acks, reconnect.
+
+The session is runtime-agnostic (codec + streams only), so these tests
+drive it with a small in-test acknowledging server — no LiveNode needed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro.resilience.messages import Heartbeat, SessionAck, SessionEnvelope, SessionHello
+from repro.resilience.session import PeerSession
+from repro.runtime.codec import WireCodec
+
+
+class _AckServer:
+    """Reads hello + frames; acks envelopes (optionally misbehaving)."""
+
+    def __init__(self, codec: WireCodec, *, ack: bool = True, drop_after: int = 0) -> None:
+        self.codec = codec
+        self.ack = ack
+        self.drop_after = drop_after  # >0: cut the first connection after N envelopes
+        self.hellos = []
+        self.envelopes = []
+        self.control = []
+        self.connections = 0
+        self._server = None
+
+    async def start(self) -> int:
+        self._server = await asyncio.start_server(self._handle, "127.0.0.1", 0)
+        return self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        self._server.close()
+        await self._server.wait_closed()
+
+    async def _handle(self, reader, writer):
+        self.connections += 1
+        seen = 0
+        try:
+            while True:
+                header = await reader.readexactly(4)
+                body = await reader.readexactly(int.from_bytes(header, "big"))
+                message = self.codec.decode(body)
+                if isinstance(message, SessionHello):
+                    self.hellos.append(message)
+                    continue
+                if isinstance(message, SessionEnvelope):
+                    self.envelopes.append(message)
+                    seen += 1
+                    if self.drop_after and seen >= self.drop_after:
+                        self.drop_after = 0  # one-shot misbehaviour
+                        return
+                    if self.ack:
+                        writer.write(self.codec.frame(SessionAck(message.seq)))
+                        await writer.drain()
+                    continue
+                self.control.append(message)
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()
+
+
+async def _eventually(predicate, timeout: float = 5.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        await asyncio.sleep(0.01)
+    return predicate()
+
+
+def _payload(i: int) -> Heartbeat:
+    # Any wire-encodable message works as envelope cargo; heartbeats are
+    # the smallest one.
+    return Heartbeat(0, i)
+
+
+def test_messages_delivered_and_acked():
+    async def scenario():
+        codec = WireCodec()
+        server = _AckServer(codec)
+        port = await server.start()
+        session = PeerSession(0, 1, "127.0.0.1", port, codec)
+        session.start()
+        assert await session.wait_ready(2.0)
+        for i in range(5):
+            session.send(_payload(i))
+        assert await _eventually(lambda: session.backlog == 0)
+        await session.stop()
+        await server.stop()
+        received = [m for env in server.envelopes for m in env.messages]
+        assert [m.seq for m in received] == list(range(5))
+        assert server.hellos[0].pid == 0
+        assert session.connects == 1
+        assert session.reconnects == 0
+        assert session.messages_dropped == 0
+
+    asyncio.run(scenario())
+
+
+def test_reconnect_resends_unacked_envelopes():
+    async def scenario():
+        codec = WireCodec()
+        # First connection is cut right after the first envelope, before
+        # any ack: the session must reconnect and send it again.
+        server = _AckServer(codec, drop_after=1)
+        port = await server.start()
+        session = PeerSession(0, 1, "127.0.0.1", port, codec, reconnect_base=0.005)
+        session.start()
+        assert await session.wait_ready(2.0)
+        session.send(_payload(7))
+        assert await _eventually(lambda: session.backlog == 0)
+        await session.stop()
+        await server.stop()
+        assert server.connections >= 2
+        assert session.reconnects >= 1
+        assert session.frames_resent >= 1
+        # The same sequence number arrived (at least) twice.
+        seqs = [env.seq for env in server.envelopes]
+        assert seqs.count(1) >= 2
+        assert session.messages_dropped == 0
+
+    asyncio.run(scenario())
+
+
+def test_resend_buffer_overflow_drops_oldest_and_reports():
+    async def scenario():
+        codec = WireCodec()
+        server = _AckServer(codec, ack=False)  # reads but never acks
+        port = await server.start()
+        dropped = []
+        session = PeerSession(
+            0, 1, "127.0.0.1", port, codec,
+            max_batch=1, resend_buffer=2, on_drop=dropped.append,
+        )
+        session.start()
+        assert await session.wait_ready(2.0)
+        for i in range(6):
+            session.send(_payload(i))
+        assert await _eventually(lambda: session.messages_dropped >= 4)
+        # Bound holds: at most resend_buffer envelopes retained.
+        assert session.backlog <= 2
+        assert sum(dropped) == session.messages_dropped
+        await session.stop()
+        await server.stop()
+
+    asyncio.run(scenario())
+
+
+def test_control_frames_skip_the_resend_buffer():
+    async def scenario():
+        codec = WireCodec()
+        server = _AckServer(codec)
+        port = await server.start()
+        session = PeerSession(0, 1, "127.0.0.1", port, codec)
+        # Not yet connected: control frames are dropped on the floor.
+        session.send_control(Heartbeat(0, 1))
+        session.start()
+        assert await session.wait_ready(2.0)
+        session.send_control(Heartbeat(0, 2))
+        assert await _eventually(lambda: len(server.control) == 1)
+        assert server.control[0].seq == 2
+        assert session.backlog == 0  # control never enters the buffer
+        await session.stop()
+        await server.stop()
+
+    asyncio.run(scenario())
+
+
+def test_wait_ready_times_out_when_peer_is_down():
+    async def scenario():
+        codec = WireCodec()
+        # Grab a port with nothing listening on it.
+        server = _AckServer(codec)
+        port = await server.start()
+        await server.stop()
+        session = PeerSession(0, 1, "127.0.0.1", port, codec, reconnect_base=0.005)
+        session.start()
+        assert not await session.wait_ready(0.2)
+        assert not session.connected
+        session.send(_payload(1))  # buffered, not lost
+        assert session.backlog == 1
+        await session.stop()
+
+    asyncio.run(scenario())
+
+
+def test_send_after_stop_is_ignored():
+    async def scenario():
+        codec = WireCodec()
+        server = _AckServer(codec)
+        port = await server.start()
+        session = PeerSession(0, 1, "127.0.0.1", port, codec)
+        session.start()
+        assert await session.wait_ready(2.0)
+        await session.stop()
+        session.send(_payload(1))
+        assert session.backlog == 0
+        await server.stop()
+
+    asyncio.run(scenario())

@@ -1,0 +1,126 @@
+"""WorkerSupervisor driven by tiny real subprocesses (``python -c``)."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.resilience.supervisor import RestartPolicy, SupervisedWorker, WorkerSupervisor
+
+
+def _proc(code: str) -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, "-c", code],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+def _deadline(seconds: float) -> float:
+    return time.monotonic() + seconds
+
+
+def test_clean_workers_all_succeed():
+    def spawn(pids, attempt):
+        return SupervisedWorker(pids, _proc("print('ok')"))
+
+    supervisor = WorkerSupervisor(spawn, RestartPolicy(max_attempts=1, backoff=0.01),
+                                  poll_interval=0.01)
+    succeeded, failed = supervisor.run([[0, 2], [1, 3]], _deadline(20.0))
+    assert failed == []
+    assert sorted(w.pids for w in succeeded) == [[0, 2], [1, 3]]
+    assert all(w.out.strip() == "ok" for w in succeeded)
+    assert supervisor.restarts == 0
+    assert supervisor.summary()["events"] == []
+
+
+def test_dead_worker_is_restarted_and_recorded():
+    attempts = []
+
+    def spawn(pids, attempt):
+        attempts.append(attempt)
+        code = "import sys; sys.exit(3)" if attempt == 0 else "print('recovered')"
+        return SupervisedWorker(pids, _proc(code))
+
+    supervisor = WorkerSupervisor(spawn, RestartPolicy(max_attempts=2, backoff=0.01),
+                                  poll_interval=0.01)
+    succeeded, failed = supervisor.run([[0, 1]], _deadline(20.0))
+    assert failed == []
+    assert len(succeeded) == 1
+    assert succeeded[0].out.strip() == "recovered"
+    assert attempts == [0, 1]
+    assert supervisor.restarts == 1
+    kinds = [event["kind"] for event in supervisor.events]
+    assert kinds == ["worker-died", "worker-restarted"]
+    assert supervisor.events[0]["returncode"] == 3
+
+
+def test_exhausted_restart_budget_fails_the_pid_group():
+    def spawn(pids, attempt):
+        return SupervisedWorker(pids, _proc("import sys; sys.stderr.write('boom'); sys.exit(1)"))
+
+    supervisor = WorkerSupervisor(spawn, RestartPolicy(max_attempts=1, backoff=0.01),
+                                  poll_interval=0.01)
+    succeeded, failed = supervisor.run([[4, 5]], _deadline(20.0))
+    assert succeeded == []
+    assert failed == [[4, 5]]
+    kinds = [event["kind"] for event in supervisor.events]
+    assert kinds == ["worker-died", "worker-restarted", "worker-died"]
+    assert all("boom" in e["stderr"] for e in supervisor.events if e["kind"] == "worker-died")
+
+
+def test_straggler_killed_at_deadline():
+    def spawn(pids, attempt):
+        return SupervisedWorker(pids, _proc("import time; time.sleep(60)"))
+
+    supervisor = WorkerSupervisor(spawn, RestartPolicy(max_attempts=0), poll_interval=0.01)
+    started = time.monotonic()
+    succeeded, failed = supervisor.run([[7]], _deadline(0.5))
+    assert time.monotonic() - started < 10.0
+    assert succeeded == []
+    assert failed == [[7]]
+    assert supervisor.events[-1]["kind"] == "worker-timeout"
+
+
+def test_restarts_disabled_with_zero_attempts():
+    def spawn(pids, attempt):
+        return SupervisedWorker(pids, _proc("import sys; sys.exit(1)"))
+
+    supervisor = WorkerSupervisor(spawn, RestartPolicy(max_attempts=0), poll_interval=0.01)
+    succeeded, failed = supervisor.run([[0]], _deadline(20.0))
+    assert succeeded == []
+    assert failed == [[0]]
+    assert supervisor.restarts == 0
+
+
+def test_active_workers_snapshot():
+    def spawn(pids, attempt):
+        return SupervisedWorker(pids, _proc("import time; time.sleep(0.3)"))
+
+    supervisor = WorkerSupervisor(spawn, RestartPolicy(max_attempts=0), poll_interval=0.01)
+    import threading
+
+    seen = []
+    thread = threading.Thread(
+        target=lambda: seen.append(supervisor.run([[0], [1]], _deadline(20.0)))
+    )
+    thread.start()
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline and len(supervisor.active_workers()) < 2:
+        time.sleep(0.01)
+    assert len(supervisor.active_workers()) == 2
+    thread.join(timeout=20.0)
+    assert not thread.is_alive()
+    succeeded, failed = seen[0]
+    assert failed == [] and len(succeeded) == 2
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        RestartPolicy(max_attempts=-1)
+    with pytest.raises(ValueError):
+        RestartPolicy(backoff=-0.1)

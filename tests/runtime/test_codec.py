@@ -27,6 +27,14 @@ from repro.crypto.multisig import (
     get_scheme,
 )
 from repro.crypto.params import TOY_PARAMS
+from repro.resilience.messages import (
+    Heartbeat,
+    SessionAck,
+    SessionEnvelope,
+    SessionHello,
+    SyncRequest,
+    SyncResponse,
+)
 from repro.runtime.codec import (
     CodecError,
     FrameBatch,
@@ -78,6 +86,9 @@ def _wire_messages(shares, aggregate, qc, block):
         SecondChanceReply(block_id=block.block_id, view=4, signature=aggregate),
         NewViewMessage(view=5, highest_qc=qc),
         NewViewMessage(view=1, highest_qc=genesis_qc()),
+        SyncRequest(sender=3, from_height=2),
+        SyncResponse(sender=1, view=6, highest_qc=qc, blocks=(block,)),
+        SyncResponse(sender=1, view=6, highest_qc=genesis_qc(), blocks=()),
     ]
 
 
@@ -162,6 +173,31 @@ def test_nested_batches_rejected():
     inner = FrameBatch((NewViewMessage(view=1, highest_qc=genesis_qc()),))
     with pytest.raises(CodecError, match="nest"):
         codec.encode(FrameBatch((inner,)))
+
+
+def test_session_control_frames_round_trip():
+    codec = WireCodec()
+    for frame in (
+        SessionHello(pid=3, incarnation=2),
+        SessionAck(acked=41),
+        Heartbeat(pid=1, seq=7),
+        SessionEnvelope(seq=9, messages=(NewViewMessage(view=2, highest_qc=genesis_qc()),)),
+    ):
+        assert codec.decode(codec.encode(frame)) == frame
+
+
+def test_session_envelopes_are_flat():
+    codec = WireCodec()
+    new_view = NewViewMessage(view=1, highest_qc=genesis_qc())
+    inner = SessionEnvelope(seq=1, messages=(new_view,))
+    with pytest.raises(CodecError, match="flat"):
+        codec.encode(SessionEnvelope(seq=2, messages=(inner,)))
+    with pytest.raises(CodecError, match="flat"):
+        codec.encode(SessionEnvelope(seq=2, messages=(FrameBatch((new_view,)),)))
+    with pytest.raises(ValueError):
+        SessionEnvelope(seq=1, messages=())
+    with pytest.raises(ValueError):
+        SessionEnvelope(seq=0, messages=(new_view,))
 
 
 def test_frame_adds_length_prefix():

@@ -1,0 +1,148 @@
+"""Self-healing behaviour of the live runtime, end to end over TCP.
+
+Covers the resilience tentpole on real sockets: crash-restart catch-up
+via ``SyncRequest``/``SyncResponse``, phi-accrual suspicion timelines,
+the worker supervisor restarting a SIGKILLed ``--procs`` worker, and the
+quiescence watchdog ending a dead run early.  The deterministic twins of
+these behaviours live in ``tests/resilience/``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.runtime.live import LiveCluster
+from repro.scenarios.presets import load_preset
+
+
+@pytest.mark.slow
+@pytest.mark.timeout(90)
+def test_crash_restart_catches_up_live():
+    spec = load_preset("crash-restart")
+    cluster = LiveCluster(spec=spec)
+    result = cluster.run()
+
+    restarted = [s for s in cluster.node_summaries if s["transport"]["restarts"] == 1]
+    assert len(restarted) == 1
+    summary = restarted[0]
+    record = summary["resilience"]
+    # The recovery timeline: crash, recovery, catch-up, first new commit.
+    assert record["crashed_at"] is not None
+    assert record["recovered_at"] > record["crashed_at"]
+    assert record["sync_requests_sent"] >= 1
+    assert record["catchup_blocks"] > 0
+    assert record["first_commit_after_recovery"] is not None
+    assert record["time_to_rejoin"] >= 0.0
+    # Peers served the sync and watched the crash through the detector.
+    pid = summary["pid"]
+    others = [s for s in cluster.node_summaries if s["pid"] != pid]
+    assert sum(s["resilience"]["sync_requests_served"] for s in others) >= 1
+    suspicions = [
+        s for other in others for s in other["resilience"]["suspicions"]
+        if s["peer"] == pid
+    ]
+    assert suspicions, "peers never suspected the crashed replica"
+    assert any(s["cleared_at"] is not None for s in suspicions)
+    # The readiness barrier replaced the fixed start grace.
+    assert cluster.window_info["all_ready"] is True
+    # And everything surfaces through the unified result schema.
+    per_replica = result.resilience["per_replica"]
+    assert per_replica[str(pid)]["catchup_blocks"] > 0
+    assert result.resilience["cluster"]["all_ready"] is True
+    # Safety across recovery: where the restarted replica and a correct
+    # peer committed the same blocks, they committed them in the same
+    # order (stop-time frontiers may differ by a small tail).
+    peer_order = cluster.committed_order(others[0]["pid"])
+    mine = cluster.committed_order(pid)
+    common = set(mine) & set(peer_order)
+    assert len(common) > 0
+    assert [b for b in mine if b in common] == [b for b in peer_order if b in common]
+    assert summary["committed_blocks"] > 0
+
+
+@pytest.mark.slow
+@pytest.mark.timeout(120)
+def test_sigkilled_procs_worker_is_restarted_and_rejoins():
+    spec = load_preset("rack-baseline").with_(
+        duration=6.0,
+        committee={"size": 7},
+        workload={"rate": 1000.0},
+    )
+    cluster = LiveCluster(spec=spec, procs=3)
+    outcome = {}
+
+    def runner():
+        outcome["result"] = cluster.run()
+
+    thread = threading.Thread(target=runner)
+    thread.start()
+    # Wait for the supervisor and its worker fleet, let the protocol get
+    # going, then SIGKILL the worker hosting replicas 1 and 4.
+    deadline = time.monotonic() + 30.0
+    victim = None
+    while time.monotonic() < deadline and victim is None:
+        supervisor = cluster.worker_supervisor
+        if supervisor is not None:
+            for worker in supervisor.active_workers():
+                if worker.pids == [1, 4]:
+                    victim = worker
+                    break
+        if victim is None:
+            time.sleep(0.05)
+    assert victim is not None, "worker fleet never came up"
+    time.sleep(1.5)  # past the start barrier: the committee is committing
+    victim.kill()  # SIGKILL, no cleanup
+    thread.join(timeout=90.0)
+    assert not thread.is_alive(), "run did not complete after the kill"
+
+    result = outcome["result"]
+    # The supervisor restarted the worker and the run completed whole:
+    # summaries for every pid, none salvaged.
+    assert cluster.worker_report["restarts"] >= 1
+    kinds = [event["kind"] for event in cluster.worker_report["events"]]
+    assert "worker-died" in kinds and "worker-restarted" in kinds
+    assert [s["pid"] for s in cluster.node_summaries] == list(range(7))
+    assert not any(s.get("salvaged") for s in cluster.node_summaries)
+    assert result.metrics.committed_blocks > 0
+    # The restarted replicas cold-started and asked the committee for the
+    # blocks they missed.
+    rejoined = {s["pid"]: s["resilience"] for s in cluster.node_summaries}
+    assert any(rejoined[pid]["sync_requests_sent"] >= 1 for pid in (1, 4))
+    # Survivors watched the dead worker through the failure detector.
+    survivor_suspicions = [
+        s
+        for pid in (0, 2, 3, 5, 6)
+        for s in rejoined[pid]["suspicions"]
+        if s["peer"] in (1, 4)
+    ]
+    assert survivor_suspicions, "survivors never suspected the killed replicas"
+    # Supervision events ride the result schema.
+    workers = result.resilience["cluster"]["workers"]
+    assert workers["restarts"] >= 1
+    assert workers["failed_pids"] == []
+
+
+@pytest.mark.slow
+@pytest.mark.timeout(90)
+def test_quiescence_watchdog_ends_dead_runs_early():
+    # Two of four replicas crash with no restart: quorum is gone for good,
+    # so commit progress flatlines and the watchdog ends the run long
+    # before the 12-second window expires.
+    spec = load_preset("rack-baseline").with_(
+        duration=12.0,
+        committee={"size": 4},
+        workload={"rate": 500.0},
+        faults={"crashes": 2, "crash_at": 0.4},
+        resilience={"quiesce_after": 1.0},
+    )
+    cluster = LiveCluster(spec=spec)
+    started = time.monotonic()
+    result = cluster.run()
+    wall = time.monotonic() - started
+    assert wall < 9.0, f"watchdog never fired (took {wall:.1f}s)"
+    assert cluster.window_info["quiesced"] is True
+    assert result.resilience["cluster"]["quiesced"] is True
+    assert result.metrics.duration < 11.0

@@ -7,6 +7,7 @@ from repro.scenarios.spec import (
     ChurnSpec,
     CommitteeSpec,
     FaultSpec,
+    ResilienceSpec,
     ScenarioSpec,
     TopologySpec,
     WorkloadSpec,
@@ -67,6 +68,21 @@ class TestComponentValidation:
         with pytest.raises(ValueError):
             ChurnSpec(epochs=0)
 
+    def test_resilience(self):
+        with pytest.raises(ValueError):
+            ResilienceSpec(heartbeat_interval=0.0)
+        with pytest.raises(ValueError):
+            ResilienceSpec(phi_threshold=-1.0)
+        with pytest.raises(ValueError):
+            ResilienceSpec(detector_window=1)
+        with pytest.raises(ValueError):
+            ResilienceSpec(max_sync_blocks=0)
+        with pytest.raises(ValueError):
+            ResilienceSpec(quiesce_after=0.0)
+        with pytest.raises(ValueError):
+            ResilienceSpec(worker_restart_attempts=-1)
+        assert ResilienceSpec(quiesce_after=None).quiesce_after is None
+
     def test_scenario_cross_validation(self):
         with pytest.raises(ValueError):
             ScenarioSpec(name="x", aggregation="star",
@@ -102,6 +118,12 @@ class TestRoundTrips:
             ),
             attack=AttackSpec(strategy="omission", attackers=2, victim=3),
             churn=ChurnSpec(epochs=2),
+            resilience=ResilienceSpec(
+                heartbeat_interval=0.02,
+                phi_threshold=5.0,
+                catchup=False,
+                quiesce_after=1.5,
+            ),
         )
 
     def test_dict_round_trip(self):
