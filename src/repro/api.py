@@ -128,6 +128,10 @@ def run(
             :func:`repro.runtime.live.run_live` — ``duration`` (wall
             seconds), ``target_blocks`` (stop early once a node commits
             this many) and ``procs`` (worker subprocess count).
+
+    Returns:
+        One :class:`RunResult`; ``to_json()`` emits the stable
+        ``repro.run-result/1`` document for archival and diffing.
     """
     spec = resolve_spec(spec_or_preset)
     if seed is not None:
@@ -231,6 +235,19 @@ def sweep(
     resulting specs fan out over the shared process pool, and the results
     come back in grid order.  ``REPRO_MAX_WORKERS`` (or ``max_workers``)
     bounds the parallelism; one worker reproduces the serial run exactly.
+
+    Args:
+        base_spec: Spec instance, preset name, spec file path or dict
+            every cell starts from.
+        grid: ``field -> values`` mapping (cartesian product, dotted
+            paths allowed), an iterable of per-cell override mappings,
+            or ``None`` for a single unmodified run.
+        quick: Shrink every cell via :meth:`ScenarioSpec.quick`.
+        max_workers: Cap on the worker-process pool (defaults to the
+            ``REPRO_MAX_WORKERS`` environment variable).
+
+    Returns:
+        One :class:`RunResult` per grid cell, in grid order.
     """
     base = resolve_spec(base_spec)
     specs = [base.with_(**cell) if cell else base for cell in expand_grid(grid)]
@@ -243,7 +260,18 @@ def sweep(
 # figures
 # ---------------------------------------------------------------------------
 class Figure:
-    """One reproducible paper table/figure and how to present it."""
+    """One reproducible paper table/figure and how to present it.
+
+    Attributes:
+        name: Catalogue key (``"fig3c"``, ``"table1"``, ...).
+        title: Human-readable caption used by exports.
+        runner: Callable producing the figure's rows (one dict per
+            data point); resolved lazily to keep the import graph
+            acyclic.
+        series_key: Row field that splits the data into plot series,
+            or ``None`` for tabular output.
+        x, y: Row fields plotted on each axis, or ``None``.
+    """
 
     def __init__(
         self,
@@ -396,6 +424,11 @@ def figure(
         seed: Seed forwarded to the figure harness.
         overrides: Extra keyword arguments for the underlying
             ``figure_*`` function (grid sizes, trial counts, ...).
+
+    Returns:
+        A :class:`~repro.experiments.export.FigureArtifact` holding the
+        rows plus presentation metadata; its ``write()`` exports
+        CSV/JSON/Markdown/plot files.
     """
     try:
         entry = FIGURES[name]

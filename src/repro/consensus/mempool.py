@@ -81,6 +81,36 @@ class Mempool:
         self._requests[request.request_id] = request
         return request
 
+    def submit_many(
+        self, count: int, time: float, size_bytes: int, num_clients: int = 1
+    ) -> int:
+        """Bulk :meth:`submit`: ``count`` identical-size requests at ``time``.
+
+        Requests are attributed round-robin to ``num_clients`` logical
+        clients, matching what ``count`` sequential :meth:`submit` calls
+        would produce — but built in one pass, which matters when a
+        preloaded workload pushes 10^5 requests before a run starts.
+        Returns the number of submitted requests.
+        """
+        if count <= 0:
+            return 0
+        clients = max(num_clients, 1)
+        first = self._next_id
+        batch = [
+            Request(
+                request_id=first + index,
+                submitted_at=time,
+                size_bytes=size_bytes,
+                client_id=index % clients,
+            )
+            for index in range(count)
+        ]
+        self._next_id = first + count
+        self._pending.extend(batch)
+        for request in batch:
+            self._requests[request.request_id] = request
+        return count
+
     @property
     def pending_count(self) -> int:
         return len(self._pending)
@@ -151,9 +181,9 @@ class Mempool:
             batch = tuple(
                 self._requests[rid] for rid in payload if rid in self._requests
             )
-        newly_committed = [r for r in batch if r.request_id not in self._committed]
-        for request in newly_committed:
-            self._committed.add(request.request_id)
-            self.metrics.record_latency(time, time - request.submitted_at)
+        committed = self._committed
+        newly_committed = [r for r in batch if r.request_id not in committed]
+        committed.update(r.request_id for r in newly_committed)
+        self.metrics.record_latencies(time, (time - r.submitted_at for r in newly_committed))
         self.metrics.record_commit(time, len(newly_committed))
         return True

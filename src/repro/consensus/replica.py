@@ -107,7 +107,7 @@ class HotStuffReplica(Process):
         """Arm the pacemaker and, if this replica leads view 1, propose."""
         self._reset_view_timer()
         if self.leader_of(self.current_view) == self.process_id:
-            self._schedule_propose(self.current_view, delay=self.config.delta)
+            self._schedule_propose(self.current_view, delay=self._propose_delay(1))
 
     def recover(self) -> None:
         """Restart after a crash-stop: re-arm the pacemaker and catch up.
@@ -150,9 +150,22 @@ class HotStuffReplica(Process):
         next_leader = self.leader_of(self.current_view)
         message = NewViewMessage(view=self.current_view, highest_qc=self.highest_qc)
         if next_leader == self.process_id:
-            self._schedule_propose(self.current_view, delay=2 * self.config.delta)
+            self._schedule_propose(self.current_view, delay=self._propose_delay(2))
         else:
             self.send(next_leader, message, size_bytes=message.size_bytes)
+
+    def _propose_delay(self, deltas: int) -> float:
+        """Grace delay before a scheduled proposal fires.
+
+        The paper-faithful pacing waits ``deltas * Δ`` (one Δ at start-up,
+        two after a view change) so slower replicas enter the view first.
+        Under ``optimistic_responsiveness`` proposals fire immediately:
+        view entry is QC-driven, so there is nothing to wait out and the
+        timers degrade to a fallback.
+        """
+        if self.config.optimistic_responsiveness:
+            return 0.0
+        return deltas * self.config.delta
 
     def _schedule_propose(self, view: int, delay: float) -> None:
         if view in self._propose_scheduled:
@@ -184,7 +197,7 @@ class HotStuffReplica(Process):
             and self.leader_of(self.current_view) == self.process_id
             and self.current_view not in self._proposed_views
         ):
-            self._schedule_propose(self.current_view, delay=2 * self.config.delta)
+            self._schedule_propose(self.current_view, delay=self._propose_delay(2))
 
     # ------------------------------------------------------------------
     # State-transfer catch-up (crash-restart rejoin)
@@ -330,7 +343,32 @@ class HotStuffReplica(Process):
         if qc.view > self.highest_qc.view or self.highest_qc.is_genesis and not qc.is_genesis:
             self.highest_qc = qc
             self.election.observe_qc(qc)
+            if self.config.optimistic_responsiveness and not qc.is_genesis:
+                self._advance_on_qc(qc)
         self._try_commit(qc)
+
+    def _advance_on_qc(self, qc: QuorumCertificate) -> None:
+        """Optimistic responsiveness: pace the view on QC arrival.
+
+        Seeing a QC for view ``v`` proves a quorum finished ``v`` — there
+        is nothing left to wait out, so enter ``v + 1`` now instead of
+        when the view timer (or the next proposal) says so, and if this
+        replica leads ``v + 1`` propose immediately.  This is what
+        pipelines chained views: the next proposal goes out while the
+        previous block's aggregate is still propagating to the slower
+        replicas, and the pacemaker timers only matter when a view
+        actually stalls.
+        """
+        next_view = qc.view + 1
+        if next_view > self.current_view:
+            self.current_view = next_view
+            self._reset_view_timer()
+        if (
+            next_view == self.current_view
+            and self.leader_of(next_view) == self.process_id
+            and next_view not in self._proposed_views
+        ):
+            self._schedule_propose(next_view, delay=0.0)
 
     def _try_commit(self, qc: QuorumCertificate) -> None:
         """The chained HotStuff two-chain lock / three-chain commit rule."""

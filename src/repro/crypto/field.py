@@ -213,13 +213,21 @@ class Fp2:
         return f"Fp2({hex(self.c0)}, {hex(self.c1)})"
 
 
+_CUBE_ROOT_CACHE: dict = {}
+
+
 def cube_root_of_unity(p: int) -> Fp2:
     """Return a primitive cube root of unity in ``F_{p^2}``.
 
     For ``p = 2 (mod 3)`` and ``p = 3 (mod 4)``, ``-3`` is a non-residue in
     ``F_p`` while ``3`` is a residue, so ``sqrt(-3) = sqrt(3) * i`` and
-    ``zeta = (-1 + sqrt(-3)) / 2``.
+    ``zeta = (-1 + sqrt(-3)) / 2``.  The root is a constant of the field,
+    so it is computed once per modulus — the distortion map evaluates it
+    on every pairing.
     """
+    cached = _CUBE_ROOT_CACHE.get(p)
+    if cached is not None:
+        return cached
     three = Fp(3, p)
     root3 = three.sqrt()
     if root3 is None:
@@ -230,4 +238,5 @@ def cube_root_of_unity(p: int) -> Fp2:
     zeta = Fp2(c0, c1, p)
     if (zeta * zeta * zeta) != Fp2.one(p) or zeta == Fp2.one(p):
         raise ValueError("failed to construct a primitive cube root of unity")
+    _CUBE_ROOT_CACHE[p] = zeta
     return zeta

@@ -72,14 +72,12 @@ class ClientWorkload:
         the same spec — sees an identical request sequence.  Returns the
         number of submitted requests.
         """
-        count = int(self.rate * duration)
-        for index in range(count):
-            mempool.submit(
-                time=0.0,
-                size_bytes=self.payload_size,
-                client_id=index % max(self.num_clients, 1),
-            )
-        return count
+        return mempool.submit_many(
+            count=int(self.rate * duration),
+            time=0.0,
+            size_bytes=self.payload_size,
+            num_clients=self.num_clients,
+        )
 
     def _submit(self, mempool: Mempool, time: float, client_id: int) -> None:
         mempool.submit(time=time, size_bytes=self.payload_size, client_id=client_id)

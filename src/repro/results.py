@@ -48,6 +48,8 @@ class EpochMetrics:
     result: ExperimentResult
 
     def to_dict(self) -> Dict[str, Any]:
+        """One ``epochs[]`` entry of the JSON document (inverse of
+        :meth:`from_dict`)."""
         return {
             "epoch": self.epoch,
             "committee": list(self.committee),
@@ -58,6 +60,7 @@ class EpochMetrics:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "EpochMetrics":
+        """Rebuild an epoch record from its :meth:`to_dict` document."""
         return cls(
             epoch=int(data["epoch"]),
             committee=tuple(int(pid) for pid in data["committee"]),
@@ -93,6 +96,7 @@ class RunResult:
     # -- convenience accessors --------------------------------------------------
     @property
     def seed(self) -> int:
+        """The spec's seed — the single source of run determinism."""
         return self.spec.seed
 
     @property
@@ -126,6 +130,9 @@ class RunResult:
 
     # -- row/summary/artifact views ---------------------------------------------
     def rows(self) -> List[Dict[str, object]]:
+        """One flat export row per epoch (throughput, latency, QC size,
+        fault counters) — the tabular view ``artifact()`` and the CLI
+        table/CSV formats render."""
         rows: List[Dict[str, object]] = []
         for outcome in self.epochs:
             result = outcome.result
@@ -171,6 +178,9 @@ class RunResult:
         }
 
     def artifact(self) -> FigureArtifact:
+        """Package :meth:`rows` as a :class:`FigureArtifact` whose
+        ``write()`` exports CSV/JSON/Markdown/plot files; multi-epoch
+        runs plot throughput per epoch."""
         multi_epoch = len(self.epochs) > 1
         return FigureArtifact(
             name=f"scenario-{self.spec.name}",
@@ -198,6 +208,12 @@ class RunResult:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunResult":
+        """Rebuild a result from its :meth:`to_dict` document.
+
+        Raises ``ValueError`` when the document's ``schema`` tag is not
+        :data:`RESULT_SCHEMA` — bump-and-migrate rather than guessing at
+        shapes.
+        """
         from repro.scenarios.spec import ScenarioSpec
 
         schema = data.get("schema")
@@ -213,8 +229,10 @@ class RunResult:
         )
 
     def to_json(self, indent: int = 2) -> str:
+        """:meth:`to_dict` rendered as a JSON string."""
         return json.dumps(self.to_dict(), indent=indent)
 
     @classmethod
     def from_json(cls, text: str) -> "RunResult":
+        """Parse a :meth:`to_json` string back into a :class:`RunResult`."""
         return cls.from_dict(json.loads(text))

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, Iterable, List, Sequence
 
 __all__ = ["MetricsCollector", "LatencyStats"]
 
@@ -98,6 +98,16 @@ class MetricsCollector:
     def record_latency(self, time: float, latency: float) -> None:
         if time >= self.warmup:
             self._latencies.append(latency)
+
+    def record_latencies(self, time: float, latencies: Iterable[float]) -> None:
+        """Bulk :meth:`record_latency` — one warmup check for a whole batch.
+
+        Commit handlers record a latency sample per request in the block;
+        at batch sizes in the hundreds the per-call overhead is measurable
+        on the live hot path, so they hand the whole batch over at once.
+        """
+        if time >= self.warmup:
+            self._latencies.extend(latencies)
 
     def record_view(self, view: int, succeeded: bool) -> None:
         self._view_outcomes.append((view, succeeded))

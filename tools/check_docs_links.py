@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo links in the repository's Markdown files.
+
+Checks every ``*.md`` file (outside ``.git``/caches) for inline
+Markdown links.  External links (``http(s)://``, ``mailto:``) are
+ignored; everything else must resolve to an existing file or directory
+relative to the linking file, and a ``#fragment`` into a Markdown file
+must match one of its headings (GitHub-style anchor slugs).
+
+Run from anywhere::
+
+    python tools/check_docs_links.py [repo-root]
+
+Exit status 0 when every link resolves, 1 otherwise (each broken link
+is reported on stderr).  CI's ``docs-check`` stage runs this on every
+push.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline links: [text](target) — images share the syntax via ![alt](target).
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_EXTERNAL = ("http://", "https://", "mailto:")
+_SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", ".ruff_cache", "node_modules"}
+
+
+def _heading_anchor(line: str) -> str | None:
+    """The GitHub anchor slug for a ``#`` heading line, or ``None``."""
+    match = re.match(r"#{1,6}\s+(.*)", line)
+    if not match:
+        return None
+    text = match.group(1).strip()
+    # Drop inline code/emphasis markers, then slugify the GitHub way:
+    # lowercase, spaces to hyphens, punctuation removed.
+    text = re.sub(r"[`*_]", "", text)
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # [text](url) -> text
+    slug = re.sub(r"[^\w\s-]", "", text.lower())
+    return re.sub(r"\s+", "-", slug.strip())
+
+
+def _anchors(markdown_file: Path) -> set:
+    anchors = set()
+    for line in markdown_file.read_text(encoding="utf-8").splitlines():
+        slug = _heading_anchor(line)
+        if slug:
+            anchors.add(slug)
+    return anchors
+
+
+def check(root: Path) -> list:
+    """Return a list of ``(file, link, reason)`` tuples for broken links."""
+    broken = []
+    anchor_cache = {}
+    for md_file in sorted(root.rglob("*.md")):
+        if _SKIP_DIRS.intersection(part.name for part in md_file.parents):
+            continue
+        text = md_file.read_text(encoding="utf-8")
+        for target in _LINK.findall(text):
+            if target.startswith(_EXTERNAL):
+                continue
+            path_part, _, fragment = target.partition("#")
+            resolved = md_file if not path_part else (md_file.parent / path_part)
+            try:
+                resolved = resolved.resolve()
+            except OSError:
+                broken.append((md_file, target, "unresolvable path"))
+                continue
+            if not resolved.exists():
+                broken.append((md_file, target, "target does not exist"))
+                continue
+            if fragment and resolved.suffix == ".md":
+                if resolved not in anchor_cache:
+                    anchor_cache[resolved] = _anchors(resolved)
+                if fragment.lower() not in anchor_cache[resolved]:
+                    broken.append((md_file, target, f"no heading #{fragment}"))
+    return broken
+
+
+def main(argv: list) -> int:
+    root = Path(argv[1]).resolve() if len(argv) > 1 else Path(__file__).resolve().parent.parent
+    broken = check(root)
+    for md_file, target, reason in broken:
+        print(f"{md_file.relative_to(root)}: broken link '{target}' ({reason})", file=sys.stderr)
+    if broken:
+        print(f"{len(broken)} broken intra-repo link(s)", file=sys.stderr)
+        return 1
+    print("all intra-repo markdown links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
