@@ -4,6 +4,7 @@ Run as a script (not collected by pytest — the tier-1 suite lives in
 ``tests/``)::
 
     PYTHONPATH=src python benchmarks/bench_live.py [output.json] [--quick] [--procs N]
+    PYTHONPATH=src python benchmarks/bench_live.py smoke.json --smoke
 
 Benchmarks the asyncio localhost-TCP cluster (:mod:`repro.runtime.live`)
 on a 4-replica committee: blocks/sec and ops/sec actually served over
@@ -17,9 +18,18 @@ comparison.  A ``hot_path`` section carries before/after cells for the
 three hot-path fronts (optimistic responsiveness, batched share
 verification, zero-copy codec) so each knob's effect is tracked
 individually next to the combined setting.  Because
-the live workload is preloaded at time zero, per-request timing is
-reported as *time to commit* since cluster start, not client service
-latency.
+the ``clusters`` cells preload their workload at time zero, their
+per-request timing is reported as *time to commit* since cluster start,
+not client service latency.
+
+The ``saturation`` section is the open-loop counterpart: a real client
+swarm (:mod:`repro.clients`) drives each cluster over the wire at a
+fixed offered load, and each cell reports goodput (first-reply commits
+per second), *client-observed* p50/p99 latency, peak queue depth and
+admission drops — swept over ≥4 offered loads per (scheme × link)
+curve, star vs iniva on clean and WAN links.  ``--smoke`` runs the one
+mid-curve cell CI's ``clients-smoke`` stage gates on and writes just
+that cell's document.
 This tracks the live-runtime trajectory next to the simulator-side
 ``BENCH_PERF.json``; note that since the chaos layer landed, clusters
 emulate their spec's topology (the 0.5 ms links below are *shaped*, so
@@ -214,6 +224,122 @@ def bench_recovery(duration: float) -> dict:
     }
 
 
+#: Offered-load sweep per link profile, requests/sec.  WAN capacity is an
+#: order of magnitude below clean-link capacity (commit interval is a few
+#: cross-region RTTs), so its loads sweep a lower band.
+SATURATION_LOADS = {
+    "clean": (500.0, 1_000.0, 2_000.0, 4_000.0),
+    "wan": (250.0, 500.0, 1_000.0, 2_000.0),
+}
+
+#: The CI ``clients-smoke`` gate runs exactly this cell and compares its
+#: goodput against the committed curve point below.
+SMOKE_CELL = {"scheme": "iniva", "link": "clean", "offered_load": 1_000.0}
+
+
+def _saturation_spec(
+    aggregation: str, link: str, rate: float, duration: float
+) -> ScenarioSpec:
+    if link == "clean":
+        topology = TopologySpec(kind="constant", intra_delay=0.0005)
+        view_timeout = 0.25
+    else:
+        topology = TopologySpec(kind="wan", regions=5, intra_delay=0.0005, jitter=0.1)
+        view_timeout = 0.6
+    return ScenarioSpec(
+        name=f"bench-sat-{aggregation}-{link}-{int(rate)}",
+        aggregation=aggregation,
+        signature_scheme="hashsig",
+        batch_size=100,
+        duration=duration,
+        warmup=0.0,
+        seed=1,
+        delta=0.0025,
+        second_chance_timeout=0.005,
+        view_timeout=view_timeout,
+        committee=CommitteeSpec(size=4),
+        topology=topology,
+        # Open loop: no preload — a live swarm of 32 poisson clients
+        # drives the cluster over TCP; the bounded pending queue makes
+        # overload legible as admission drops instead of unbounded RAM.
+        workload=WorkloadSpec(
+            rate=rate,
+            payload_size=64,
+            num_clients=32,
+            seed=1,
+            arrival="poisson",
+            max_pending=20_000,
+        ),
+    )
+
+
+def saturation_cell(
+    aggregation: str, link: str, rate: float, duration: float, procs: int
+) -> dict:
+    """One offered-load point: run the swarm, report the client view."""
+    spec = _saturation_spec(aggregation, link, rate, duration)
+    cluster = LiveCluster(spec=spec, duration=duration, procs=procs)
+    result = cluster.run()
+    clients = result.clients
+    admission = clients.get("admission", {})
+    latency = clients.get("latency_ms", {})
+    swarm = clients.get("swarm", {})
+    return {
+        "offered_load_ops_per_sec": rate,
+        "issued": swarm.get("issued", 0),
+        "completed": swarm.get("completed", 0),
+        "goodput_ops_per_sec": round(clients.get("goodput", 0.0), 1),
+        "latency_p50_ms": latency.get("p50_ms", 0.0),
+        "latency_p99_ms": latency.get("p99_ms", 0.0),
+        "peak_queue_depth": admission.get("peak_pending", 0),
+        "admission_drops": admission.get("dropped", 0),
+        "admission_deferred": admission.get("deferred", 0),
+        "rejected_frames": swarm.get("rejected_frames", {}),
+    }
+
+
+def bench_saturation(duration: float, procs: int) -> dict:
+    """Offered-load vs goodput/latency curves, star vs iniva × clean/WAN.
+
+    Every window has a floor even under ``--quick`` (clean 1.5 s, WAN
+    2.5 s): an open-loop curve point needs enough commits past the
+    connection ramp for its percentiles to mean anything, and WAN commit
+    intervals are several hundred ms.
+    """
+    curves = []
+    for link, loads in SATURATION_LOADS.items():
+        window = max(duration, 1.5 if link == "clean" else 2.5)
+        for aggregation in ("star", "iniva"):
+            points = [
+                saturation_cell(aggregation, link, load, window, procs)
+                for load in loads
+            ]
+            curves.append(
+                {
+                    "scheme": aggregation,
+                    "link": link,
+                    "window_s": window,
+                    "points": points,
+                }
+            )
+    return {
+        "num_clients": 32,
+        "arrival": "poisson",
+        "max_pending": 20_000,
+        "curves": curves,
+    }
+
+
+def bench_smoke(duration: float) -> dict:
+    """The single saturation cell CI's ``clients-smoke`` stage gates on."""
+    window = max(duration, 2.5)
+    cell = saturation_cell(
+        SMOKE_CELL["scheme"], SMOKE_CELL["link"], SMOKE_CELL["offered_load"],
+        window, procs=1,
+    )
+    return {"benchmark": "clients-smoke", **SMOKE_CELL, "window_s": window, "cell": cell}
+
+
 def bench_codec(reps: int) -> dict:
     """Raw encode/decode rates, single frames vs one v2 batch frame."""
     from repro.consensus.block import Block, genesis_qc
@@ -276,6 +402,7 @@ def bench_codec(reps: int) -> dict:
 def main(argv) -> int:
     out_path = Path("benchmarks/BENCH_LIVE.json")
     quick = "--quick" in argv
+    smoke = "--smoke" in argv
     procs = 1
     positional = []
     skip_next = False
@@ -283,11 +410,11 @@ def main(argv) -> int:
         if skip_next:
             skip_next = False
             continue
-        if arg == "--quick":
+        if arg in ("--quick", "--smoke"):
             continue
         if arg == "--procs":
             if index + 1 >= len(argv):
-                print("usage: bench_live.py [output.json] [--quick] [--procs N]")
+                print("usage: bench_live.py [output.json] [--quick] [--smoke] [--procs N]")
                 return 2
             procs = int(argv[index + 1])
             skip_next = True
@@ -298,6 +425,14 @@ def main(argv) -> int:
 
     duration = 1.0 if quick else 5.0
     reps = 200 if quick else 2000
+
+    if smoke:
+        report = bench_smoke(duration)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        print(json.dumps(report, indent=2))
+        print(f"\nwrote {out_path}")
+        return 0
 
     cells = [("star", "hashsig"), ("iniva", "hashsig"), ("iniva", "bls")]
     clusters = [
@@ -331,11 +466,13 @@ def main(argv) -> int:
             "decode_per_sec": codec["decode_per_sec"],
         },
     }
+    saturation = bench_saturation(duration, procs)
     report = {
         "benchmark": "live-runtime",
         "quick": quick,
         "committee_size": 4,
         "clusters": clusters,
+        "saturation": saturation,
         "hot_path": hot_path,
         "codec": codec,
     }

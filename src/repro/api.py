@@ -108,6 +108,7 @@ def run(
     quick: bool = False,
     seed: Optional[int] = None,
     runtime: str = "sim",
+    overrides: Optional[Mapping[str, Any]] = None,
     **runtime_options: Any,
 ) -> RunResult:
     """Run one scenario end to end and return the unified result.
@@ -117,6 +118,9 @@ def run(
         quick: Shrink the spec via :meth:`ScenarioSpec.quick` so the run
             finishes in seconds (the CI/CLI quick profile).
         seed: Optional seed override applied before running.
+        overrides: Spec-field overrides applied before running, dotted
+            paths allowed (``{"workload.rate": 800}``) — how the CLI's
+            ``--rate``/``--clients``/``--arrival`` flags reach the spec.
         runtime: ``"sim"`` (deterministic discrete-event simulation, the
             default) or ``"live"`` (an asyncio cluster of real replica
             processes over localhost TCP, with the :mod:`repro.chaos`
@@ -136,6 +140,8 @@ def run(
     spec = resolve_spec(spec_or_preset)
     if seed is not None:
         spec = spec.with_(seed=seed)
+    if overrides:
+        spec = spec.with_(**_nest_dotted(overrides))
     if runtime == "live":
         from repro.runtime.live import run_live
 

@@ -91,6 +91,18 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--batch", type=int, default=100)
     run_parser.add_argument("--payload", type=int, default=64)
     run_parser.add_argument("--load", type=float, default=6_000.0, help="offered load in ops/sec")
+    run_parser.add_argument(
+        "--rate", type=float, default=None,
+        help="offered load in ops/sec (synonym for --load; wins when both given)",
+    )
+    run_parser.add_argument(
+        "--clients", type=int, default=None,
+        help="logical client population the requests are attributed to",
+    )
+    run_parser.add_argument(
+        "--arrival", default=None, choices=["poisson", "uniform", "bursty", "diurnal"],
+        help="request arrival model (default poisson)",
+    )
     run_parser.add_argument("--duration", type=float, default=3.0, help="simulated seconds")
     run_parser.add_argument("--faults", type=int, default=0, help="number of crashed replicas")
     run_parser.add_argument(
@@ -152,6 +164,18 @@ def build_parser() -> argparse.ArgumentParser:
     live_parser.add_argument(
         "--procs", type=int, default=1,
         help="spread the replicas over this many worker subprocesses (default: tasks in one process)",
+    )
+    live_parser.add_argument(
+        "--rate", type=float, default=None,
+        help="override the spec's open-loop client request rate (ops/sec)",
+    )
+    live_parser.add_argument(
+        "--clients", type=int, default=None,
+        help="override the spec's logical client population",
+    )
+    live_parser.add_argument(
+        "--arrival", default=None, choices=["poisson", "uniform", "bursty", "diurnal"],
+        help="override the spec's arrival model",
     )
     live_parser.add_argument(
         "--format",
@@ -259,12 +283,25 @@ def _command_scenario(args: argparse.Namespace) -> RunResult:
     return api.run(args.spec, quick=args.quick, seed=args.seed)
 
 
+def _workload_overrides(args: argparse.Namespace) -> Dict[str, Any]:
+    """Dotted spec overrides for the shared --rate/--clients/--arrival flags."""
+    overrides: Dict[str, Any] = {}
+    if getattr(args, "rate", None) is not None:
+        overrides["workload.rate"] = args.rate
+    if getattr(args, "clients", None) is not None:
+        overrides["workload.num_clients"] = args.clients
+    if getattr(args, "arrival", None) is not None:
+        overrides["workload.arrival"] = args.arrival
+    return overrides
+
+
 def _command_live(args: argparse.Namespace) -> RunResult:
     return api.run(
         args.spec,
         quick=args.quick,
         seed=args.seed,
         runtime="live",
+        overrides=_workload_overrides(args) or None,
         duration=args.duration,
         target_blocks=args.target_blocks,
         procs=args.procs,
@@ -318,6 +355,14 @@ def _flatten_cell(cell: Dict[str, Any], prefix: str = "") -> List[tuple]:
 
 def _command_run(args: argparse.Namespace) -> RunResult:
     duration = min(args.duration, 1.5) if args.quick else args.duration
+    rate = args.rate if args.rate is not None else args.load
+    workload = WorkloadSpec(
+        rate=rate,
+        payload_size=args.payload,
+        seed=args.seed,
+        num_clients=args.clients if args.clients is not None else 4,
+        arrival=args.arrival if args.arrival is not None else "poisson",
+    )
     spec = ScenarioSpec(
         name="run",
         aggregation=args.scheme,
@@ -331,7 +376,7 @@ def _command_run(args: argparse.Namespace) -> RunResult:
         view_timeout=0.1 if args.quick else 0.25,
         committee=CommitteeSpec(size=args.replicas),
         topology=TopologySpec(kind="normal", intra_delay=0.0005, jitter=0.2),
-        workload=WorkloadSpec(rate=args.load, payload_size=args.payload, seed=args.seed),
+        workload=workload,
         faults=FaultSpec(crashes=args.faults, crash_seed=args.seed, protect_leader=False),
     )
     return api.run(spec)

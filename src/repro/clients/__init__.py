@@ -1,0 +1,67 @@
+"""Open-loop client traffic for the live runtime.
+
+The paper's evaluation (Fig. 2/3) frames throughput and latency against
+*offered load*: clients submit requests at a configured aggregate rate
+regardless of how fast the cluster commits them, and the interesting
+curves are goodput and client-observed latency as that rate approaches
+and passes the saturation point.  This package is the client side of
+that story for the live runtime:
+
+* :mod:`repro.clients.arrivals` — the seeded :class:`ArrivalModel`
+  hierarchy (Poisson / uniform / bursty / diurnal) shared by the sim
+  workload scheduler and the live swarm;
+* :mod:`repro.clients.messages` — the client-facing wire frames
+  (:class:`ClientHello`, :class:`ClientRequest`, :class:`ClientReply`,
+  :class:`ClientReject`) framed by :mod:`repro.runtime.codec`;
+* :mod:`repro.clients.stats` — a mergeable log-bucketed latency digest,
+  so per-worker client latency survives the ``--procs`` JSON boundary
+  and still yields cluster-wide percentiles;
+* :mod:`repro.clients.swarm` — the :class:`ClientSwarm`: thousands of
+  open-loop clients as asyncio tasks, shardable across worker
+  processes, broadcasting requests to every replica over TCP and
+  timing the first commit reply.
+
+The server half (admission control, reply routing) lives in
+:mod:`repro.consensus.mempool` and :mod:`repro.runtime.live`.
+"""
+
+from repro.clients.arrivals import (
+    ARRIVAL_MODELS,
+    ArrivalModel,
+    BurstyArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+    UniformArrivals,
+    client_rng,
+    make_arrival,
+)
+from repro.clients.messages import (
+    REJECT_CLIENT_WINDOW,
+    REJECT_QUEUE_FULL,
+    ClientHello,
+    ClientReject,
+    ClientReply,
+    ClientRequest,
+)
+from repro.clients.stats import LatencyDigest
+from repro.clients.swarm import ClientSwarm, merge_summaries
+
+__all__ = [
+    "ARRIVAL_MODELS",
+    "ArrivalModel",
+    "BurstyArrivals",
+    "ClientHello",
+    "ClientReject",
+    "ClientReply",
+    "ClientRequest",
+    "ClientSwarm",
+    "DiurnalArrivals",
+    "LatencyDigest",
+    "PoissonArrivals",
+    "REJECT_CLIENT_WINDOW",
+    "REJECT_QUEUE_FULL",
+    "UniformArrivals",
+    "client_rng",
+    "make_arrival",
+    "merge_summaries",
+]

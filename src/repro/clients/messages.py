@@ -1,0 +1,108 @@
+"""Client-facing wire frames (wire version 5).
+
+Four frames connect an open-loop client to a replica, all spoken over
+the same length-prefixed, version-tagged codec as the protocol core:
+
+* :class:`ClientHello` — first frame on a client connection, replacing
+  the replica :class:`~repro.resilience.messages.SessionHello`; tells
+  the node this connection carries client traffic (and which swarm
+  shard / incarnation it belongs to).
+* :class:`ClientRequest` — one request.  The payload travels as a
+  *size*, not bytes: the protocol batches and commits request ids and
+  models payload cost by ``size_bytes`` everywhere else (mempool,
+  blocks, CPU model), so shipping real padding would only burn loopback
+  bandwidth without changing anything measured.
+* :class:`ClientReply` — sent by a replica when the request first
+  commits locally.  Clients broadcast to every replica and time the
+  *first* reply, the paper's client-observed commit latency.
+* :class:`ClientReject` — the backpressure frame: admission control
+  refused the request (bounded queue full, or the per-client fairness
+  window exceeded).  Open-loop clients do not retry — the reject is
+  counted, which is exactly what an overload curve should show.
+
+These frames never reach the protocol core and stay out of the
+per-replica transport counters, like the session control frames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "REJECT_CLIENT_WINDOW",
+    "REJECT_QUEUE_FULL",
+    "ClientHello",
+    "ClientReject",
+    "ClientReply",
+    "ClientRequest",
+]
+
+#: Admission refused because the bounded pending queue is full.
+REJECT_QUEUE_FULL = "queue-full"
+
+#: Admission deferred because this client exceeded its in-flight window.
+REJECT_CLIENT_WINDOW = "client-window"
+
+
+@dataclass(frozen=True, slots=True)
+class ClientHello:
+    """First frame on a client connection: identifies the swarm shard.
+
+    ``client_id`` is the shard's lowest client id (purely informational;
+    one connection multiplexes every client of the shard) and
+    ``incarnation`` the shard's restart generation — a cold-started
+    ``--procs`` worker reruns its shard at incarnation > 0 so its request
+    ids can never collide with the ids its previous life already put
+    into the replicated pools.
+    """
+
+    client_id: int
+    incarnation: int = 0
+
+    @property
+    def size_bytes(self) -> int:
+        return 16
+
+
+@dataclass(frozen=True, slots=True)
+class ClientRequest:
+    """One open-loop request.
+
+    ``request_id`` is computed *client-side* —
+    ``(incarnation << 48) | (client_id << 28) | seq`` — so every replica
+    that admits the broadcast copy agrees on the id without coordination,
+    which is what lets the replicated mempools deduplicate, reserve and
+    commit it exactly like a preloaded request.
+    """
+
+    request_id: int
+    client_id: int
+    payload_size: int
+
+    @property
+    def size_bytes(self) -> int:
+        return 24 + self.payload_size
+
+
+@dataclass(frozen=True, slots=True)
+class ClientReply:
+    """A replica's commit notification for one request id."""
+
+    request_id: int
+    replica: int = 0
+
+    @property
+    def size_bytes(self) -> int:
+        return 16
+
+
+@dataclass(frozen=True, slots=True)
+class ClientReject:
+    """Admission control's backpressure signal (see the reason constants)."""
+
+    request_id: int
+    reason: str = REJECT_QUEUE_FULL
+
+    @property
+    def size_bytes(self) -> int:
+        return 16 + len(self.reason)

@@ -1,0 +1,135 @@
+"""A mergeable log-bucketed latency digest.
+
+Client-observed latency is recorded wherever the client runs — which,
+in ``--procs`` mode, is several worker subprocesses whose only channel
+back to the parent is a JSON document.  Raw samples are too big to ship
+and percentiles do not merge, so each swarm shard keeps a
+:class:`LatencyDigest`: a histogram over exponentially growing buckets
+(5 % relative width).  Digests of any two shards merge by adding bucket
+counts, and any percentile of the merged digest is accurate to the
+bucket width — plenty below the millisecond scale the curves plot.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Optional
+
+__all__ = ["LatencyDigest"]
+
+#: Lower edge of bucket 1; everything faster lands in bucket 0.
+_MIN_LATENCY = 1e-5  # 10 µs
+#: Per-bucket growth factor (≈5 % relative resolution).
+_GROWTH = 1.05
+_LOG_GROWTH = math.log(_GROWTH)
+
+
+class LatencyDigest:
+    """Log-bucketed latency histogram with exact count/sum/min/max.
+
+    ``record`` is O(1); ``merge`` adds another digest's buckets;
+    ``percentile`` walks the cumulative counts and returns the bucket's
+    geometric midpoint.  Serialises to a compact JSON-safe dict.
+    """
+
+    __slots__ = ("_buckets", "count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self._buckets: Dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    # -- recording -------------------------------------------------------------
+    def record(self, seconds: float) -> None:
+        """Add one latency sample (seconds)."""
+        if seconds < 0:
+            seconds = 0.0
+        if seconds <= _MIN_LATENCY:
+            index = 0
+        else:
+            index = 1 + int(math.log(seconds / _MIN_LATENCY) / _LOG_GROWTH)
+        self._buckets[index] = self._buckets.get(index, 0) + 1
+        self.count += 1
+        self.total += seconds
+        if self.min is None or seconds < self.min:
+            self.min = seconds
+        if self.max is None or seconds > self.max:
+            self.max = seconds
+
+    def merge(self, other: "LatencyDigest") -> None:
+        """Fold another digest's samples into this one."""
+        for index, bucket_count in other._buckets.items():
+            self._buckets[index] = self._buckets.get(index, 0) + bucket_count
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+
+    # -- reading ---------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-quantile (``q`` in [0, 1]) in seconds, to bucket width."""
+        if not self.count:
+            return 0.0
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        # Ceil-index of the sorted samples, like LatencyStats.from_samples.
+        target = max(1, math.ceil(q * self.count))
+        seen = 0
+        for index in sorted(self._buckets):
+            seen += self._buckets[index]
+            if seen >= target:
+                if index == 0:
+                    return min(self.max or _MIN_LATENCY, _MIN_LATENCY)
+                midpoint = _MIN_LATENCY * _GROWTH ** (index - 0.5)
+                # Exact extremes beat the bucket approximation at the edges.
+                low = self.min if self.min is not None else 0.0
+                high = self.max if self.max is not None else midpoint
+                return min(max(midpoint, low), high)
+        return self.max or 0.0  # pragma: no cover - seen always reaches count
+
+    def summary_ms(self) -> Dict[str, float]:
+        """The headline view in milliseconds (what result rows embed)."""
+        return {
+            "count": self.count,
+            "mean_ms": round(self.mean * 1000, 3),
+            "p50_ms": round(self.percentile(0.50) * 1000, 3),
+            "p90_ms": round(self.percentile(0.90) * 1000, 3),
+            "p99_ms": round(self.percentile(0.99) * 1000, 3),
+            "max_ms": round((self.max or 0.0) * 1000, 3),
+        }
+
+    # -- serialisation ----------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe form (inverse of :meth:`from_dict`); buckets are kept
+        as parallel index/count lists because JSON keys must be strings."""
+        indices = sorted(self._buckets)
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "bucket_index": indices,
+            "bucket_count": [self._buckets[i] for i in indices],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "LatencyDigest":
+        digest = cls()
+        digest.count = int(data.get("count", 0))
+        digest.total = float(data.get("total", 0.0))
+        minimum = data.get("min")
+        maximum = data.get("max")
+        digest.min = None if minimum is None else float(minimum)
+        digest.max = None if maximum is None else float(maximum)
+        indices = data.get("bucket_index", [])
+        counts = data.get("bucket_count", [])
+        digest._buckets = {int(i): int(c) for i, c in zip(indices, counts)}
+        return digest

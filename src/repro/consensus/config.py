@@ -97,6 +97,11 @@ class ConsensusConfig:
     #: never blocks on pairings.  The sim runtime always verifies inline to
     #: stay deterministic; this knob only changes live-runtime scheduling.
     verification_offload: bool = False
+    #: Defer an under-full proposal for up to this many seconds after the
+    #: leader first tried to propose the view, waiting for the mempool to
+    #: fill a ``batch_size`` batch (an early full batch fires immediately).
+    #: 0 proposes whatever is pending at once — the paper-faithful default.
+    batch_deadline: float = 0.0
 
     #: All registered vote aggregation schemes accepted by ``aggregation``.
     SUPPORTED_AGGREGATIONS = frozenset({"star", "tree", "iniva", "gosig", "handel", "kauri"})
@@ -123,6 +128,8 @@ class ConsensusConfig:
             raise ValueError("Kauri fallback threshold must be positive")
         if self.max_sync_blocks < 1:
             raise ValueError("max_sync_blocks must be positive")
+        if self.batch_deadline < 0:
+            raise ValueError("batch deadline cannot be negative")
 
     # -- derived quantities ---------------------------------------------------
     @property

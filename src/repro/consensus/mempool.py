@@ -5,16 +5,26 @@ replies; throughput is measured at the replicas and latency at the
 clients.  The simulator folds this into a single shared mempool object:
 client processes submit timestamped requests, leaders batch them into
 blocks, and the first commit of each block records per-request latency.
+
+The live runtime adds **admission control** on top: open-loop clients
+keep submitting no matter how far behind the cluster falls, so the pool
+bounds its pending queue (``max_pending``) and each client's in-flight
+requests (``client_window``), refusing the rest via :meth:`admit` instead
+of growing without bound.  Refusals are counted, not silent — the
+offered-load sweep plots them as the saturation signal.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.simnet.metrics import MetricsCollector
 
-__all__ = ["Request", "Mempool"]
+__all__ = ["ADMIT_STATES", "Request", "Mempool"]
+
+#: Every verdict :meth:`Mempool.admit` can return.
+ADMIT_STATES = ("admitted", "duplicate", "dropped", "deferred")
 
 
 @dataclass(frozen=True)
@@ -46,6 +56,8 @@ class Mempool:
         self,
         metrics: Optional[MetricsCollector] = None,
         track_reservations: bool = False,
+        max_pending: int = 0,
+        client_window: int = 0,
     ) -> None:
         self.metrics = metrics or MetricsCollector()
         self._pending: List[Request] = []
@@ -67,6 +79,21 @@ class Mempool:
         # shared-pool fast path is untouched.
         self._track_reservations = track_reservations
         self._reserved: Set[int] = set()
+        # Admission control (live open-loop path; 0 disables a bound).
+        self.max_pending = max_pending
+        self.client_window = client_window
+        self._client_inflight: Dict[int, int] = {}
+        self.admission: Dict[str, int] = {
+            "admitted": 0,
+            "duplicate": 0,
+            "dropped": 0,
+            "deferred": 0,
+            "peak_pending": 0,
+        }
+        #: Called with the newly committed requests on each first commit
+        #: (the live node hooks client reply routing here).
+        self.on_commit: Optional[Callable[[List[Request]], None]] = None
+        self._rr_cursor = 0
 
     # -- client side -----------------------------------------------------------
     def submit(self, time: float, size_bytes: int, client_id: int = 0) -> Request:
@@ -90,26 +117,79 @@ class Mempool:
         clients, matching what ``count`` sequential :meth:`submit` calls
         would produce — but built in one pass, which matters when a
         preloaded workload pushes 10^5 requests before a run starts.
+        The round-robin cursor persists across calls, so two
+        ``submit_many`` calls attribute exactly like one call of the
+        combined count (it used to restart at client 0 every call,
+        skewing per-client stats toward the low client ids).
         Returns the number of submitted requests.
         """
         if count <= 0:
             return 0
         clients = max(num_clients, 1)
         first = self._next_id
+        cursor = self._rr_cursor
         batch = [
             Request(
                 request_id=first + index,
                 submitted_at=time,
                 size_bytes=size_bytes,
-                client_id=index % clients,
+                client_id=(cursor + index) % clients,
             )
             for index in range(count)
         ]
         self._next_id = first + count
+        self._rr_cursor = (cursor + count) % clients
         self._pending.extend(batch)
         for request in batch:
             self._requests[request.request_id] = request
         return count
+
+    def admit(
+        self, request_id: int, client_id: int, size_bytes: int, now: float
+    ) -> str:
+        """Admission-controlled :meth:`submit` for externally-idded requests.
+
+        The live open-loop path: the client computes ``request_id`` itself
+        (so every replica that admits the broadcast copy agrees on it) and
+        the pool decides one of :data:`ADMIT_STATES`:
+
+        * ``admitted`` — enqueued; counts against the client's window.
+        * ``duplicate`` — already known (possibly committed); not requeued.
+        * ``deferred`` — the client already has ``client_window`` requests
+          in flight; backpressure, the client should slow down.
+        * ``dropped`` — the pending queue is at ``max_pending``; overload.
+        """
+        if request_id in self._requests:
+            self.admission["duplicate"] += 1
+            return "duplicate"
+        if (
+            self.client_window > 0
+            and self._client_inflight.get(client_id, 0) >= self.client_window
+        ):
+            self.admission["deferred"] += 1
+            return "deferred"
+        if self.max_pending > 0 and len(self._pending) >= self.max_pending:
+            self.admission["dropped"] += 1
+            return "dropped"
+        request = Request(
+            request_id=request_id,
+            submitted_at=now,
+            size_bytes=size_bytes,
+            client_id=client_id,
+        )
+        self._pending.append(request)
+        self._requests[request_id] = request
+        self._client_inflight[client_id] = self._client_inflight.get(client_id, 0) + 1
+        self.admission["admitted"] += 1
+        if len(self._pending) > self.admission["peak_pending"]:
+            self.admission["peak_pending"] = len(self._pending)
+        return "admitted"
+
+    def admission_summary(self) -> Dict[str, int]:
+        """JSON-safe admission counters plus the current queue depth."""
+        summary = dict(self.admission)
+        summary["pending"] = len(self._pending)
+        return summary
 
     @property
     def pending_count(self) -> int:
@@ -122,6 +202,15 @@ class Mempool:
     @property
     def committed_count(self) -> int:
         return len(self._committed)
+
+    def is_committed(self, request_id: int) -> bool:
+        """Whether ``request_id`` already reached a first commit.
+
+        Used by the live node to answer duplicate client retries
+        immediately: a re-sent request whose original already committed
+        gets its reply on the spot instead of silence.
+        """
+        return request_id in self._committed
 
     # -- leader side --------------------------------------------------------------
     def next_batch(self, max_size: int) -> Tuple[Request, ...]:
@@ -184,6 +273,16 @@ class Mempool:
         committed = self._committed
         newly_committed = [r for r in batch if r.request_id not in committed]
         committed.update(r.request_id for r in newly_committed)
+        if self._client_inflight:
+            inflight = self._client_inflight
+            for request in newly_committed:
+                held = inflight.get(request.client_id, 0)
+                if held > 1:
+                    inflight[request.client_id] = held - 1
+                elif held:
+                    del inflight[request.client_id]
         self.metrics.record_latencies(time, (time - r.submitted_at for r in newly_committed))
         self.metrics.record_commit(time, len(newly_committed))
+        if self.on_commit is not None and newly_committed:
+            self.on_commit(newly_committed)
         return True

@@ -83,6 +83,12 @@ class ExperimentResult:
     per-replica crash/recovery timestamps, catch-up sync stats and (live
     runtime) suspicion timelines, reconnect counts and worker supervision
     events.  Empty for fault-free runs and absent from old documents.
+
+    ``clients`` carries the live runtime's client-layer telemetry:
+    admission counters (admitted/duplicate/dropped/deferred, queue
+    depths), the merged open-loop swarm summary and the client-observed
+    goodput and latency percentiles the saturation sweep plots.  Empty
+    for sim runs and absent from pre-client documents.
     """
 
     config_label: str
@@ -101,6 +107,7 @@ class ExperimentResult:
     message_counters: Dict[str, int] = field(default_factory=dict)
     transport: Dict[str, Dict[str, int]] = field(default_factory=dict)
     resilience: Dict[str, object] = field(default_factory=dict)
+    clients: Dict[str, object] = field(default_factory=dict)
 
     def row(self) -> Dict[str, float]:
         """A flat representation used by the benchmark reporting."""
@@ -133,6 +140,7 @@ class ExperimentResult:
             "message_counters": dict(self.message_counters),
             "transport": {pid: dict(counts) for pid, counts in self.transport.items()},
             "resilience": dict(self.resilience),
+            "clients": dict(self.clients),
         }
 
     @classmethod
@@ -147,8 +155,9 @@ class ExperimentResult:
             str(pid): {str(key): int(value) for key, value in dict(counts).items()}
             for pid, counts in dict(payload.get("transport", {})).items()
         }
-        # Absent from pre-resilience documents; default to empty.
+        # Absent from pre-resilience / pre-client documents; default empty.
         payload["resilience"] = dict(payload.get("resilience", {}))
+        payload["clients"] = dict(payload.get("clients", {}))
         return cls(**payload)
 
 

@@ -128,6 +128,18 @@ class RunResult:
         """
         return self.metrics.resilience
 
+    @property
+    def clients(self) -> Dict[str, object]:
+        """Client-layer telemetry of the first epoch (live runs).
+
+        ``admission`` sums each replica's admission verdicts (admitted /
+        duplicate / dropped / deferred plus queue depths); open-loop runs
+        add the merged ``swarm`` shard summary and the client-observed
+        ``goodput`` and ``latency_ms`` percentiles the saturation sweep
+        plots.  Empty for sim runs.
+        """
+        return self.metrics.clients
+
     # -- row/summary/artifact views ---------------------------------------------
     def rows(self) -> List[Dict[str, object]]:
         """One flat export row per epoch (throughput, latency, QC size,

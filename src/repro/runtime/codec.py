@@ -46,6 +46,13 @@ tuple now decodes with a single ``struct`` call instead of one dispatch
 per element.  Sequences with huge ints, bools or mixed types keep the
 general per-element encoding.
 
+Wire version 5 adds the **client layer** (:mod:`repro.clients.messages`):
+the hello / request / reply / reject frames an open-loop client swarm
+speaks to a replica.  They share the framing and versioning of the
+protocol frames but never reach the protocol core — a replica terminates
+them at the mempool admission boundary, and they stay out of the
+per-replica transport counters like the session control frames.
+
 Implementation notes (hot path)
 -------------------------------
 The byte format above is stable, but the implementation is built for
@@ -92,6 +99,12 @@ from repro.crypto.multisig import (
     _HashSigAggregateValue,
 )
 from repro.crypto.params import CurveParams
+from repro.clients.messages import (
+    ClientHello,
+    ClientReject,
+    ClientReply,
+    ClientRequest,
+)
 from repro.resilience.messages import (
     Heartbeat,
     SessionAck,
@@ -114,7 +127,8 @@ __all__ = [
 #: v2: multi-message batch frames (:class:`FrameBatch`).
 #: v3: resilience layer — session control frames and state-transfer sync.
 #: v4: packed int sequences — all-int sequences as one fixed-width array.
-WIRE_VERSION = 4
+#: v5: client layer — open-loop hello / request / reply / reject frames.
+WIRE_VERSION = 5
 
 #: Every message type the protocol core sends between replicas.
 WIRE_MESSAGE_TYPES: Tuple[type, ...] = (
@@ -207,6 +221,10 @@ _T_SESSION_HELLO = 0x30
 _T_SESSION_ENVELOPE = 0x31
 _T_SESSION_ACK = 0x32
 _T_HEARTBEAT = 0x33
+_T_CLIENT_HELLO = 0x40
+_T_CLIENT_REQUEST = 0x41
+_T_CLIENT_REPLY = 0x42
+_T_CLIENT_REJECT = 0x43
 
 _U32 = struct.Struct(">I")
 _F64 = struct.Struct(">d")
@@ -558,6 +576,31 @@ def _e_heartbeat(codec, out, value):
     codec._write(out, value.seq)
 
 
+def _e_client_hello(codec, out, value):
+    out.append(_T_CLIENT_HELLO)
+    codec._write(out, value.client_id)
+    codec._write(out, value.incarnation)
+
+
+def _e_client_request(codec, out, value):
+    out.append(_T_CLIENT_REQUEST)
+    codec._write(out, value.request_id)
+    codec._write(out, value.client_id)
+    codec._write(out, value.payload_size)
+
+
+def _e_client_reply(codec, out, value):
+    out.append(_T_CLIENT_REPLY)
+    codec._write(out, value.request_id)
+    codec._write(out, value.replica)
+
+
+def _e_client_reject(codec, out, value):
+    out.append(_T_CLIENT_REJECT)
+    codec._write(out, value.request_id)
+    codec._write(out, value.reason)
+
+
 def _e_session_envelope(codec, out, value):
     out.append(_T_SESSION_ENVELOPE)
     codec._write(out, value.seq)
@@ -612,6 +655,10 @@ _ENCODERS: Dict[type, Callable[[WireCodec, bytearray, Any], None]] = {
     SessionHello: _e_session_hello,
     SessionAck: _e_session_ack,
     Heartbeat: _e_heartbeat,
+    ClientHello: _e_client_hello,
+    ClientRequest: _e_client_request,
+    ClientReply: _e_client_reply,
+    ClientReject: _e_client_reject,
     SessionEnvelope: _e_session_envelope,
     FrameBatch: _e_batch,
     PreEncoded: _e_pre_encoded,
@@ -643,6 +690,10 @@ _ENCODER_BASES: Tuple[Tuple[type, Callable], ...] = (
     (SessionHello, _e_session_hello),
     (SessionAck, _e_session_ack),
     (Heartbeat, _e_heartbeat),
+    (ClientHello, _e_client_hello),
+    (ClientRequest, _e_client_request),
+    (ClientReply, _e_client_reply),
+    (ClientReject, _e_client_reject),
     (SessionEnvelope, _e_session_envelope),
     (FrameBatch, _e_batch),
     (PreEncoded, _e_pre_encoded),
@@ -907,6 +958,36 @@ def _d_heartbeat(codec, buf, offset):
     return Heartbeat(pid=pid, seq=seq), offset
 
 
+def _d_client_hello(codec, buf, offset):
+    client_id, offset = codec._read(buf, offset)
+    incarnation, offset = codec._read(buf, offset)
+    return ClientHello(client_id=client_id, incarnation=incarnation), offset
+
+
+def _d_client_request(codec, buf, offset):
+    request_id, offset = codec._read(buf, offset)
+    client_id, offset = codec._read(buf, offset)
+    payload_size, offset = codec._read(buf, offset)
+    return (
+        ClientRequest(
+            request_id=request_id, client_id=client_id, payload_size=payload_size
+        ),
+        offset,
+    )
+
+
+def _d_client_reply(codec, buf, offset):
+    request_id, offset = codec._read(buf, offset)
+    replica, offset = codec._read(buf, offset)
+    return ClientReply(request_id=request_id, replica=replica), offset
+
+
+def _d_client_reject(codec, buf, offset):
+    request_id, offset = codec._read(buf, offset)
+    reason, offset = codec._read(buf, offset)
+    return ClientReject(request_id=request_id, reason=reason), offset
+
+
 def _d_session_envelope(codec, buf, offset):
     seq, offset = codec._read(buf, offset)
     count, offset = codec._read_count(buf, offset)
@@ -971,6 +1052,10 @@ for _tag, _fn in {
     _T_SESSION_ENVELOPE: _d_session_envelope,
     _T_SESSION_ACK: _d_session_ack,
     _T_HEARTBEAT: _d_heartbeat,
+    _T_CLIENT_HELLO: _d_client_hello,
+    _T_CLIENT_REQUEST: _d_client_request,
+    _T_CLIENT_REPLY: _d_client_reply,
+    _T_CLIENT_REJECT: _d_client_reject,
 }.items():
     _DECODERS[_tag] = _fn
 del _tag, _fn

@@ -19,11 +19,17 @@ Two deployment shapes:
   committee in its own loop; all traffic still flows over localhost TCP,
   so the wire path is identical.
 
-Determinism: the client workload is always *preloaded* (the full request
-volume submitted at time zero — see ``WorkloadSpec.preload``), so leaders
-batch identical request sequences in both runtimes and a fixed-seed spec
-finalizes the same block ids under sim and live (pinned by
-``tests/runtime/test_equivalence.py``).
+Client traffic (see :mod:`repro.clients`): by default a run is driven by
+an **open-loop client swarm** — asyncio client tasks (sharded across the
+``--procs`` workers) submitting requests over TCP at a configured
+aggregate rate, admission-controlled at each replica's mempool
+(``WorkloadSpec.max_pending`` / ``client_window``) and answered with a
+commit reply the client times.  What the swarm observed lands in
+``RunResult.clients``.  Setting ``WorkloadSpec.preload`` instead selects
+deterministic *replay* mode: the full request volume is submitted at
+time zero, so leaders batch identical request sequences in both runtimes
+and a fixed-seed spec finalizes the same block ids under sim and live
+(pinned by ``tests/runtime/test_equivalence.py``).
 
 Chaos: every node carries a :class:`~repro.chaos.driver.ChaosDriver`
 compiled from the same spec the simulator consumes (see
@@ -65,6 +71,9 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tupl
 
 from repro.chaos.driver import ChaosDriver
 from repro.chaos.plan import ChaosPlan, compile_chaos_plan
+from repro.clients.messages import ClientHello, ClientReject, ClientReply, ClientRequest
+from repro.clients.stats import LatencyDigest
+from repro.clients.swarm import ClientSwarm, merge_summaries
 from repro.consensus.leader import make_leader_election
 from repro.consensus.mempool import Mempool
 from repro.consensus.replica import HotStuffReplica
@@ -276,7 +285,18 @@ class LiveNode:
         params = TOY_PARAMS if config.signature_scheme == "bls" else None
         self.codec = WireCodec(curve_params=params)
         self.metrics = MetricsCollector(warmup=0.0)
-        self.mempool = Mempool(metrics=self.metrics, track_reservations=True)
+        workload = compiled.spec.workload
+        self.mempool = Mempool(
+            metrics=self.metrics,
+            track_reservations=True,
+            max_pending=workload.max_pending,
+            client_window=workload.client_window,
+        )
+        # Open-loop reply routing: commit notifications fan back out to
+        # every connected client swarm shard (no-op in preload mode).
+        self.mempool.on_commit = self._on_requests_committed
+        self._client_writers: List[asyncio.StreamWriter] = []
+        self.replies_sent = 0
         self.committee = committee
         # Per-replica transport counters, maintained once at this framing
         # layer (logical messages, modeled byte sizes) so sim and live
@@ -481,6 +501,9 @@ class LiveNode:
             hello = self.codec.decode(await self._read_frame(reader))
             if isinstance(hello, SessionHello):
                 peer = hello.pid
+            elif isinstance(hello, ClientHello):
+                await self._serve_client(reader, writer)
+                return
             elif isinstance(hello, int):  # pre-session peers (bare tests)
                 peer = hello
             else:
@@ -520,6 +543,96 @@ class LiveNode:
             return
         finally:
             writer.close()
+
+    # -- client side (open-loop swarm connections) -------------------------------
+    async def _serve_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Pump one client-swarm connection through admission control.
+
+        Client frames terminate here — they never reach the protocol core
+        and stay out of the per-replica transport counters, like session
+        control traffic.  Replies flow back asynchronously through
+        :meth:`_on_requests_committed` whenever a commit lands.
+        """
+        self._client_writers.append(writer)
+        try:
+            while True:
+                decoded = self.codec.decode(await self._read_frame(reader))
+                members = (
+                    decoded.messages if isinstance(decoded, FrameBatch) else (decoded,)
+                )
+                for message in members:
+                    if isinstance(message, ClientRequest):
+                        self._admit_client_request(message, writer)
+        finally:
+            if writer in self._client_writers:
+                self._client_writers.remove(writer)
+
+    def _admit_client_request(
+        self, request: ClientRequest, writer: asyncio.StreamWriter
+    ) -> None:
+        if self._stopping or self.replica.crashed:
+            # A down replica neither admits nor rejects; the client's
+            # other links keep serving it (first reply wins anyway).
+            return
+        verdict = self.mempool.admit(
+            request_id=request.request_id,
+            client_id=request.client_id,
+            size_bytes=request.payload_size,
+            now=self.now,
+        )
+        if verdict == "admitted":
+            # A full batch may be waiting on the proposal deadline.
+            self.replica.maybe_propose_full_batch()
+        elif verdict == "duplicate":
+            if self.mempool.is_committed(request.request_id):
+                self._write_client(
+                    writer,
+                    self.codec.frame(
+                        ClientReply(request_id=request.request_id, replica=self.pid)
+                    ),
+                )
+                self.replies_sent += 1
+        elif verdict == "dropped":
+            self._write_client(
+                writer,
+                self.codec.frame(ClientReject(request_id=request.request_id)),
+            )
+        else:  # deferred: per-client window exceeded
+            self._write_client(
+                writer,
+                self.codec.frame(
+                    ClientReject(
+                        request_id=request.request_id, reason="client-window"
+                    )
+                ),
+            )
+
+    def _on_requests_committed(self, requests: List[Any]) -> None:
+        """Mempool first-commit hook: notify every connected swarm shard.
+
+        One reply per request, batched into a single frame per
+        connection; shards that do not own a request id ignore it.
+        Plain ``write`` without drain on purpose: replies are tens of
+        bytes and must never let a slow client connection backpressure
+        the consensus hot path.
+        """
+        if self._stopping or not self._client_writers:
+            return
+        replies = tuple(
+            ClientReply(request_id=r.request_id, replica=self.pid) for r in requests
+        )
+        wire = replies[0] if len(replies) == 1 else FrameBatch(replies)
+        frame = self.codec.frame(wire)
+        for writer in list(self._client_writers):
+            self._write_client(writer, frame)
+        self.replies_sent += len(replies)
+
+    @staticmethod
+    def _write_client(writer: asyncio.StreamWriter, frame: bytes) -> None:
+        if not writer.is_closing():
+            writer.write(frame)
 
     def _deliver_members(self, peer: int, members: Iterable[Any]) -> None:
         for message in members:
@@ -578,6 +691,10 @@ class LiveNode:
     def preload_workload(self) -> None:
         """Submit the run's full request volume into the local pool.
 
+        Only applies when ``WorkloadSpec.preload`` selects deterministic
+        replay mode; in the default open-loop mode requests arrive over
+        the wire from the client swarm instead, and this is a no-op.
+
         Preloading happens at (virtual) time zero, so it can — and should
         — run *before* the measured serving window opens: at benchmark
         request volumes building 10^5 request records takes a visible
@@ -590,6 +707,8 @@ class LiveNode:
             return
         self._preloaded = True
         spec = self.compiled.spec
+        if not spec.workload.preload:
+            return
         workload_seed = (
             spec.workload.seed if spec.workload.seed is not None else self.compiled.config.seed
         )
@@ -597,8 +716,10 @@ class LiveNode:
             rate=spec.workload.rate,
             payload_size=spec.workload.payload_size,
             num_clients=spec.workload.num_clients,
-            jitter=spec.workload.jitter,
             seed=workload_seed,
+            arrival=spec.workload.arrival,
+            burst_factor=spec.workload.burst_factor,
+            period=spec.workload.arrival_period,
         ).preload_into(self.mempool, self.compiled.epoch_duration)
 
     def start_protocol(self, request_sync: bool = False) -> None:
@@ -673,6 +794,10 @@ class LiveNode:
             "busy_time": replica.busy_time,
             "messages_blocked": self.messages_blocked,
             "transport": {**self.counters, "restarts": replica.restarts},
+            "clients": {
+                **self.mempool.admission_summary(),
+                "replies_sent": self.replies_sent,
+            },
             "resilience": {
                 "suspicions": self.detector.summary(),
                 "reconnects": sum(s.reconnects for s in self.sessions.values()),
@@ -721,6 +846,15 @@ def _salvaged_summary(pid: int, elapsed: float) -> Dict[str, Any]:
             "messages_delayed": 0,
             "restarts": 0,
         },
+        "clients": {
+            "admitted": 0,
+            "duplicate": 0,
+            "dropped": 0,
+            "deferred": 0,
+            "peak_pending": 0,
+            "pending": 0,
+            "replies_sent": 0,
+        },
         "resilience": {
             "suspicions": [],
             "reconnects": 0,
@@ -746,6 +880,8 @@ async def serve_window(
     target_blocks: Optional[int],
     *,
     cold_start_pids: Sequence[int] = (),
+    client_shard: Optional[Tuple[int, int]] = None,
+    incarnation: int = 0,
 ) -> Dict[str, Any]:
     """The shared serve loop: readiness, barrier, start, poll, stop.
 
@@ -761,12 +897,45 @@ async def serve_window(
     the cross-worker barrier: session establishment happens in the
     pre-barrier window.
 
+    ``client_shard=(offset, step)`` runs shard ``offset::step`` of the
+    spec's open-loop client swarm alongside the nodes (task mode passes
+    ``(0, 1)``; each ``--procs`` worker hosts its own shard).  ``None``
+    — or a spec in preload/replay mode, or a zero rate — runs no swarm.
+    ``incarnation`` namespaces a restarted worker's request ids so they
+    never collide with its dead predecessor's.
+
     Returns ``{"nodes": [...summaries...], "window": {...}}`` where the
     window record carries the measured ``elapsed``, whether the run was
-    cut short by the quiescence watchdog, and whether all sessions were
-    ready before the protocol started.
+    cut short by the quiescence watchdog, whether all sessions were
+    ready before the protocol started, and the swarm shard's client-side
+    summary (``"swarm"``, ``None`` when no swarm ran).
     """
     res = nodes[0].resilience
+    spec = nodes[0].compiled.spec
+    swarm: Optional[ClientSwarm] = None
+    if (
+        client_shard is not None
+        and not spec.workload.preload
+        and spec.workload.rate > 0
+    ):
+        workload_seed = (
+            spec.workload.seed
+            if spec.workload.seed is not None
+            else nodes[0].compiled.config.seed
+        )
+        swarm = ClientSwarm(
+            nodes[0].peer_addresses,
+            rate=spec.workload.rate,
+            payload_size=spec.workload.payload_size,
+            num_clients=spec.workload.num_clients,
+            arrival=spec.workload.arrival,
+            seed=workload_seed,
+            burst_factor=spec.workload.burst_factor,
+            period=spec.workload.arrival_period,
+            shard_offset=client_shard[0],
+            shard_step=client_shard[1],
+            incarnation=incarnation,
+        )
     for node in nodes:
         node.open_sessions()
     ready = all(
@@ -790,6 +959,10 @@ async def serve_window(
     cold = set(cold_start_pids)
     for node in nodes:
         node.start_protocol(request_sync=node.pid in cold)
+    if swarm is not None:
+        # Clients dial in only after the protocol is live: traffic
+        # belongs inside the measured window, unlike the preload.
+        await swarm.start()
     deadline = run_started + duration
     quiesced = False
     progress_total = -1
@@ -813,11 +986,20 @@ async def serve_window(
             await asyncio.sleep(0.02)
     finally:
         elapsed = max(time.time() - run_started, 1e-9)
+        # Stop the clients before the nodes so late replies don't race
+        # writer teardown and in-flight tallies settle where they are.
+        if swarm is not None:
+            await swarm.stop()
         for node in nodes:
             await node.stop()
     return {
         "nodes": [node.summary(elapsed) for node in nodes],
-        "window": {"elapsed": elapsed, "quiesced": quiesced, "all_ready": ready},
+        "window": {
+            "elapsed": elapsed,
+            "quiesced": quiesced,
+            "all_ready": ready,
+            "swarm": swarm.summary() if swarm is not None else None,
+        },
     }
 
 
@@ -931,7 +1113,9 @@ class LiveCluster:
             addresses[node.pid] = (self.host, port)
         for node in nodes:
             node.peer_addresses = addresses
-        report = await serve_window(nodes, None, budget, self.target_blocks)
+        report = await serve_window(
+            nodes, None, budget, self.target_blocks, client_shard=(0, 1)
+        )
         self.window_info = report["window"]
         return report["nodes"]
 
@@ -980,6 +1164,11 @@ class LiveCluster:
                     "epoch": worker_epoch,
                     "duration": worker_budget,
                     "cold_start": cold,
+                    # Worker i hosts client shard pids[0]::procs — every
+                    # worker a distinct slice, together covering all
+                    # clients; restart attempts namespace request ids.
+                    "client_shard": [pids[0], procs],
+                    "incarnation": attempt,
                 }
             )
             proc = subprocess.Popen(
@@ -1031,6 +1220,18 @@ class LiveCluster:
             window["elapsed"] = max(window.get("elapsed", 0.0), record.get("elapsed", 0.0))
             window["quiesced"] = window.get("quiesced", False) or record.get("quiesced", False)
             window["all_ready"] = window.get("all_ready", True) and record.get("all_ready", True)
+            shard_summary = record.get("swarm")
+            if shard_summary is not None:
+                # Dedup by shard: a restarted worker re-reports its
+                # shard, and the highest incarnation's numbers stand
+                # (its predecessors' issued requests died with them).
+                shards = window.setdefault("swarms", {})
+                key = tuple(shard_summary.get("shard", (0, 1)))
+                held = shards.get(key)
+                if held is None or shard_summary.get("incarnation", 0) >= held.get(
+                    "incarnation", 0
+                ):
+                    shards[key] = shard_summary
         if bind_failed and len(seen) < size:
             # A stolen port keeps failing on restart (same port map); let
             # the outer retry re-probe a fresh set instead of salvaging.
@@ -1080,6 +1281,7 @@ class LiveCluster:
                 "workers": self.worker_report or {"restarts": 0, "events": []},
             },
         }
+        clients = self._clients_report(summaries, measured)
         return ExperimentResult(
             config_label=f"live {self.compiled.config.describe()}",
             duration=measured,
@@ -1097,7 +1299,45 @@ class LiveCluster:
             message_counters=message_counters,
             transport=transport,
             resilience=resilience,
+            clients=clients,
         )
+
+    def _clients_report(
+        self, summaries: List[Dict[str, Any]], measured: float
+    ) -> Dict[str, Any]:
+        """Fold per-node admission counters and per-shard swarm stats.
+
+        Admission counters add across replicas (each replica admits its
+        own copy of the broadcast stream); queue depths take the max.
+        The swarm side merges every shard's digest and derives the
+        client-observed numbers the saturation sweep plots: goodput
+        (first-commit replies per measured second) and latency
+        percentiles in milliseconds.
+        """
+        per_node = [s["clients"] for s in summaries if s.get("clients")]
+        admission: Dict[str, Any] = {
+            key: sum(c.get(key, 0) for c in per_node)
+            for key in ("admitted", "duplicate", "dropped", "deferred", "replies_sent")
+        }
+        admission["peak_pending"] = max(
+            (c.get("peak_pending", 0) for c in per_node), default=0
+        )
+        admission["pending"] = max((c.get("pending", 0) for c in per_node), default=0)
+        report: Dict[str, Any] = {
+            "mode": "preload" if self.spec.workload.preload else "open-loop",
+            "offered_rate": self.spec.workload.rate,
+            "admission": admission,
+        }
+        shards = []
+        if self.window_info.get("swarm") is not None:
+            shards.append(self.window_info["swarm"])
+        shards.extend((self.window_info.get("swarms") or {}).values())
+        if shards:
+            swarm = merge_summaries(shards)
+            report["swarm"] = swarm
+            report["goodput"] = swarm["completed"] / measured if measured > 0 else 0.0
+            report["latency_ms"] = LatencyDigest.from_dict(swarm["latency"]).summary_ms()
+        return report
 
     # -- convenience ---------------------------------------------------------------
     def committed_order(self, pid: int = 0) -> List[str]:

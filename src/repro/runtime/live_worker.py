@@ -10,7 +10,9 @@ Reads one JSON config from stdin::
       "epoch": 1722334455.5,       # shared wall-clock zero / start barrier
       "duration": 3.0,
       "target_blocks": null,
-      "cold_start": false          # true for a supervisor-restarted worker
+      "cold_start": false,         # true for a supervisor-restarted worker
+      "client_shard": [0, 3],      # open-loop swarm slice offset::step
+      "incarnation": 0             # restart generation (namespaces request ids)
     }
 
 hosts the listed replicas as asyncio tasks in this process (the exact same
@@ -66,12 +68,15 @@ async def _run_nodes(config: Dict[str, Any]) -> Dict[str, Any]:
     # worker's replicas cold-start: they ask the surviving committee for
     # the committed blocks they missed.
     cold = bool(config.get("cold_start", False))
+    shard = config.get("client_shard")
     return await serve_window(
         nodes,
         epoch,
         duration,
         None if target_blocks is None else int(target_blocks),
         cold_start_pids=tuple(config["pids"]) if cold else (),
+        client_shard=None if shard is None else (int(shard[0]), int(shard[1])),
+        incarnation=int(config.get("incarnation", 0)),
     )
 
 

@@ -259,7 +259,9 @@ def build_scenario_deployment(
         rate=spec.workload.rate,
         payload_size=spec.workload.payload_size,
         num_clients=spec.workload.num_clients,
-        jitter=spec.workload.jitter,
+        arrival=spec.workload.arrival,
+        burst_factor=spec.workload.burst_factor,
+        period=spec.workload.arrival_period,
         seed=workload_seed,
     )
     if spec.workload.preload:

@@ -110,6 +110,21 @@ PRESETS: Dict[str, dict] = {
                        "phi_threshold": 6.0},
         "workload": {"rate": 2000.0},
     },
+    "open-loop": {
+        "name": "open-loop",
+        "description": "open-loop client swarm with bounded admission (live runtime)",
+        "duration": 4.0,
+        "committee": {"size": 7},
+        "topology": {"kind": "normal", "intra_delay": 0.0005},
+        "workload": {
+            "rate": 500.0,
+            "payload_size": 64,
+            "num_clients": 16,
+            "arrival": "poisson",
+            "max_pending": 20_000,
+            "client_window": 2_000,
+        },
+    },
     "bandwidth-crunch": {
         "name": "bandwidth-crunch",
         "description": "fat blocks through 200 KB/s links; queuing dominates",

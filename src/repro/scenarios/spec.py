@@ -238,31 +238,74 @@ class AttackSpec:
 class WorkloadSpec:
     """Open-loop client workload (see :class:`ClientWorkload`).
 
-    ``seed`` pins the arrival-process RNG independently of the scenario
-    seed; ``None`` (the default) derives it from the run's seed so churn
-    epochs each see fresh arrivals.
+    ``arrival`` selects the arrival model — one of
+    :data:`~repro.clients.arrivals.ARRIVAL_MODELS` (``"poisson"``,
+    ``"uniform"``, ``"bursty"``, ``"diurnal"``); ``burst_factor`` and
+    ``arrival_period`` shape the time-varying models.  ``seed`` pins the
+    arrival-process RNG independently of the scenario seed; ``None`` (the
+    default) derives it from the run's seed so churn epochs each see
+    fresh arrivals.
 
     ``preload`` submits the whole request volume (``rate * duration``
     requests) at time zero instead of as an arrival process.  Batching
     then no longer depends on arrival timing, which is what makes a
     fixed-seed run finalize *the same block ids* under the deterministic
     sim runtime and the live asyncio cluster — the property the
-    cross-runtime equivalence tests pin.  The live runtime always
-    preloads.
+    cross-runtime equivalence tests pin.  Under the live runtime
+    ``preload`` selects deterministic replay mode; with ``preload=False``
+    (the default) a real open-loop client swarm drives the cluster over
+    TCP, rejected or late requests and all.
+
+    ``max_pending`` / ``client_window`` bound the live mempool's
+    admission (queue depth / per-client in-flight fairness); 0 disables
+    a bound.  ``jitter`` is the deprecated ancestor of ``arrival``
+    (``True`` → ``"poisson"``, ``False`` → ``"uniform"``): passing it
+    explicitly warns and maps onto ``arrival``.
     """
 
     rate: float = 2000.0
     payload_size: int = 64
     num_clients: int = 4
-    jitter: bool = True
+    jitter: Optional[bool] = None
     seed: Optional[int] = None
     preload: bool = False
+    arrival: str = "poisson"
+    burst_factor: float = 4.0
+    arrival_period: float = 1.0
+    max_pending: int = 0
+    client_window: int = 0
 
     def __post_init__(self) -> None:
+        if self.jitter is not None:
+            import warnings
+
+            warnings.warn(
+                "WorkloadSpec(jitter=...) is deprecated; pass "
+                "arrival='poisson' (jitter=True) or arrival='uniform' "
+                "(jitter=False) instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            object.__setattr__(self, "arrival", "poisson" if self.jitter else "uniform")
+            # Reset the sentinel so spec round-trips do not warn again.
+            object.__setattr__(self, "jitter", None)
         if self.rate < 0:
             raise ValueError("workload rate cannot be negative")
         if self.payload_size < 0:
             raise ValueError("payload size cannot be negative")
+        from repro.clients.arrivals import ARRIVAL_MODELS
+
+        if self.arrival not in ARRIVAL_MODELS:
+            raise ValueError(
+                f"unknown arrival model {self.arrival!r} "
+                f"(expected one of {', '.join(ARRIVAL_MODELS)})"
+            )
+        if self.burst_factor <= 1.0:
+            raise ValueError("burst factor must exceed 1")
+        if self.arrival_period <= 0:
+            raise ValueError("arrival period must be positive")
+        if self.max_pending < 0 or self.client_window < 0:
+            raise ValueError("admission bounds cannot be negative")
 
 
 @dataclass(frozen=True)

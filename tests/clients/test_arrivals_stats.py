@@ -1,0 +1,115 @@
+"""Unit tests for the client layer's arrival models and latency digest."""
+
+import random
+
+import pytest
+
+from repro.clients.arrivals import (
+    ARRIVAL_MODELS,
+    BurstyArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+    UniformArrivals,
+    client_rng,
+    make_arrival,
+)
+from repro.clients.stats import LatencyDigest
+
+
+def _mean_rate(model, rng, horizon=200.0):
+    """Observed arrivals/sec over a long horizon."""
+    elapsed, count = 0.0, 0
+    while elapsed < horizon:
+        elapsed += model.gap(rng, elapsed)
+        count += 1
+    return count / elapsed
+
+
+class TestArrivalModels:
+    def test_factory_covers_every_registered_model(self):
+        for name in ARRIVAL_MODELS:
+            model = make_arrival(name, 100.0)
+            assert model.rate == 100.0
+            assert model.gap(random.Random(1), 0.0) > 0
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError, match="arrival"):
+            make_arrival("fractal", 100.0)
+        with pytest.raises(ValueError):
+            make_arrival("poisson", 0.0)
+
+    def test_gaps_deterministic_per_seed(self):
+        model = PoissonArrivals(rate=50.0)
+        a = [model.gap(client_rng(42, 3), t * 0.1) for t in range(20)]
+        b = [model.gap(client_rng(42, 3), t * 0.1) for t in range(20)]
+        assert a == b
+        # A different client id draws a different stream from the same seed.
+        other = [model.gap(client_rng(42, 4), t * 0.1) for t in range(20)]
+        assert a != other
+
+    def test_uniform_is_exactly_periodic(self):
+        model = UniformArrivals(rate=200.0)
+        assert model.gap(random.Random(0), 0.0) == pytest.approx(1 / 200.0)
+
+    @pytest.mark.parametrize("name", ARRIVAL_MODELS)
+    def test_long_run_rate_close_to_configured(self, name):
+        model = make_arrival(name, 80.0, burst_factor=4.0, period=2.0)
+        observed = _mean_rate(model, random.Random(9))
+        assert observed == pytest.approx(80.0, rel=0.15)
+
+    def test_bursty_alternates_fast_and_slow_phases(self):
+        model = BurstyArrivals(rate=100.0, burst_factor=4.0, period=1.0)
+        rng = random.Random(3)
+        # Average gaps inside the burst window vs. outside it: the on-phase
+        # must be markedly denser.
+        burst_gaps = [model.gap(rng, 0.05) for _ in range(300)]
+        idle_gaps = [model.gap(rng, 0.9) for _ in range(300)]
+        assert sum(burst_gaps) < sum(idle_gaps)
+
+    def test_diurnal_rate_swings_with_phase(self):
+        model = DiurnalArrivals(rate=100.0, amplitude=0.8, period=8.0)
+        rng = random.Random(5)
+        peak = sum(model.gap(rng, 2.0) for _ in range(300))  # sin() max at T/4
+        trough = sum(model.gap(rng, 6.0) for _ in range(300))  # sin() min at 3T/4
+        assert peak < trough
+
+
+class TestLatencyDigest:
+    def test_percentiles_of_known_samples(self):
+        digest = LatencyDigest()
+        for ms in range(1, 101):
+            digest.record(ms / 1000.0)
+        summary = digest.summary_ms()
+        assert summary["count"] == 100
+        assert summary["p50_ms"] == pytest.approx(50.0, rel=0.10)
+        assert summary["p99_ms"] == pytest.approx(99.0, rel=0.10)
+        assert summary["max_ms"] == pytest.approx(100.0, rel=0.10)
+
+    def test_merge_equals_combined_recording(self):
+        combined, left, right = LatencyDigest(), LatencyDigest(), LatencyDigest()
+        rng = random.Random(11)
+        for i in range(500):
+            sample = rng.expovariate(20.0)
+            combined.record(sample)
+            (left if i % 2 else right).record(sample)
+        left.merge(right)
+        merged, expected = left.to_dict(), combined.to_dict()
+        # Summation order differs between the two paths, so the float
+        # total only matches to rounding; everything else is exact.
+        assert merged.pop("total") == pytest.approx(expected.pop("total"))
+        assert merged == expected
+
+    def test_dict_round_trip(self):
+        digest = LatencyDigest()
+        for sample in (0.001, 0.02, 0.3, 0.3, 5.0):
+            digest.record(sample)
+        clone = LatencyDigest.from_dict(digest.to_dict())
+        assert clone.to_dict() == digest.to_dict()
+        assert clone.summary_ms() == digest.summary_ms()
+
+    def test_empty_digest_is_safe(self):
+        summary = LatencyDigest().summary_ms()
+        assert summary["count"] == 0
+        assert summary["p99_ms"] == 0.0
+        empty = LatencyDigest.from_dict(LatencyDigest().to_dict())
+        assert empty.summary_ms()["count"] == 0

@@ -62,6 +62,83 @@ class TestMempool:
         pool.mark_committed("b", (request.request_id,), 2.0)
         assert metrics.committed_operations() == 1
 
+    def test_submit_many_round_robin_cursor_persists_across_calls(self):
+        # Regression: the cursor used to restart at client 0 every call,
+        # so two half-size calls skewed attribution toward low client ids.
+        split = Mempool()
+        split.submit_many(count=3, time=0.0, size_bytes=64, num_clients=4)
+        split.submit_many(count=5, time=0.0, size_bytes=64, num_clients=4)
+        combined = Mempool()
+        combined.submit_many(count=8, time=0.0, size_bytes=64, num_clients=4)
+        assert [r.client_id for r in split.next_batch(8)] == [
+            r.client_id for r in combined.next_batch(8)
+        ]
+
+    def test_submit_many_matches_sequential_submits(self):
+        bulk = Mempool()
+        bulk.submit_many(count=7, time=1.0, size_bytes=32, num_clients=3)
+        sequential = Mempool()
+        for i in range(7):
+            sequential.submit(time=1.0, size_bytes=32, client_id=i % 3)
+        assert bulk.next_batch(7) == sequential.next_batch(7)
+
+
+class TestAdmissionControl:
+    def test_admit_unbounded_by_default(self):
+        pool = Mempool()
+        for rid in range(50):
+            assert pool.admit(request_id=rid, client_id=0, size_bytes=64, now=0.0) == "admitted"
+        assert pool.pending_count == 50
+        assert pool.admission_summary()["admitted"] == 50
+
+    def test_duplicate_request_not_requeued(self):
+        pool = Mempool()
+        assert pool.admit(request_id=7, client_id=1, size_bytes=64, now=0.0) == "admitted"
+        assert pool.admit(request_id=7, client_id=1, size_bytes=64, now=0.1) == "duplicate"
+        assert pool.pending_count == 1
+        assert pool.admission["duplicate"] == 1
+
+    def test_queue_full_drops(self):
+        pool = Mempool(max_pending=2)
+        for rid in range(2):
+            pool.admit(request_id=rid, client_id=0, size_bytes=64, now=0.0)
+        assert pool.admit(request_id=2, client_id=0, size_bytes=64, now=0.0) == "dropped"
+        assert pool.admission["dropped"] == 1
+        assert pool.pending_count == 2
+
+    def test_client_window_defers_per_client(self):
+        pool = Mempool(client_window=2)
+        for rid in range(2):
+            assert pool.admit(request_id=rid, client_id=5, size_bytes=64, now=0.0) == "admitted"
+        assert pool.admit(request_id=2, client_id=5, size_bytes=64, now=0.0) == "deferred"
+        # Fairness: another client is unaffected by client 5's backlog.
+        assert pool.admit(request_id=3, client_id=6, size_bytes=64, now=0.0) == "admitted"
+        assert pool.admission["deferred"] == 1
+
+    def test_commit_releases_client_window_and_fires_hook(self):
+        pool = Mempool(client_window=1)
+        committed_batches = []
+        pool.on_commit = committed_batches.append
+        assert pool.admit(request_id=1, client_id=0, size_bytes=64, now=0.0) == "admitted"
+        assert pool.admit(request_id=2, client_id=0, size_bytes=64, now=0.0) == "deferred"
+        batch = pool.next_batch(10)
+        pool.track_block("blk", batch)
+        pool.mark_committed("blk", (1,), time=0.5)
+        assert pool.is_committed(1)
+        assert not pool.is_committed(2)
+        assert [r.request_id for r in committed_batches[0]] == [1]
+        # The window slot freed by the commit admits the retry.
+        assert pool.admit(request_id=2, client_id=0, size_bytes=64, now=0.6) == "admitted"
+
+    def test_peak_pending_tracks_high_water_mark(self):
+        pool = Mempool()
+        for rid in range(5):
+            pool.admit(request_id=rid, client_id=0, size_bytes=64, now=0.0)
+        pool.next_batch(5)
+        summary = pool.admission_summary()
+        assert summary["peak_pending"] == 5
+        assert summary["pending"] == 0
+
 
 class TestConsensusConfig:
     def test_quorum_sizes_match_paper(self):
@@ -97,6 +174,12 @@ class TestConsensusConfig:
             ConsensusConfig(batch_size=0)
         with pytest.raises(ValueError):
             ConsensusConfig(payload_size=-1)
+        with pytest.raises(ValueError):
+            ConsensusConfig(batch_deadline=-0.001)
+
+    def test_batch_deadline_defaults_off(self):
+        assert ConsensusConfig().batch_deadline == 0.0
+        assert ConsensusConfig(batch_deadline=0.002).batch_deadline == 0.002
 
     def test_describe_mentions_key_parameters(self):
         text = ConsensusConfig(aggregation="iniva", committee_size=21).describe()

@@ -15,7 +15,7 @@ class TestClientWorkload:
     def test_schedules_expected_number_of_requests(self):
         simulator = Simulator()
         mempool = Mempool()
-        workload = ClientWorkload(rate=1000, payload_size=64, jitter=False)
+        workload = ClientWorkload(rate=1000, payload_size=64, arrival="uniform")
         scheduled = workload.attach(simulator, mempool, duration=1.0)
         assert scheduled == pytest.approx(1000, abs=2)
         simulator.run(until=1.0)
@@ -33,11 +33,30 @@ class TestClientWorkload:
     def test_requests_attributed_to_clients(self):
         simulator = Simulator()
         mempool = Mempool()
-        ClientWorkload(rate=100, num_clients=4, jitter=False).attach(simulator, mempool, 0.5)
+        ClientWorkload(rate=100, num_clients=4, arrival="uniform").attach(simulator, mempool, 0.5)
         simulator.run(until=0.5)
         batch = mempool.next_batch(100)
         assert {request.client_id for request in batch} == {0, 1, 2, 3}
         assert all(request.size_bytes == 64 for request in batch)
+
+    def test_jitter_flag_deprecated_but_equivalent(self):
+        with pytest.warns(DeprecationWarning, match="jitter"):
+            legacy = ClientWorkload(rate=500, jitter=True, seed=7)
+        assert legacy.arrival == "poisson"
+        assert legacy.jitter is None  # sentinel reset: round-trips don't re-warn
+        with pytest.warns(DeprecationWarning):
+            assert ClientWorkload(rate=500, jitter=False).arrival == "uniform"
+        # The mapped workload schedules the exact same arrivals as the
+        # explicit arrival-model spelling (bit-identical RNG stream).
+        modern = ClientWorkload(rate=500, arrival="poisson", seed=7)
+        sim_a, pool_a = Simulator(), Mempool()
+        sim_b, pool_b = Simulator(), Mempool()
+        assert legacy.attach(sim_a, pool_a, 1.0) == modern.attach(sim_b, pool_b, 1.0)
+        sim_a.run(until=1.0)
+        sim_b.run(until=1.0)
+        assert [r.submitted_at for r in pool_a.next_batch(10_000)] == [
+            r.submitted_at for r in pool_b.next_batch(10_000)
+        ]
 
 
 class TestRunner:

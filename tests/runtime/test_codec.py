@@ -19,6 +19,14 @@ from repro.aggregation.messages import (
     SecondChanceReply,
     SignatureMessage,
 )
+from repro.clients.messages import (
+    REJECT_CLIENT_WINDOW,
+    REJECT_QUEUE_FULL,
+    ClientHello,
+    ClientReject,
+    ClientReply,
+    ClientRequest,
+)
 from repro.consensus.block import Block, QuorumCertificate, genesis_qc
 from repro.crypto.multisig import (
     AggregateSignature,
@@ -242,6 +250,77 @@ def test_bls_point_without_params_rejected():
 def test_unencodable_value_rejected():
     with pytest.raises(CodecError, match="cannot encode"):
         WireCodec().encode(object())
+
+
+# ---------------------------------------------------------------------------
+# Client frames (wire v5 — see repro.clients)
+# ---------------------------------------------------------------------------
+def test_client_frames_round_trip():
+    codec = WireCodec()
+    for frame in (
+        ClientHello(client_id=2, incarnation=3),
+        ClientRequest(request_id=(3 << 48) | (2 << 28) | 17, client_id=2, payload_size=64),
+        ClientReply(request_id=99, replica=4),
+        ClientReject(request_id=99, reason=REJECT_QUEUE_FULL),
+        ClientReject(request_id=100, reason=REJECT_CLIENT_WINDOW),
+    ):
+        assert codec.decode(codec.encode(frame)) == frame
+
+
+def test_client_replies_batch_like_protocol_frames():
+    codec = WireCodec()
+    replies = tuple(ClientReply(request_id=rid, replica=1) for rid in range(40))
+    frame = codec.frame_batch(replies)
+    decoded = codec.decode(frame[4:])
+    assert isinstance(decoded, FrameBatch)
+    assert decoded.messages == replies
+
+
+def test_client_frames_stay_out_of_protocol_message_table():
+    # Client traffic terminates at the admission boundary; the protocol
+    # core's registry must not grow client types.
+    assert ClientRequest not in WIRE_MESSAGE_TYPES
+    assert ClientReply not in WIRE_MESSAGE_TYPES
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    request_id=st.integers(min_value=0, max_value=(1 << 62) - 1),
+    client_id=st.integers(min_value=0, max_value=(1 << 20) - 1),
+    payload_size=st.integers(min_value=0, max_value=1 << 24),
+)
+def test_property_client_request_round_trip_and_size(request_id, client_id, payload_size):
+    codec = WireCodec()
+    request = ClientRequest(
+        request_id=request_id, client_id=client_id, payload_size=payload_size
+    )
+    body = codec.encode(request)
+    assert codec.decode(body) == request
+    # The wire carries the payload as a size, not bytes: a max-payload
+    # request still encodes into a handful of packed ints.
+    assert len(body) < 64
+    assert request.size_bytes == 24 + payload_size
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    rows=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=(1 << 62) - 1),
+            st.integers(min_value=0, max_value=200),
+        ),
+        min_size=1,
+        max_size=64,
+    )
+)
+def test_property_client_reply_batches_round_trip(rows):
+    # Reply fan-out rides the packed-int batch path from wire v4: many
+    # near-identical rows must stay cheap and lossless.
+    codec = WireCodec()
+    replies = tuple(ClientReply(request_id=rid, replica=pid) for rid, pid in rows)
+    decoded = codec.decode(codec.frame_batch(replies)[4:])
+    assert isinstance(decoded, FrameBatch)
+    assert decoded.messages == replies
 
 
 # ---------------------------------------------------------------------------
