@@ -5,6 +5,7 @@ Run as a script (not collected by pytest — the tier-1 suite lives in
 
     PYTHONPATH=src python benchmarks/bench_live.py [output.json] [--quick] [--procs N]
     PYTHONPATH=src python benchmarks/bench_live.py smoke.json --smoke
+    PYTHONPATH=src python benchmarks/bench_live.py smoke.json --scaling-smoke
 
 Benchmarks the asyncio localhost-TCP cluster (:mod:`repro.runtime.live`)
 on a 4-replica committee: blocks/sec and ops/sec actually served over
@@ -30,6 +31,17 @@ admission drops — swept over ≥4 offered loads per (scheme × link)
 curve, star vs iniva on clean and WAN links.  ``--smoke`` runs the one
 mid-curve cell CI's ``clients-smoke`` stage gates on and writes just
 that cell's document.
+
+The ``scaling`` section is the scale-out fabric's committee-size sweep:
+n ∈ {4, 16, 50, 100, 200}, star vs iniva, clean and WAN-shaped links,
+all in task mode (one worker hosting every replica — the colocated fast
+path carries the whole committee with **zero** inter-replica TCP
+connections, which is exactly what makes n=200 feasible on one box).  A
+``fabric_demo`` cell additionally runs n=100 over ``--procs 4`` worker
+subprocesses to show the multiplexed transport's headline: 12 worker-pair
+sessions where a per-replica mesh would hold 9 900.  ``--scaling-smoke``
+runs the one n=50 cell CI's ``scaling-smoke`` stage gates on and writes
+just that cell's document.
 This tracks the live-runtime trajectory next to the simulator-side
 ``BENCH_PERF.json``; note that since the chaos layer landed, clusters
 emulate their spec's topology (the 0.5 ms links below are *shaped*, so
@@ -91,23 +103,55 @@ def _wan_spec(duration: float) -> ScenarioSpec:
     )
 
 
+def run_cell(
+    spec: ScenarioSpec,
+    duration: float,
+    *,
+    procs: int = 1,
+    target_blocks: int | None = None,
+    fast_path: bool = True,
+):
+    """The one shared boot/measure/teardown path under every cluster cell.
+
+    Builds the :class:`LiveCluster`, serves the window (until ``duration``
+    wall seconds or ``target_blocks`` commits), tears it down, and returns
+    ``(result, base)`` where ``base`` is the block-level measurement dict
+    every section starts from.  The clusters, scaling, saturation,
+    hot-path and recovery sections all layer their section-specific
+    columns on top of this instead of re-rolling the lifecycle.
+    """
+    cluster = LiveCluster(
+        spec=spec,
+        duration=duration,
+        procs=procs,
+        target_blocks=target_blocks,
+        fast_path=fast_path,
+    )
+    result = cluster.run()
+    metrics = result.metrics
+    window = metrics.duration or 1e-9
+    base = {
+        "duration_s": round(metrics.duration, 3),
+        "wall_clock_s": round(result.wall_clock_seconds, 3),
+        "committed_blocks": metrics.committed_blocks,
+        "blocks_per_sec": round(metrics.committed_blocks / window, 1),
+    }
+    return result, base
+
+
 def bench_cluster(
     aggregation: str, signature_scheme: str, duration: float, procs: int,
     spec: ScenarioSpec | None = None, label: str | None = None,
 ) -> dict:
     spec = spec if spec is not None else _bench_spec(aggregation, signature_scheme, duration)
-    cluster = LiveCluster(spec=spec, duration=duration, procs=procs)
-    result = cluster.run()
+    result, base = run_cell(spec, duration, procs=procs)
     metrics = result.metrics
     sent = sum(c["messages_sent"] for c in result.transport.values())
     return {
         "label": label
         or f"{aggregation}/{signature_scheme} n=4"
         + (f" procs={procs}" if procs > 1 else ""),
-        "duration_s": round(metrics.duration, 3),
-        "wall_clock_s": round(result.wall_clock_seconds, 3),
-        "committed_blocks": metrics.committed_blocks,
-        "blocks_per_sec": round(metrics.committed_blocks / metrics.duration, 1),
+        **base,
         "throughput_ops_per_sec": round(metrics.throughput, 1),
         # The live workload is preloaded at t=0, so per-request "latency"
         # is really time from cluster start to commit — report it as such
@@ -203,18 +247,13 @@ def bench_recovery(duration: float) -> dict:
         resilience={"phi_threshold": 6.0},
         workload={"rate": 2000},
     )
-    cluster = LiveCluster(spec=spec, duration=duration)
-    result = cluster.run()
-    metrics = result.metrics
+    result, base = run_cell(spec, duration)
     per_replica = result.resilience.get("per_replica", {})
     record = next((r for r in per_replica.values() if r.get("restarts")), {})
     rejoin = record.get("time_to_rejoin")
     return {
         "label": "iniva/hashsig n=4 crash-restart",
-        "duration_s": round(metrics.duration, 3),
-        "wall_clock_s": round(result.wall_clock_seconds, 3),
-        "committed_blocks": metrics.committed_blocks,
-        "blocks_per_sec": round(metrics.committed_blocks / metrics.duration, 1),
+        **base,
         "catchup_blocks": record.get("catchup_blocks", 0),
         "sync_requests_sent": record.get("sync_requests_sent", 0),
         "time_to_rejoin_ms": None if rejoin is None else round(rejoin * 1000, 2),
@@ -278,8 +317,7 @@ def saturation_cell(
 ) -> dict:
     """One offered-load point: run the swarm, report the client view."""
     spec = _saturation_spec(aggregation, link, rate, duration)
-    cluster = LiveCluster(spec=spec, duration=duration, procs=procs)
-    result = cluster.run()
+    result, _ = run_cell(spec, duration, procs=procs)
     clients = result.clients
     admission = clients.get("admission", {})
     latency = clients.get("latency_ms", {})
@@ -338,6 +376,139 @@ def bench_smoke(duration: float) -> dict:
         window, procs=1,
     )
     return {"benchmark": "clients-smoke", **SMOKE_CELL, "window_s": window, "cell": cell}
+
+
+#: Committee sizes of the scale-out sweep.  ``--quick`` stops at 50 so
+#: CI's bench stage stays fast; the committed tracker carries all five.
+SCALING_SIZES = (4, 16, 50, 100, 200)
+SCALING_QUICK_SIZES = (4, 16, 50)
+
+#: The CI ``scaling-smoke`` gate runs exactly this cell and compares its
+#: blocks/sec against the committed scaling-curve point below.
+SCALING_SMOKE_CELL = {"scheme": "iniva", "link": "clean", "n": 50}
+
+
+def _scaling_spec(aggregation: str, size: int, link: str) -> ScenarioSpec:
+    """One committee-size point of the scale-out sweep.
+
+    The preload is sized per replica (``rate × spec.duration`` requests)
+    rather than per serving window, so the n=200 cell stays in memory;
+    the actual window is governed by the cluster's wall cap and block
+    target.  The view timeout grows with n: a 200-replica committee on
+    one event loop pays O(n²) Python message handling per view, and a
+    timeout tuned for n=4 would thrash view changes instead of measuring
+    steady state.
+    """
+    if link == "clean":
+        topology = TopologySpec(kind="constant", intra_delay=0.0005)
+        view_timeout = max(0.25, 0.012 * size)
+        second_chance = 0.005
+    else:
+        # Shaped but lossless: five-region WAN delays with 10% jitter.
+        # (The lossy WAN cell lives in ``clusters``; here the sweep keeps
+        # every (scheme × n) pair comparable without retransmit noise.)
+        topology = TopologySpec(kind="wan", regions=5, intra_delay=0.0005, jitter=0.1)
+        view_timeout = max(0.8, 0.025 * size)
+        second_chance = 0.05
+    return ScenarioSpec(
+        name=f"bench-scaling-{aggregation}-{link}-n{size}",
+        aggregation=aggregation,
+        signature_scheme="hashsig",
+        batch_size=100,
+        duration=4.0,  # preload window: 500 req/s × 4 s = 2 000 per replica
+        warmup=0.0,
+        seed=1,
+        delta=0.0025,
+        second_chance_timeout=second_chance,
+        view_timeout=view_timeout,
+        committee=CommitteeSpec(size=size),
+        topology=topology,
+        workload=WorkloadSpec(rate=500, payload_size=64, preload=True),
+    )
+
+
+def scaling_point(
+    aggregation: str,
+    size: int,
+    link: str,
+    *,
+    procs: int = 1,
+    duration_cap: float,
+    target_blocks: int,
+) -> dict:
+    """One (scheme × n × link) cell, with the fabric's transport telemetry."""
+    spec = _scaling_spec(aggregation, size, link)
+    result, base = run_cell(
+        spec, duration_cap, procs=procs, target_blocks=target_blocks
+    )
+    fabric = result.resilience.get("cluster", {}).get("fabric", {})
+    sent = sum(c["messages_sent"] for c in result.transport.values())
+    return {
+        "n": size,
+        **base,
+        "throughput_ops_per_sec": round(result.metrics.throughput, 1),
+        "view_timeout_s": spec.view_timeout,
+        "messages_sent_total": sent,
+        "workers": fabric.get("workers", 1),
+        "sessions_total": fabric.get("sessions_total", 0),
+        "naive_pairwise_sessions": fabric.get("naive_pairwise_sessions", 0),
+        "fast_path_messages": fabric.get("fast_path_messages", 0),
+        "tcp_messages": fabric.get("tcp_messages", 0),
+    }
+
+
+def bench_scaling(quick: bool) -> dict:
+    """Committee-size curves, star vs iniva × clean/WAN, plus the fabric demo.
+
+    Window caps scale with n (big committees need longer to clear the
+    epoch barrier and first views) but every cell exits early on its
+    block target, so the sweep's cost tracks committee size, not caps.
+    """
+    sizes = SCALING_QUICK_SIZES if quick else SCALING_SIZES
+    links = ("clean",) if quick else ("clean", "wan")
+    curves = []
+    for link in links:
+        for aggregation in ("star", "iniva"):
+            points = []
+            for size in sizes:
+                if link == "clean":
+                    cap, target = 10.0 + 0.2 * size, 6
+                else:
+                    cap, target = 20.0 + 0.5 * size, 3
+                points.append(
+                    scaling_point(
+                        aggregation, size, link,
+                        duration_cap=cap, target_blocks=target,
+                    )
+                )
+            curves.append({"scheme": aggregation, "link": link, "points": points})
+    # The multiplexed-transport headline: n replicas spread over w worker
+    # subprocesses hold w·(w−1) directed sessions, not n·(n−1).
+    demo_n, demo_procs = (16, 2) if quick else (100, 4)
+    demo = scaling_point(
+        "iniva", demo_n, "clean",
+        procs=demo_procs, duration_cap=10.0 + 0.3 * demo_n, target_blocks=3,
+    )
+    return {
+        "mode": "task (single worker, colocated fast path) unless noted",
+        "signature_scheme": "hashsig",
+        "sizes": list(sizes),
+        "curves": curves,
+        "fabric_demo": {"procs": demo_procs, **demo},
+    }
+
+
+def bench_scaling_smoke(duration: float) -> dict:
+    """The single scaling cell CI's ``scaling-smoke`` stage gates on."""
+    # A deeper block target than the sweep's: the gate compares blocks/sec
+    # ratios, so the measured window must be long enough to dominate
+    # per-view jitter on a noisy CI machine.
+    cell = scaling_point(
+        SCALING_SMOKE_CELL["scheme"], SCALING_SMOKE_CELL["n"],
+        SCALING_SMOKE_CELL["link"],
+        duration_cap=max(duration, 20.0), target_blocks=12,
+    )
+    return {"benchmark": "scaling-smoke", **SCALING_SMOKE_CELL, "cell": cell}
 
 
 def bench_codec(reps: int) -> dict:
@@ -403,6 +574,7 @@ def main(argv) -> int:
     out_path = Path("benchmarks/BENCH_LIVE.json")
     quick = "--quick" in argv
     smoke = "--smoke" in argv
+    scaling_smoke = "--scaling-smoke" in argv
     procs = 1
     positional = []
     skip_next = False
@@ -410,11 +582,14 @@ def main(argv) -> int:
         if skip_next:
             skip_next = False
             continue
-        if arg in ("--quick", "--smoke"):
+        if arg in ("--quick", "--smoke", "--scaling-smoke"):
             continue
         if arg == "--procs":
             if index + 1 >= len(argv):
-                print("usage: bench_live.py [output.json] [--quick] [--smoke] [--procs N]")
+                print(
+                    "usage: bench_live.py [output.json] [--quick] [--smoke]"
+                    " [--scaling-smoke] [--procs N]"
+                )
                 return 2
             procs = int(argv[index + 1])
             skip_next = True
@@ -426,8 +601,8 @@ def main(argv) -> int:
     duration = 1.0 if quick else 5.0
     reps = 200 if quick else 2000
 
-    if smoke:
-        report = bench_smoke(duration)
+    if smoke or scaling_smoke:
+        report = bench_smoke(duration) if smoke else bench_scaling_smoke(duration)
         out_path.parent.mkdir(parents=True, exist_ok=True)
         out_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
         print(json.dumps(report, indent=2))
@@ -467,11 +642,13 @@ def main(argv) -> int:
         },
     }
     saturation = bench_saturation(duration, procs)
+    scaling = bench_scaling(quick)
     report = {
         "benchmark": "live-runtime",
         "quick": quick,
         "committee_size": 4,
         "clusters": clusters,
+        "scaling": scaling,
         "saturation": saturation,
         "hot_path": hot_path,
         "codec": codec,

@@ -35,6 +35,7 @@ from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Tuple
 from repro.clients.arrivals import client_rng, make_arrival
 from repro.clients.messages import ClientHello, ClientReject, ClientReply, ClientRequest
 from repro.clients.stats import LatencyDigest
+from repro.runtime.net import tune_writer
 
 if TYPE_CHECKING:  # codec imports this package; resolve the cycle lazily
     from repro.runtime.codec import WireCodec
@@ -97,6 +98,7 @@ class _ReplicaLink:
                 reader, writer = await asyncio.open_connection(
                     self.host, self.port, limit=_READ_LIMIT
                 )
+                tune_writer(writer)  # TCP_NODELAY: requests must not sit in Nagle
             except OSError:
                 await asyncio.sleep(backoff)
                 backoff = min(backoff * 2, _RECONNECT_CAP)
@@ -150,7 +152,10 @@ class ClientSwarm:
     """One shard of an open-loop client population (see module docstring).
 
     Args:
-        addresses: Full ``pid -> (host, port)`` map of the cluster.
+        addresses: Endpoint map of the cluster — key-agnostic, so it
+            works unchanged whether entries are keyed by replica pid
+            (legacy) or by worker id (the scale-out fabric's one listener
+            per worker); every request is broadcast to all endpoints.
         rate: *Aggregate* request rate of the whole population; each
             client runs at ``rate / num_clients``.
         payload_size: Modeled payload bytes per request.

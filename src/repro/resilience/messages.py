@@ -27,12 +27,14 @@ Two families live here:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Tuple
+from typing import TYPE_CHECKING, Any, Tuple
 
-from repro.consensus.block import Block, QuorumCertificate
+if TYPE_CHECKING:  # annotation-only: keeps this leaf importable first
+    from repro.consensus.block import Block, QuorumCertificate
 
 __all__ = [
     "Heartbeat",
+    "Routed",
     "SessionAck",
     "SessionEnvelope",
     "SessionHello",
@@ -108,6 +110,26 @@ class Heartbeat:
     @property
     def size_bytes(self) -> int:
         return 16
+
+
+@dataclass(frozen=True, slots=True)
+class Routed:
+    """Route header for worker-multiplexed transport: one protocol message
+    addressed ``src -> dst`` at *replica* granularity while travelling on
+    a *worker*-pair connection.
+
+    The scale-out fabric opens one supervised session per worker pair and
+    multiplexes every hosted replica's traffic through it; the receiving
+    worker demultiplexes by ``dst`` and hands ``message`` to the hosted
+    replica as if it had its own connection.  Route headers are flat —
+    a ``Routed`` inside a ``Routed`` is a codec error, like nested
+    batches — and carry exactly one protocol message (envelopes already
+    batch at the session layer).
+    """
+
+    src: int
+    dst: int
+    message: Any
 
 
 # ---------------------------------------------------------------------------

@@ -34,6 +34,7 @@ from random import Random
 from typing import Any, Callable, Deque, Dict, List, Optional
 
 from repro.resilience.messages import SessionEnvelope, SessionHello
+from repro.runtime.net import tune_writer
 
 __all__ = ["PeerSession"]
 
@@ -204,6 +205,7 @@ class PeerSession:
                 await asyncio.sleep(self._backoff(attempt))
                 attempt += 1
                 continue
+            tune_writer(writer)  # TCP_NODELAY + sized buffers (see net.py)
             self._writer = writer
             self._broken = False
             try:
@@ -246,6 +248,14 @@ class PeerSession:
         ``cursor`` tracks the highest sequence written *on this
         connection*; it starts at the acknowledged floor, so everything
         the peer never acked goes out again after a reconnect.
+
+        Writes coalesce: every ready envelope above the cursor goes into
+        the transport buffer back-to-back and the loop drains *once* —
+        under a proposal burst the kernel sees one large write instead of
+        one syscall-plus-drain round trip per envelope.  Each envelope is
+        still its own wire frame (the receiver acks per sequence number),
+        and the resend buffer bounds how much one coalesced flush can
+        hold.
         """
         cursor = self._acked
         while not self._stopped and not self._broken:
@@ -255,8 +265,7 @@ class PeerSession:
                 wrote = True
             if self._pending:
                 self._seal()
-            seq = next((s for s in self._unacked if s > cursor), None)
-            if seq is not None:
+            for seq in [s for s in self._unacked if s > cursor]:
                 envelope = self._unacked[seq]
                 writer.write(self.codec.frame(envelope))
                 if seq <= self._sent_up_to:

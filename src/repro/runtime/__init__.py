@@ -10,7 +10,10 @@ set_timer / spawn).  This package provides the substrates:
   bit-identical results);
 * :mod:`repro.runtime.live` — an asyncio runtime running each replica as
   a task (or ``--procs`` subprocesses) over localhost TCP, framing every
-  wire message with the versioned codec in :mod:`repro.runtime.codec`.
+  wire message with the versioned codec in :mod:`repro.runtime.codec`
+  and routing it through the scale-out worker fabric in
+  :mod:`repro.runtime.fabric` (one multiplexed session per worker pair,
+  colocated fast path; socket/loop tuning in :mod:`repro.runtime.net`).
 """
 
 from repro.runtime.base import Clock, Runtime, TimerHandle, Transport

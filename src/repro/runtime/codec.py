@@ -53,6 +53,14 @@ protocol frames but never reach the protocol core — a replica terminates
 them at the mempool admission boundary, and they stay out of the
 per-replica transport counters like the session control frames.
 
+Wire version 6 adds the **route header**
+(:class:`~repro.resilience.messages.Routed`): a ``(src, dst)`` envelope
+around one protocol message, spoken on the scale-out fabric's
+worker-pair connections so n replicas' traffic multiplexes over
+O(workers²) sessions and the receiving worker can demultiplex to the
+hosted replica.  Route headers are flat like batches and envelopes — a
+``Routed`` may not contain another ``Routed``.
+
 Implementation notes (hot path)
 -------------------------------
 The byte format above is stable, but the implementation is built for
@@ -107,6 +115,7 @@ from repro.clients.messages import (
 )
 from repro.resilience.messages import (
     Heartbeat,
+    Routed,
     SessionAck,
     SessionEnvelope,
     SessionHello,
@@ -128,7 +137,8 @@ __all__ = [
 #: v3: resilience layer — session control frames and state-transfer sync.
 #: v4: packed int sequences — all-int sequences as one fixed-width array.
 #: v5: client layer — open-loop hello / request / reply / reject frames.
-WIRE_VERSION = 5
+#: v6: route headers — (src, dst)-addressed messages on worker-pair links.
+WIRE_VERSION = 6
 
 #: Every message type the protocol core sends between replicas.
 WIRE_MESSAGE_TYPES: Tuple[type, ...] = (
@@ -221,6 +231,7 @@ _T_SESSION_HELLO = 0x30
 _T_SESSION_ENVELOPE = 0x31
 _T_SESSION_ACK = 0x32
 _T_HEARTBEAT = 0x33
+_T_ROUTED = 0x34
 _T_CLIENT_HELLO = 0x40
 _T_CLIENT_REQUEST = 0x41
 _T_CLIENT_REPLY = 0x42
@@ -601,6 +612,17 @@ def _e_client_reject(codec, out, value):
     codec._write(out, value.reason)
 
 
+def _e_routed(codec, out, value):
+    if isinstance(value.message, Routed):
+        raise CodecError("route headers are flat wire containers")
+    out.append(_T_ROUTED)
+    codec._write(out, value.src)
+    codec._write(out, value.dst)
+    # The message goes through the ordinary dispatch, so a PreEncoded
+    # multicast body splices its bytes here without re-encoding.
+    codec._write(out, value.message)
+
+
 def _e_session_envelope(codec, out, value):
     out.append(_T_SESSION_ENVELOPE)
     codec._write(out, value.seq)
@@ -659,6 +681,7 @@ _ENCODERS: Dict[type, Callable[[WireCodec, bytearray, Any], None]] = {
     ClientRequest: _e_client_request,
     ClientReply: _e_client_reply,
     ClientReject: _e_client_reject,
+    Routed: _e_routed,
     SessionEnvelope: _e_session_envelope,
     FrameBatch: _e_batch,
     PreEncoded: _e_pre_encoded,
@@ -694,6 +717,7 @@ _ENCODER_BASES: Tuple[Tuple[type, Callable], ...] = (
     (ClientRequest, _e_client_request),
     (ClientReply, _e_client_reply),
     (ClientReject, _e_client_reject),
+    (Routed, _e_routed),
     (SessionEnvelope, _e_session_envelope),
     (FrameBatch, _e_batch),
     (PreEncoded, _e_pre_encoded),
@@ -988,6 +1012,15 @@ def _d_client_reject(codec, buf, offset):
     return ClientReject(request_id=request_id, reason=reason), offset
 
 
+def _d_routed(codec, buf, offset):
+    src, offset = codec._read(buf, offset)
+    dst, offset = codec._read(buf, offset)
+    message, offset = codec._read(buf, offset)
+    if isinstance(message, Routed):
+        raise CodecError("route headers are flat wire containers")
+    return Routed(src=src, dst=dst, message=message), offset
+
+
 def _d_session_envelope(codec, buf, offset):
     seq, offset = codec._read(buf, offset)
     count, offset = codec._read_count(buf, offset)
@@ -1052,6 +1085,7 @@ for _tag, _fn in {
     _T_SESSION_ENVELOPE: _d_session_envelope,
     _T_SESSION_ACK: _d_session_ack,
     _T_HEARTBEAT: _d_heartbeat,
+    _T_ROUTED: _d_routed,
     _T_CLIENT_HELLO: _d_client_hello,
     _T_CLIENT_REQUEST: _d_client_request,
     _T_CLIENT_REPLY: _d_client_reply,

@@ -2,57 +2,72 @@
 
 This is the second substrate behind the sans-I/O protocol core.  Each
 replica of a :class:`~repro.scenarios.spec.ScenarioSpec` runs as its own
-:class:`LiveNode` — an asyncio task owning a TCP server, supervised
-outgoing peer sessions, a replicated mempool copy and a metrics
-collector — and the unchanged
+:class:`LiveNode` — a protocol process with a replicated mempool copy
+and a metrics collector — and the unchanged
 :class:`~repro.consensus.replica.HotStuffReplica` drives it through
 :class:`LiveRuntime`.  All wire traffic is framed with the versioned
 codec in :mod:`repro.runtime.codec`.
 
+Transport is the **scale-out fabric** (:mod:`repro.runtime.fabric`):
+replicas are sharded across workers by a :class:`Placement`, each worker
+runs one :class:`WorkerFabric` — a single TCP server plus one
+multiplexed :class:`~repro.resilience.session.PeerSession` per *remote
+worker* — and same-worker replicas deliver over the colocated fast path
+(direct in-process handoff, no codec).  Connection count is O(workers²)
+regardless of committee size, which is what makes n=200 live committees
+tractable.
+
 Two deployment shapes:
 
-* **task mode** (default): all replicas as tasks in one event loop —
-  the fastest way to get a cluster up, and what the cross-runtime
+* **task mode** (default): all replicas as tasks in one event loop — one
+  worker hosting the whole committee, zero TCP between replicas — the
+  fastest way to get a cluster up, and what the cross-runtime
   equivalence tests use;
 * **``procs`` mode**: replicas are spread over worker subprocesses
   (``python -m repro.runtime.live_worker``), each hosting a slice of the
-  committee in its own loop; all traffic still flows over localhost TCP,
-  so the wire path is identical.
+  committee in its own loop; cross-worker traffic flows over localhost
+  TCP through the worker-pair sessions.
 
 Client traffic (see :mod:`repro.clients`): by default a run is driven by
 an **open-loop client swarm** — asyncio client tasks (sharded across the
 ``--procs`` workers) submitting requests over TCP at a configured
 aggregate rate, admission-controlled at each replica's mempool
 (``WorkloadSpec.max_pending`` / ``client_window``) and answered with a
-commit reply the client times.  What the swarm observed lands in
-``RunResult.clients``.  Setting ``WorkloadSpec.preload`` instead selects
-deterministic *replay* mode: the full request volume is submitted at
-time zero, so leaders batch identical request sequences in both runtimes
-and a fixed-seed spec finalizes the same block ids under sim and live
-(pinned by ``tests/runtime/test_equivalence.py``).
+commit reply the client times.  Clients dial *workers*; the fabric fans
+each request to every hosted replica's admission control.  What the
+swarm observed lands in ``RunResult.clients``.  Setting
+``WorkloadSpec.preload`` instead selects deterministic *replay* mode:
+the full request volume is submitted at time zero, so leaders batch
+identical request sequences in both runtimes and a fixed-seed spec
+finalizes the same block ids under sim and live (pinned by
+``tests/runtime/test_equivalence.py``).
 
 Chaos: every node carries a :class:`~repro.chaos.driver.ChaosDriver`
 compiled from the same spec the simulator consumes (see
 :mod:`repro.chaos`).  Outbound frames pass a per-link shaping pipeline
-(topology-model latency, probabilistic loss, FIFO bandwidth queuing),
-timed partitions suppress directed links with reference counts, crash
-timers stop — and restart timers recover — the local replica, and
-Byzantine omission cartels run the adversarial aggregators from
-:mod:`repro.attacks`.  Multi-epoch churn re-provisions the cluster per
-epoch through the shared :func:`repro.scenarios.engine.run_epochs`
-orchestrator.  The scheduled fault driver and churn loop need task mode;
-``validate_live_spec`` rejects those spec fields under ``--procs``.
+(topology-model latency, probabilistic loss, FIFO bandwidth queuing)
+*before* the fabric dispatches them, so shaping and partitions behave
+identically on the fast path and the TCP path; timed partitions suppress
+directed links with reference counts, crash timers stop — and restart
+timers recover — the local replica, and Byzantine omission cartels run
+the adversarial aggregators from :mod:`repro.attacks`.  Multi-epoch
+churn re-provisions the cluster per epoch through the shared
+:func:`repro.scenarios.engine.run_epochs` orchestrator.  The scheduled
+fault driver and churn loop need task mode; ``validate_live_spec``
+rejects those spec fields under ``--procs``.
 
-Resilience (see :mod:`repro.resilience`): outbound links are
+Resilience (see :mod:`repro.resilience`): worker-pair links are
 :class:`~repro.resilience.session.PeerSession` objects — sequenced
 envelopes with cumulative acks, bounded resend buffers and jittered
-reconnect — instead of fire-and-forget writers; a phi-accrual failure
-detector builds suspicion timelines from heartbeats piggybacked on the
-wire; recovered replicas catch up on missed commits through the
-``SyncRequest``/``SyncResponse`` protocol; ``--procs`` workers run under
-a restart-capable :class:`~repro.resilience.supervisor.WorkerSupervisor`
-and a quiescence watchdog (``resilience.quiesce_after``) ends a run that
-has stopped committing.  Everything lands in ``RunResult.resilience``.
+reconnect; a phi-accrual failure detector per replica builds suspicion
+timelines from traffic observations (cross-worker frames vouch for their
+``src`` replica, idle links carry worker-level heartbeats, colocated
+replicas observe each other directly); recovered replicas catch up on
+missed commits through the ``SyncRequest``/``SyncResponse`` protocol;
+``--procs`` workers run under a restart-capable
+:class:`~repro.resilience.supervisor.WorkerSupervisor` and a quiescence
+watchdog (``resilience.quiesce_after``) ends a run that has stopped
+committing.  Everything lands in ``RunResult.resilience``.
 """
 
 from __future__ import annotations
@@ -71,7 +86,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tupl
 
 from repro.chaos.driver import ChaosDriver
 from repro.chaos.plan import ChaosPlan, compile_chaos_plan
-from repro.clients.messages import ClientHello, ClientReject, ClientReply, ClientRequest
+from repro.clients.messages import ClientReject, ClientReply, ClientRequest
 from repro.clients.stats import LatencyDigest
 from repro.clients.swarm import ClientSwarm, merge_summaries
 from repro.consensus.leader import make_leader_election
@@ -82,12 +97,12 @@ from repro.crypto.params import TOY_PARAMS
 from repro.experiments.runner import ExperimentResult, _make_signature_scheme
 from repro.experiments.workloads import ClientWorkload
 from repro.resilience.detector import PhiAccrualDetector
-from repro.resilience.messages import Heartbeat, SessionAck, SessionEnvelope, SessionHello
-from repro.resilience.session import PeerSession
 from repro.resilience.supervisor import RestartPolicy, SupervisedWorker, WorkerSupervisor
 from repro.results import EpochMetrics, RunResult
 from repro.runtime.base import Runtime, TimerHandle
 from repro.runtime.codec import FrameBatch, PreEncoded, WireCodec
+from repro.runtime.fabric import Placement, WorkerFabric
+from repro.runtime.net import maybe_install_uvloop
 from repro.scenarios.engine import (
     CompiledScenario,
     compile_scenario,
@@ -108,11 +123,6 @@ __all__ = [
 
 logger = logging.getLogger("repro.runtime.live")
 
-#: Frame read limit — a proposal with a large batch stays far below this.
-_READ_LIMIT = 16 * 1024 * 1024
-
-#: Most messages flushed as one multi-message wire frame by a peer writer.
-_MAX_WIRE_BATCH = 64
 
 #: Shared verification worker pool (lazily created, one per interpreter).
 #: All nodes in a process share it — in task mode the whole committee
@@ -231,17 +241,32 @@ class LiveRuntime(Runtime):
     ) -> None:
         """Fan one message out to many peers, encoding its bytes once.
 
-        When two or more *remote* peers are addressed, the payload is
-        serialised a single time and the same :class:`PreEncoded` body is
-        handed to every peer session, which splices the bytes into its
-        envelopes without re-encoding — a leader's proposal broadcast
-        costs one encode instead of ``n - 1``.  Self-deliveries always
-        receive the original object.
+        When two or more *wire-bound* destinations are addressed — peers
+        whose delivery actually crosses the codec, i.e. remote-worker
+        peers (or any peer with the colocated fast path disabled) — the
+        payload is serialised a single time and the same
+        :class:`PreEncoded` body is handed to every worker session, which
+        splices the bytes into its envelopes without re-encoding: a
+        leader's proposal broadcast costs one encode instead of one per
+        peer.  Fast-path and self deliveries always receive the original
+        object; in task mode the whole broadcast therefore skips
+        serialisation entirely.
         """
         node = self._node
         destinations = list(destinations)
-        remote = sum(1 for dst in destinations if dst != node.pid)
-        wire = PreEncoded(node.codec.encode_value(message), message) if remote > 1 else message
+        fabric = node.fabric
+        wire_bound = 0
+        if fabric is not None:
+            wire_bound = sum(
+                1
+                for dst in destinations
+                if dst != node.pid and fabric.wire_bound(dst)
+            )
+        wire = (
+            PreEncoded(node.codec.encode_value(message), message)
+            if wire_bound > 1
+            else message
+        )
         for dst in destinations:
             node.transport_send(dst, message if dst == node.pid else wire, size_bytes)
 
@@ -263,7 +288,14 @@ class LiveRuntime(Runtime):
 
 
 class LiveNode:
-    """One replica: TCP server + supervised peer sessions + protocol process."""
+    """One replica: protocol process + chaos driver, hosted by a fabric.
+
+    The node no longer owns any I/O: its worker's :class:`WorkerFabric`
+    carries all TCP (and colocated fast-path) traffic and registers
+    itself as ``node.fabric`` via ``add_node``.  A bare node without a
+    fabric (unit tests building replicas directly) simply counts every
+    remote send as dropped.
+    """
 
     def __init__(
         self,
@@ -278,9 +310,8 @@ class LiveNode:
         self.compiled = compiled
         self.host = host
         self.epoch = epoch
-        self.port: Optional[int] = None
-        self.peer_addresses: Dict[int, Tuple[str, int]] = {}
-        self.loop: asyncio.AbstractEventLoop = None  # set in serve()
+        self.loop: asyncio.AbstractEventLoop = None  # set by the fabric
+        self.fabric: Optional[WorkerFabric] = None  # set by WorkerFabric.add_node
         config = compiled.config
         params = TOY_PARAMS if config.signature_scheme == "bls" else None
         self.codec = WireCodec(curve_params=params)
@@ -293,9 +324,8 @@ class LiveNode:
             client_window=workload.client_window,
         )
         # Open-loop reply routing: commit notifications fan back out to
-        # every connected client swarm shard (no-op in preload mode).
+        # every client connection on this worker (no-op in preload mode).
         self.mempool.on_commit = self._on_requests_committed
-        self._client_writers: List[asyncio.StreamWriter] = []
         self.replies_sent = 0
         self.committee = committee
         # Per-replica transport counters, maintained once at this framing
@@ -323,25 +353,18 @@ class LiveNode:
             metrics=self.metrics,
             runtime=self.runtime,
         )
-        self._server: Optional[asyncio.base_events.Server] = None
-        self._tasks: List[asyncio.Task] = []
         self._stopping = False
         self._preloaded = False
-        # Resilience layer: supervised outbound sessions, phi-accrual
-        # failure detection and heartbeat bookkeeping.
+        # Resilience layer: phi-accrual failure detection per replica.
+        # The fabric feeds it — cross-worker traffic and heartbeats vouch
+        # for their source replica; colocated peers are observed directly
+        # on the maintenance tick.
         self.resilience = compiled.spec.resilience
         self.detector = PhiAccrualDetector(
             threshold=self.resilience.phi_threshold,
             window=self.resilience.detector_window,
             bootstrap_interval=self.resilience.heartbeat_interval,
         )
-        self.sessions: Dict[int, PeerSession] = {}
-        self._recv_seq: Dict[int, int] = {}  # per-peer envelope dedup floor
-        self._last_beat: Dict[int, float] = {}  # loop-time of last heartbeat out
-        self._heartbeat_seq = 0
-        self.heartbeats_sent = 0
-        self.frames_duplicate = 0
-        self._maintenance_task: Optional[asyncio.Task] = None
         # The chaos layer: traffic shaping + scheduled faults + attacker
         # corruption, all derived deterministically from the spec seed
         # (corruption happens here, before the replica ever starts).  The
@@ -431,144 +454,36 @@ class LiveNode:
             self._enqueue(dst, message)
 
     def _enqueue(self, dst: int, message: Any) -> None:
-        """Hand one (possibly shaping-delayed) message to ``dst``'s session."""
+        """Hand one (possibly shaping-delayed) message to the fabric."""
         if self._stopping:
             return
-        if dst not in self.peer_addresses:
-            # Unknown peer: drop, like the sim network.
+        fabric = self.fabric
+        if fabric is None or not fabric.routes(dst):
+            # No fabric (bare node in tests) or unknown peer: drop, like
+            # the sim network.
             self.counters["messages_dropped"] += 1
             return
-        self._session_for(dst).send(message)
+        fabric.dispatch(self.pid, dst, message)
 
-    def _session_for(self, dst: int) -> PeerSession:
-        session = self.sessions.get(dst)
-        if session is None:
-            host, port = self.peer_addresses[dst]
-            res = self.resilience
-            session = PeerSession(
-                self.pid,
-                dst,
-                host,
-                port,
-                self.codec,
-                max_batch=_MAX_WIRE_BATCH,
-                resend_buffer=res.resend_buffer,
-                reconnect_base=res.reconnect_base,
-                reconnect_cap=res.reconnect_cap,
-                on_drop=self._on_session_drop,
-                read_limit=_READ_LIMIT,
-            )
-            self.sessions[dst] = session
-            session.start()
-        return session
+    def receive_from_peer(self, src: int, message: Any) -> None:
+        """Deliver one inbound protocol message from replica ``src``.
 
-    def _on_session_drop(self, count: int) -> None:
-        # Resend-buffer overflow: the loss is counted, never hidden.
-        self.counters["messages_dropped"] += count
-
-    def open_sessions(self) -> None:
-        """Eagerly dial every peer (the readiness barrier awaits these)."""
-        for dst in self.peer_addresses:
-            if dst != self.pid:
-                self._session_for(dst)
-
-    async def wait_peers_ready(self, timeout: float) -> bool:
-        """True once every open session has connected at least once."""
-        deadline = self.loop.time() + timeout
-        for session in list(self.sessions.values()):
-            remaining = deadline - self.loop.time()
-            if remaining <= 0 or not await session.wait_ready(remaining):
-                return False
-        return True
-
-    # -- server side -----------------------------------------------------------
-    async def serve(self, port: int = 0) -> int:
-        """Start this node's TCP server; returns the bound port."""
-        self.loop = asyncio.get_running_loop()
-        self._server = await asyncio.start_server(
-            self._handle_connection, self.host, port, limit=_READ_LIMIT
-        )
-        self.port = self._server.sockets[0].getsockname()[1]
-        return self.port
-
-    async def _handle_connection(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        task = asyncio.current_task()
-        if task is not None:
-            self._tasks.append(task)
-        try:
-            hello = self.codec.decode(await self._read_frame(reader))
-            if isinstance(hello, SessionHello):
-                peer = hello.pid
-            elif isinstance(hello, ClientHello):
-                await self._serve_client(reader, writer)
-                return
-            elif isinstance(hello, int):  # pre-session peers (bare tests)
-                peer = hello
-            else:
-                return
-            while True:
-                decoded = self.codec.decode(await self._read_frame(reader))
-                # Any frame from a live peer is a liveness observation —
-                # unless this replica is down and "observes" nothing.
-                if not self.replica.crashed:
-                    self.detector.heartbeat(peer, self.now)
-                if isinstance(decoded, Heartbeat):
-                    continue
-                if isinstance(decoded, SessionEnvelope):
-                    last = self._recv_seq.get(peer, 0)
-                    if decoded.seq <= last:
-                        # Resent after reconnect but already delivered:
-                        # re-ack (the ack that would have advanced the
-                        # sender's floor may have died with the link).
-                        self.frames_duplicate += 1
-                        writer.write(self.codec.frame(SessionAck(last)))
-                        await writer.drain()
-                        continue
-                    self._recv_seq[peer] = decoded.seq
-                    self._deliver_members(peer, decoded.messages)
-                    writer.write(self.codec.frame(SessionAck(decoded.seq)))
-                    await writer.drain()
-                    continue
-                members = (
-                    decoded.messages if isinstance(decoded, FrameBatch) else (decoded,)
-                )
-                self._deliver_members(peer, members)
-        except (asyncio.IncompleteReadError, ConnectionError, OSError):
-            return
-        except asyncio.CancelledError:
-            # Shutdown path: completing normally (instead of re-raising)
-            # keeps asyncio's stream-protocol completion callback quiet.
-            return
-        finally:
-            writer.close()
-
-    # -- client side (open-loop swarm connections) -------------------------------
-    async def _serve_client(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        """Pump one client-swarm connection through admission control.
-
-        Client frames terminate here — they never reach the protocol core
-        and stay out of the per-replica transport counters, like session
-        control traffic.  Replies flow back asynchronously through
-        :meth:`_on_requests_committed` whenever a commit lands.
+        The single receive funnel for both the colocated fast path and
+        demultiplexed TCP frames, so liveness observation and transport
+        accounting cannot diverge between them.
         """
-        self._client_writers.append(writer)
-        try:
-            while True:
-                decoded = self.codec.decode(await self._read_frame(reader))
-                members = (
-                    decoded.messages if isinstance(decoded, FrameBatch) else (decoded,)
-                )
-                for message in members:
-                    if isinstance(message, ClientRequest):
-                        self._admit_client_request(message, writer)
-        finally:
-            if writer in self._client_writers:
-                self._client_writers.remove(writer)
+        if self.replica.crashed:
+            # Mirror the sim network: traffic to a crashed replica is a
+            # drop, not a receipt — and a down replica observes nothing.
+            self.counters["messages_dropped"] += 1
+            return
+        # Any delivered frame is a liveness observation for its sender.
+        self.detector.heartbeat(src, self.now)
+        self.counters["messages_received"] += 1
+        if not self._stopping:
+            self.replica._deliver(src, message)
 
+    # -- client admission (connections live on the fabric) -----------------------
     def _admit_client_request(
         self, request: ClientRequest, writer: asyncio.StreamWriter
     ) -> None:
@@ -610,71 +525,26 @@ class LiveNode:
             )
 
     def _on_requests_committed(self, requests: List[Any]) -> None:
-        """Mempool first-commit hook: notify every connected swarm shard.
+        """Mempool first-commit hook: notify every client connection.
 
-        One reply per request, batched into a single frame per
-        connection; shards that do not own a request id ignore it.
-        Plain ``write`` without drain on purpose: replies are tens of
-        bytes and must never let a slow client connection backpressure
-        the consensus hot path.
+        One reply per request, batched into a single frame broadcast on
+        the worker's client connections; shards that do not own a
+        request id ignore it.
         """
-        if self._stopping or not self._client_writers:
+        fabric = self.fabric
+        if self._stopping or fabric is None or not fabric.has_clients:
             return
         replies = tuple(
             ClientReply(request_id=r.request_id, replica=self.pid) for r in requests
         )
         wire = replies[0] if len(replies) == 1 else FrameBatch(replies)
-        frame = self.codec.frame(wire)
-        for writer in list(self._client_writers):
-            self._write_client(writer, frame)
+        fabric.broadcast_client(self.codec.frame(wire))
         self.replies_sent += len(replies)
 
     @staticmethod
     def _write_client(writer: asyncio.StreamWriter, frame: bytes) -> None:
         if not writer.is_closing():
             writer.write(frame)
-
-    def _deliver_members(self, peer: int, members: Iterable[Any]) -> None:
-        for message in members:
-            if self.replica.crashed:
-                # Mirror the sim network: traffic to a crashed replica is
-                # a drop, not a receipt.
-                self.counters["messages_dropped"] += 1
-                continue
-            self.counters["messages_received"] += 1
-            if not self._stopping:
-                self.replica._deliver(peer, message)
-
-    @staticmethod
-    async def _read_frame(reader: asyncio.StreamReader) -> Optional[bytes]:
-        header = await reader.readexactly(4)
-        size = int.from_bytes(header, "big")
-        if size > _READ_LIMIT:
-            raise ConnectionError(f"oversized frame ({size} bytes)")
-        return await reader.readexactly(size)
-
-    # -- heartbeats / failure detection ----------------------------------------
-    async def _maintenance(self) -> None:
-        """Periodic tick: emit heartbeats, evaluate peer suspicions."""
-        res = self.resilience
-        tick = res.heartbeat_interval / 2
-        while not self._stopping:
-            await asyncio.sleep(tick)
-            if self.replica.crashed:
-                continue  # a down replica neither beats nor observes
-            self.detector.evaluate(self.now)
-            loop_now = self.loop.time()
-            for dst, session in self.sessions.items():
-                if not session.connected or self.chaos.blocked(dst):
-                    continue
-                if loop_now - session.last_payload_at < res.heartbeat_interval:
-                    continue  # recent protocol traffic doubles as liveness
-                if loop_now - self._last_beat.get(dst, -1e9) < res.heartbeat_interval:
-                    continue
-                self._heartbeat_seq += 1
-                session.send_control(Heartbeat(self.pid, self._heartbeat_seq))
-                self._last_beat[dst] = loop_now
-                self.heartbeats_sent += 1
 
     # -- fault hooks (chaos driver) ---------------------------------------------
     def crash_replica(self) -> None:
@@ -734,43 +604,15 @@ class LiveNode:
         self.replica.start()
         if request_sync and self.compiled.config.sync_on_recover:
             self.replica.request_sync()
-        if self._maintenance_task is None and self.loop is not None:
-            self._maintenance_task = self.loop.create_task(self._maintenance())
-            self._tasks.append(self._maintenance_task)
-
-    async def stop(self) -> None:
-        self._stopping = True
-        # Refuse new connections before touching tasks: a still-running
-        # peer's (shaping-delayed, or reconnecting) session may dial in at
-        # any moment during shutdown.
-        if self._server is not None:
-            self._server.close()
-        for session in list(self.sessions.values()):
-            await session.stop()
-        # Cancel in rounds: a handler task that registered between one
-        # round's cancel pass and its await pass would otherwise be
-        # awaited *uncancelled* — and a live peer pumping frames into it
-        # would block this node's shutdown forever.
-        while self._tasks:
-            doomed = self._tasks
-            self._tasks = []
-            for task in doomed:
-                task.cancel()
-            for task in doomed:
-                try:
-                    await task
-                except asyncio.CancelledError:
-                    pass
-                except Exception as exc:  # teardown anomaly: log, don't hide
-                    logger.warning(
-                        "replica %d teardown task raised %r", self.pid, exc
-                    )
-        if self._server is not None:
-            await self._server.wait_closed()
 
     # -- reporting ---------------------------------------------------------------
     def summary(self, elapsed: float) -> Dict[str, Any]:
-        """JSON-safe per-node stats (shared by task and subprocess modes)."""
+        """JSON-safe per-node stats (shared by task and subprocess modes).
+
+        Session-level counters (reconnects, resends, duplicate frames,
+        heartbeats) live on the *worker-pair* links now, not on replicas
+        — they land in the cluster-level fabric record instead of here.
+        """
         self.metrics.mark_window(0.0, elapsed)
         replica = self.replica
         recovered_at = replica.recovered_at
@@ -800,10 +642,6 @@ class LiveNode:
             },
             "resilience": {
                 "suspicions": self.detector.summary(),
-                "reconnects": sum(s.reconnects for s in self.sessions.values()),
-                "frames_resent": sum(s.frames_resent for s in self.sessions.values()),
-                "frames_duplicate": self.frames_duplicate,
-                "heartbeats_sent": self.heartbeats_sent,
                 "sync_requests_sent": replica.sync_requests_sent,
                 "sync_requests_served": replica.sync_requests_served,
                 "catchup_blocks": replica.catchup_blocks,
@@ -857,10 +695,6 @@ def _salvaged_summary(pid: int, elapsed: float) -> Dict[str, Any]:
         },
         "resilience": {
             "suspicions": [],
-            "reconnects": 0,
-            "frames_resent": 0,
-            "frames_duplicate": 0,
-            "heartbeats_sent": 0,
             "sync_requests_sent": 0,
             "sync_requests_served": 0,
             "catchup_blocks": 0,
@@ -874,7 +708,7 @@ def _salvaged_summary(pid: int, elapsed: float) -> Dict[str, Any]:
 
 
 async def serve_window(
-    nodes: List[LiveNode],
+    fabric: WorkerFabric,
     epoch: Optional[float],
     duration: float,
     target_blocks: Optional[int],
@@ -886,32 +720,36 @@ async def serve_window(
     """The shared serve loop: readiness, barrier, start, poll, stop.
 
     Both deployment shapes go through this exact code path — task mode
-    (all nodes in one loop) and each ``--procs`` worker (its slice of the
-    committee) — so their lifecycle semantics cannot diverge.  Nodes must
-    already be listening with ``peer_addresses`` populated.
+    (one fabric hosting the whole committee) and each ``--procs`` worker
+    (its fabric hosting a slice) — so their lifecycle semantics cannot
+    diverge.  The fabric must already be serving with its worker address
+    map populated.
 
     ``epoch=None`` (task mode) starts the protocol the moment every
-    session has established — an explicit readiness barrier, replacing
-    the old fixed ``_START_GRACE`` sleep — and rebases every node's
-    clock to that instant.  A wall-clock ``epoch`` (subprocess mode) is
-    the cross-worker barrier: session establishment happens in the
-    pre-barrier window.
+    worker-pair session has established — an explicit readiness barrier
+    that collapses to a no-op when there are no remote workers — and
+    rebases every node's clock to that instant.  A wall-clock ``epoch``
+    (subprocess mode) is the cross-worker barrier: session establishment
+    happens in the pre-barrier window.
 
     ``client_shard=(offset, step)`` runs shard ``offset::step`` of the
     spec's open-loop client swarm alongside the nodes (task mode passes
-    ``(0, 1)``; each ``--procs`` worker hosts its own shard).  ``None``
-    — or a spec in preload/replay mode, or a zero rate — runs no swarm.
-    ``incarnation`` namespaces a restarted worker's request ids so they
-    never collide with its dead predecessor's.
+    ``(0, 1)``; each ``--procs`` worker hosts its own shard).  The swarm
+    dials *workers*, not replicas.  ``None`` — or a spec in
+    preload/replay mode, or a zero rate — runs no swarm.  ``incarnation``
+    namespaces a restarted worker's request ids so they never collide
+    with its dead predecessor's.
 
     Returns ``{"nodes": [...summaries...], "window": {...}}`` where the
     window record carries the measured ``elapsed``, whether the run was
     cut short by the quiescence watchdog, whether all sessions were
-    ready before the protocol started, and the swarm shard's client-side
-    summary (``"swarm"``, ``None`` when no swarm ran).
+    ready before the protocol started, the swarm shard's client-side
+    summary (``"swarm"``, ``None`` when no swarm ran), and this worker's
+    fabric transport record (``"fabric"``).
     """
-    res = nodes[0].resilience
-    spec = nodes[0].compiled.spec
+    nodes = fabric.node_list
+    res = fabric.resilience
+    spec = fabric.compiled.spec
     swarm: Optional[ClientSwarm] = None
     if (
         client_shard is not None
@@ -921,10 +759,10 @@ async def serve_window(
         workload_seed = (
             spec.workload.seed
             if spec.workload.seed is not None
-            else nodes[0].compiled.config.seed
+            else fabric.compiled.config.seed
         )
         swarm = ClientSwarm(
-            nodes[0].peer_addresses,
+            fabric.worker_addresses,
             rate=spec.workload.rate,
             payload_size=spec.workload.payload_size,
             num_clients=spec.workload.num_clients,
@@ -936,13 +774,7 @@ async def serve_window(
             shard_step=client_shard[1],
             incarnation=incarnation,
         )
-    for node in nodes:
-        node.open_sessions()
-    ready = all(
-        await asyncio.gather(
-            *(node.wait_peers_ready(res.ready_timeout) for node in nodes)
-        )
-    )
+    ready = await fabric.wait_ready(res.ready_timeout)
     # Preload the client workload while still outside the measured window:
     # the submissions carry virtual time zero either way, and at benchmark
     # request volumes building them takes long enough to visibly eat into
@@ -959,6 +791,7 @@ async def serve_window(
     cold = set(cold_start_pids)
     for node in nodes:
         node.start_protocol(request_sync=node.pid in cold)
+    fabric.start_maintenance()
     if swarm is not None:
         # Clients dial in only after the protocol is live: traffic
         # belongs inside the measured window, unlike the preload.
@@ -986,12 +819,11 @@ async def serve_window(
             await asyncio.sleep(0.02)
     finally:
         elapsed = max(time.time() - run_started, 1e-9)
-        # Stop the clients before the nodes so late replies don't race
+        # Stop the clients before the fabric so late replies don't race
         # writer teardown and in-flight tallies settle where they are.
         if swarm is not None:
             await swarm.stop()
-        for node in nodes:
-            await node.stop()
+        await fabric.stop()
     return {
         "nodes": [node.summary(elapsed) for node in nodes],
         "window": {
@@ -999,6 +831,7 @@ async def serve_window(
             "quiesced": quiesced,
             "all_ready": ready,
             "swarm": swarm.summary() if swarm is not None else None,
+            "fabric": fabric.summary(),
         },
     }
 
@@ -1018,6 +851,11 @@ class LiveCluster:
     target_blocks: Optional[int] = None
     procs: int = 1
     host: str = "127.0.0.1"
+    #: The colocated delivery fast path: same-worker replicas hand frames
+    #: directly to each other's handlers.  ``False`` forces even
+    #: colocated traffic through loopback TCP sessions — the knob the
+    #: fast-path parity tests flip to compare committed prefixes.
+    fast_path: bool = True
     #: Pass a precompiled scenario to skip recompiling the spec (the
     #: engine's ``build_scenario_deployment(runtime="live")`` does).
     compiled: Optional[CompiledScenario] = None
@@ -1087,6 +925,7 @@ class LiveCluster:
         ended the epoch crashed (the ``run_epochs`` orchestrator excludes
         them from reward feedback, exactly like the sim runtime).
         """
+        maybe_install_uvloop()
         budget = self.duration if self.duration is not None else self.compiled.epoch_duration
         if self.procs > 1:
             summaries = self._run_subprocesses(budget)
@@ -1103,18 +942,21 @@ class LiveCluster:
             _make_signature_scheme(self.compiled.config), size, seed=self.compiled.config.seed
         )
         plan = compile_chaos_plan(self.compiled)
-        nodes = [
-            LiveNode(pid, self.compiled, committee, time.time(), host=self.host, plan=plan)
-            for pid in range(size)
-        ]
-        addresses: Dict[int, Tuple[str, int]] = {}
-        for node in nodes:
-            port = await node.serve()
-            addresses[node.pid] = (self.host, port)
-        for node in nodes:
-            node.peer_addresses = addresses
+        # One worker hosting the whole committee: zero inter-replica TCP
+        # when the fast path is on; with it off, one loopback session to
+        # the fabric's own server carries everything (the parity shape).
+        placement = Placement.round_robin(size, 1)
+        fabric = WorkerFabric(
+            0, placement, self.compiled, host=self.host, fast_path=self.fast_path
+        )
+        for pid in range(size):
+            fabric.add_node(
+                LiveNode(pid, self.compiled, committee, time.time(), host=self.host, plan=plan)
+            )
+        port = await fabric.serve()
+        fabric.set_worker_addresses({0: (self.host, port)})
         report = await serve_window(
-            nodes, None, budget, self.target_blocks, client_shard=(0, 1)
+            fabric, None, budget, self.target_blocks, client_shard=(0, 1)
         )
         self.window_info = report["window"]
         return report["nodes"]
@@ -1135,23 +977,28 @@ class LiveCluster:
     def _spawn_workers_once(self, budget: float) -> List[Dict[str, Any]]:
         size = self.compiled.config.committee_size
         procs = min(self.procs, size)
-        ports = {pid: _free_port(self.host) for pid in range(size)}
-        assignments = [list(range(size))[worker::procs] for worker in range(procs)]
+        placement = Placement.round_robin(size, procs)
+        # One listening port per *worker*, not per replica: the fabric
+        # multiplexes every hosted replica's traffic through it.
+        ports = {worker: _free_port(self.host) for worker in range(procs)}
         epoch = time.time() + 1.0  # generous start barrier across processes
         wall_deadline = epoch + budget
         base_config = {
             "spec": self.spec.to_dict(),
-            "ports": {str(pid): port for pid, port in ports.items()},
+            "placement": placement.to_payload(),
+            "ports": {str(worker): port for worker, port in ports.items()},
             "host": self.host,
+            "fast_path": self.fast_path,
             "target_blocks": self.target_blocks,
         }
 
         def spawn(pids: Sequence[int], attempt: int) -> SupervisedWorker:
+            worker = placement.worker_of(pids[0])
             if attempt == 0:
                 worker_epoch, worker_budget, cold = epoch, budget, False
             else:
-                # A restarted worker rebinds the same ports (the dead
-                # incarnation freed them), joins the already-running
+                # A restarted worker rebinds the same port (the dead
+                # incarnation freed it), joins the already-running
                 # committee on its own short barrier, serves out the
                 # remaining window and cold-start-syncs its replicas.
                 worker_epoch = time.time() + 1.0  # interpreter start + bind
@@ -1160,14 +1007,14 @@ class LiveCluster:
             payload = json.dumps(
                 {
                     **base_config,
-                    "pids": list(pids),
+                    "worker": worker,
                     "epoch": worker_epoch,
                     "duration": worker_budget,
                     "cold_start": cold,
-                    # Worker i hosts client shard pids[0]::procs — every
-                    # worker a distinct slice, together covering all
-                    # clients; restart attempts namespace request ids.
-                    "client_shard": [pids[0], procs],
+                    # Worker i hosts client shard i::procs — every worker
+                    # a distinct slice, together covering all clients;
+                    # restart attempts namespace request ids.
+                    "client_shard": [worker, procs],
                     "incarnation": attempt,
                 }
             )
@@ -1192,6 +1039,7 @@ class LiveCluster:
         supervisor = WorkerSupervisor(spawn, policy)
         self.worker_supervisor = supervisor
         deadline = time.monotonic() + (epoch - time.time()) + budget + 30.0
+        assignments = [list(placement.pids_of(worker)) for worker in range(procs)]
         try:
             succeeded, failed = supervisor.run(assignments, deadline)
         finally:
@@ -1220,6 +1068,12 @@ class LiveCluster:
             window["elapsed"] = max(window.get("elapsed", 0.0), record.get("elapsed", 0.0))
             window["quiesced"] = window.get("quiesced", False) or record.get("quiesced", False)
             window["all_ready"] = window.get("all_ready", True) and record.get("all_ready", True)
+            fabric_record = record.get("fabric")
+            if fabric_record is not None:
+                # First-seen wins per worker, consistent with the per-pid
+                # summary dedup (a restarted worker re-reports its slot).
+                fabrics = window.setdefault("fabrics", {})
+                fabrics.setdefault(str(fabric_record.get("worker", 0)), fabric_record)
             shard_summary = record.get("swarm")
             if shard_summary is not None:
                 # Dedup by shard: a restarted worker re-reports its
@@ -1279,6 +1133,7 @@ class LiveCluster:
                 "quiesced": bool(self.window_info.get("quiesced", False)),
                 "all_ready": bool(self.window_info.get("all_ready", True)),
                 "workers": self.worker_report or {"restarts": 0, "events": []},
+                "fabric": self._fabric_report(),
             },
         }
         clients = self._clients_report(summaries, measured)
@@ -1301,6 +1156,39 @@ class LiveCluster:
             resilience=resilience,
             clients=clients,
         )
+
+    def _fabric_report(self) -> Dict[str, Any]:
+        """Fold per-worker fabric records into the cluster transport story.
+
+        ``sessions_total`` against ``naive_pairwise_sessions`` is the
+        O(workers²)-vs-O(n²) evidence the scaling benchmark reads straight
+        out of telemetry: 200 replicas on 4 workers report 12 directed
+        sessions where the per-replica fabric held n·(n−1) = 39 800.
+        """
+        records: List[Dict[str, Any]] = []
+        if self.window_info.get("fabric") is not None:
+            records.append(self.window_info["fabric"])
+        records.extend((self.window_info.get("fabrics") or {}).values())
+        size = self.compiled.config.committee_size
+        if not records:  # every worker salvaged — degenerate, but reportable
+            return {"workers": 0, "naive_pairwise_sessions": size * (size - 1)}
+        return {
+            "workers": max(r.get("workers", 1) for r in records),
+            "fast_path": all(r.get("fast_path", True) for r in records),
+            "sessions_total": sum(r.get("sessions", 0) for r in records),
+            "connections_accepted": sum(r.get("connections_accepted", 0) for r in records),
+            "fast_path_messages": sum(r.get("fast_path_messages", 0) for r in records),
+            "tcp_messages": sum(r.get("tcp_messages", 0) for r in records),
+            "heartbeats_sent": sum(r.get("heartbeats_sent", 0) for r in records),
+            "reconnects": sum(r.get("reconnects", 0) for r in records),
+            "frames_resent": sum(r.get("frames_resent", 0) for r in records),
+            "frames_duplicate": sum(r.get("frames_duplicate", 0) for r in records),
+            "session_messages_dropped": sum(
+                r.get("session_messages_dropped", 0) for r in records
+            ),
+            "naive_pairwise_sessions": size * (size - 1),
+            "per_worker": sorted(records, key=lambda r: r.get("worker", 0)),
+        }
 
     def _clients_report(
         self, summaries: List[Dict[str, Any]], measured: float

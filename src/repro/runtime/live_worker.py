@@ -4,9 +4,11 @@ Reads one JSON config from stdin::
 
     {
       "spec": {...ScenarioSpec.to_dict()...},
-      "pids": [0, 2],              # replicas hosted by this worker
-      "ports": {"0": 51001, ...},  # full pid -> port map
+      "worker": 1,                 # this worker's index in the placement
+      "placement": [[0, 3], [1, 4], [2, 5]],  # worker -> hosted pids
+      "ports": {"0": 51001, ...},  # worker -> port map (one per worker)
       "host": "127.0.0.1",
+      "fast_path": true,           # colocated direct delivery on/off
       "epoch": 1722334455.5,       # shared wall-clock zero / start barrier
       "duration": 3.0,
       "target_blocks": null,
@@ -15,14 +17,16 @@ Reads one JSON config from stdin::
       "incarnation": 0             # restart generation (namespaces request ids)
     }
 
-hosts the listed replicas as asyncio tasks in this process (the exact same
-:class:`~repro.runtime.live.LiveNode` code path as task mode — only the
-process boundary differs), and writes ``{"nodes": [...], "window": {...}}``
-to stdout.  A ``cold_start`` worker — respawned by the
-:class:`~repro.resilience.supervisor.WorkerSupervisor` after its previous
-incarnation died — marks its replicas for catch-up sync, so they request
-the committed blocks they missed the moment they start.  Spawned by
-:class:`~repro.runtime.live.LiveCluster`; not intended to be run by hand.
+hosts its placement slice of the committee behind one
+:class:`~repro.runtime.fabric.WorkerFabric` — a single TCP server and one
+multiplexed session per remote worker, the exact same code path as task
+mode (only the process boundary differs) — and writes
+``{"nodes": [...], "window": {...}}`` to stdout.  A ``cold_start`` worker
+— respawned by the :class:`~repro.resilience.supervisor.WorkerSupervisor`
+after its previous incarnation died — marks its replicas for catch-up
+sync, so they request the committed blocks they missed the moment they
+start.  Spawned by :class:`~repro.runtime.live.LiveCluster`; not intended
+to be run by hand.
 """
 
 from __future__ import annotations
@@ -35,7 +39,9 @@ from typing import Any, Dict
 from repro.chaos.plan import compile_chaos_plan
 from repro.crypto.keys import Committee
 from repro.experiments.runner import _make_signature_scheme
+from repro.runtime.fabric import Placement, WorkerFabric
 from repro.runtime.live import LiveNode, serve_window
+from repro.runtime.net import maybe_install_uvloop
 from repro.scenarios.engine import compile_scenario
 from repro.scenarios.spec import ScenarioSpec
 
@@ -49,20 +55,26 @@ async def _run_nodes(config: Dict[str, Any]) -> Dict[str, Any]:
     epoch = float(config["epoch"])
     duration = float(config["duration"])
     target_blocks = config.get("target_blocks")
-    ports = {int(pid): int(port) for pid, port in config["ports"].items()}
+    worker = int(config["worker"])
+    placement = Placement.from_payload(config["placement"])
+    ports = {int(w): int(port) for w, port in config["ports"].items()}
     committee = Committee(
         _make_signature_scheme(compiled.config),
         compiled.config.committee_size,
         seed=compiled.config.seed,
     )
     plan = compile_chaos_plan(compiled)
-    nodes = [
-        LiveNode(pid, compiled, committee, epoch, host=host, plan=plan)
-        for pid in config["pids"]
-    ]
-    for node in nodes:
-        await node.serve(port=ports[node.pid])
-        node.peer_addresses = {pid: (host, port) for pid, port in ports.items()}
+    fabric = WorkerFabric(
+        worker,
+        placement,
+        compiled,
+        host=host,
+        fast_path=bool(config.get("fast_path", True)),
+    )
+    for pid in placement.pids_of(worker):
+        fabric.add_node(LiveNode(pid, compiled, committee, epoch, host=host, plan=plan))
+    await fabric.serve(port=ports[worker])
+    fabric.set_worker_addresses({w: (host, port) for w, port in ports.items()})
     # The shared barrier + poll + stop lifecycle (same code path as task
     # mode); the epoch acts as the cross-worker start barrier.  A restarted
     # worker's replicas cold-start: they ask the surviving committee for
@@ -70,11 +82,11 @@ async def _run_nodes(config: Dict[str, Any]) -> Dict[str, Any]:
     cold = bool(config.get("cold_start", False))
     shard = config.get("client_shard")
     return await serve_window(
-        nodes,
+        fabric,
         epoch,
         duration,
         None if target_blocks is None else int(target_blocks),
-        cold_start_pids=tuple(config["pids"]) if cold else (),
+        cold_start_pids=placement.pids_of(worker) if cold else (),
         client_shard=None if shard is None else (int(shard[0]), int(shard[1])),
         incarnation=int(config.get("incarnation", 0)),
     )
@@ -84,6 +96,7 @@ def run_worker(stdin: Any = None, stdout: Any = None) -> int:
     stdin = stdin or sys.stdin
     stdout = stdout or sys.stdout
     config = json.load(stdin)
+    maybe_install_uvloop()
     report = asyncio.run(_run_nodes(config))
     json.dump(report, stdout)
     stdout.flush()
