@@ -6,6 +6,7 @@ Run as a script (not collected by pytest — the tier-1 suite lives in
     PYTHONPATH=src python benchmarks/bench_live.py [output.json] [--quick] [--procs N]
     PYTHONPATH=src python benchmarks/bench_live.py smoke.json --smoke
     PYTHONPATH=src python benchmarks/bench_live.py smoke.json --scaling-smoke
+    PYTHONPATH=src python benchmarks/bench_live.py smoke.json --tracing-smoke
 
 Benchmarks the asyncio localhost-TCP cluster (:mod:`repro.runtime.live`)
 on a 4-replica committee: blocks/sec and ops/sec actually served over
@@ -42,6 +43,13 @@ subprocesses to show the multiplexed transport's headline: 12 worker-pair
 sessions where a per-replica mesh would hold 9 900.  ``--scaling-smoke``
 runs the one n=50 cell CI's ``scaling-smoke`` stage gates on and writes
 just that cell's document.
+
+The ``tracing`` section is the observability layer's overhead contract:
+the same n=4 clean cluster with :mod:`repro.observe` tracing off vs on
+at ``sample_rate=1.0``, reporting the blocks/sec delta against the 5%
+budget.  ``--tracing-smoke`` runs just that cell and **exits non-zero**
+when the budget is blown, which is what CI's ``trace-smoke`` stage
+gates on.
 This tracks the live-runtime trajectory next to the simulator-side
 ``BENCH_PERF.json``; note that since the chaos layer landed, clusters
 emulate their spec's topology (the 0.5 ms links below are *shaped*, so
@@ -511,6 +519,52 @@ def bench_scaling_smoke(duration: float) -> dict:
     return {"benchmark": "scaling-smoke", **SCALING_SMOKE_CELL, "cell": cell}
 
 
+#: The tracing-overhead gate: a fully-sampled trace may cost at most this
+#: fraction of clean-cluster blocks/sec.  CI's ``trace-smoke`` stage runs
+#: ``--tracing-smoke`` and fails the build when ``within_budget`` is false.
+TRACING_OVERHEAD_BUDGET_PCT = 5.0
+
+
+def bench_tracing(duration: float) -> dict:
+    """Tracing-overhead cell: the same n=4 clean cluster, tracing off vs on.
+
+    Both cells run iniva/hashsig with the full event taxonomy at
+    ``sample_rate=1.0`` — the *worst case*, since production tracing is
+    expected to sample.  The window has a floor (2.5 s) even under
+    ``--quick``: the overhead is a ratio of two noisy throughput
+    measurements, so each side needs enough committed blocks for the
+    comparison to mean anything.
+    """
+    window = max(duration, 2.5)
+    spec = _bench_spec("iniva", "hashsig", window)
+    _, off = run_cell(spec, window)
+    traced = spec.with_(
+        name="bench-live-traced",
+        observe={"enabled": True, "sample_rate": 1.0},
+    )
+    result, on = run_cell(traced, window)
+    trace = result.observability["trace"]
+    overhead_pct = round(
+        100.0 * (1.0 - on["blocks_per_sec"] / max(off["blocks_per_sec"], 1e-9)), 1
+    )
+    return {
+        "label": "iniva/hashsig n=4 tracing off vs on (sample_rate=1.0)",
+        "window_s": window,
+        "tracing_off": off,
+        "tracing_on": on,
+        "events_recorded": len(trace["events"]),
+        "events_dropped": trace.get("dropped", 0),
+        "overhead_pct": overhead_pct,
+        "budget_pct": TRACING_OVERHEAD_BUDGET_PCT,
+        "within_budget": overhead_pct <= TRACING_OVERHEAD_BUDGET_PCT,
+    }
+
+
+def bench_tracing_smoke(duration: float) -> dict:
+    """The tracing-overhead cell CI's ``trace-smoke`` stage gates on."""
+    return {"benchmark": "trace-smoke", "cell": bench_tracing(duration)}
+
+
 def bench_codec(reps: int) -> dict:
     """Raw encode/decode rates, single frames vs one v2 batch frame."""
     from repro.consensus.block import Block, genesis_qc
@@ -575,6 +629,7 @@ def main(argv) -> int:
     quick = "--quick" in argv
     smoke = "--smoke" in argv
     scaling_smoke = "--scaling-smoke" in argv
+    tracing_smoke = "--tracing-smoke" in argv
     procs = 1
     positional = []
     skip_next = False
@@ -582,7 +637,7 @@ def main(argv) -> int:
         if skip_next:
             skip_next = False
             continue
-        if arg in ("--quick", "--smoke", "--scaling-smoke"):
+        if arg in ("--quick", "--smoke", "--scaling-smoke", "--tracing-smoke"):
             continue
         if arg == "--procs":
             if index + 1 >= len(argv):
@@ -601,12 +656,23 @@ def main(argv) -> int:
     duration = 1.0 if quick else 5.0
     reps = 200 if quick else 2000
 
-    if smoke or scaling_smoke:
-        report = bench_smoke(duration) if smoke else bench_scaling_smoke(duration)
+    if smoke or scaling_smoke or tracing_smoke:
+        if smoke:
+            report = bench_smoke(duration)
+        elif scaling_smoke:
+            report = bench_scaling_smoke(duration)
+        else:
+            report = bench_tracing_smoke(duration)
         out_path.parent.mkdir(parents=True, exist_ok=True)
         out_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
         print(json.dumps(report, indent=2))
         print(f"\nwrote {out_path}")
+        if tracing_smoke and not report["cell"]["within_budget"]:
+            print(
+                f"FAIL: tracing overhead {report['cell']['overhead_pct']}% exceeds "
+                f"the {TRACING_OVERHEAD_BUDGET_PCT}% budget"
+            )
+            return 1
         return 0
 
     cells = [("star", "hashsig"), ("iniva", "hashsig"), ("iniva", "bls")]
@@ -643,6 +709,7 @@ def main(argv) -> int:
     }
     saturation = bench_saturation(duration, procs)
     scaling = bench_scaling(quick)
+    tracing = bench_tracing(duration)
     report = {
         "benchmark": "live-runtime",
         "quick": quick,
@@ -651,6 +718,7 @@ def main(argv) -> int:
         "scaling": scaling,
         "saturation": saturation,
         "hot_path": hot_path,
+        "tracing": tracing,
         "codec": codec,
     }
     out_path.parent.mkdir(parents=True, exist_ok=True)

@@ -77,6 +77,25 @@ class Aggregator(ABC):
         """
 
     # -- shared helpers ----------------------------------------------------------
+    def _trace(self, etype: str, **fields: Any) -> None:
+        """Emit an aggregation trace event (always, when tracing is on)."""
+        tracer = self.replica.metrics.tracer
+        if tracer is not None:
+            tracer.emit(etype, self.process_id, self.replica.now, **fields)  # type: ignore[attr-defined]
+
+    def _trace_hot(self, etype: str, view: int, **fields: Any) -> None:
+        """Per-message trace emission, thinned by deterministic view sampling.
+
+        Share arrivals fire once per vote per collection point — the one
+        stream dense enough to threaten the overhead budget — so they go
+        through ``sample_view``: at ``sample_rate < 1`` only a
+        deterministic subset of views is traced, the *same* subset under
+        sim and live.
+        """
+        tracer = self.replica.metrics.tracer
+        if tracer is not None and tracer.sample_view(view):  # type: ignore[attr-defined]
+            tracer.emit(etype, self.process_id, self.replica.now, view=view, **fields)  # type: ignore[attr-defined]
+
     def _verify_shares(self, shares, payload: bytes, on_result) -> None:
         """Verify ``shares`` as one batched check; deliver the valid subset.
 

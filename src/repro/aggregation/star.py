@@ -70,6 +70,9 @@ class StarAggregator(Aggregator):
         share = message.signature
         if not isinstance(share, SignatureShare):
             return
+        self._trace_hot(
+            "share_recv", block.view, block=block.block_id[:12], src=sender, role="collector"
+        )
         if self.config.batch_verification:
             # Deferred ingest: stash the share unverified and run one
             # batched check over the whole pending set once it can reach a
@@ -155,6 +158,14 @@ class StarAggregator(Aggregator):
         if state["done"]:
             return
         state["shares"][share.signer] = share
+        self._trace_hot(
+            "share_verified",
+            block.view,
+            block=block.block_id[:12],
+            src=share.signer,
+            signers=1,
+            included=len(state["shares"]),
+        )
         quorum = self.config.quorum_size
         if not state["deadline_set"] and self.config.wait_for_all_votes:
             state["deadline_set"] = True

@@ -114,6 +114,9 @@ class TreeAggregator(Aggregator):
         state = self._collection(block)
         if state["sent_up"]:
             return
+        self._trace_hot(
+            "share_recv", block.view, block=block.block_id[:12], src=sender, role="internal"
+        )
         if self.config.batch_verification:
             # Deferred ingest: hold the share and verify the whole set with
             # one batched check once every child reported (or the level
@@ -226,6 +229,14 @@ class TreeAggregator(Aggregator):
         state = self._collection(block)
         if state["done"]:
             return
+        self._trace_hot(
+            "share_recv",
+            block.view,
+            block=block.block_id[:12],
+            src=sender,
+            role="root",
+            kind="aggregate" if isinstance(signature, AggregateSignature) else "share",
+        )
         tree: AggregationTree = state["tree"]
         if isinstance(signature, AggregateSignature):
             if sender not in tree.internal_nodes:
@@ -322,6 +333,14 @@ class TreeAggregator(Aggregator):
         state["contributions"].append((contribution, weight))
         state["included"] |= signers
         state["sources"].add(source)
+        self._trace_hot(
+            "share_verified",
+            block.view,
+            block=block.block_id[:12],
+            src=source,
+            signers=len(signers),
+            included=len(state["included"]),
+        )
         self._root_check_progress(block)
         if not state["done"] and state["root_unverified"]:
             # This contribution may be what makes the held shares reach

@@ -15,6 +15,8 @@ writing any code::
     python -m repro scenario my_campaign.yaml --output-dir results/
     python -m repro live rack-baseline --quick
     python -m repro live my_campaign.yaml --duration 5 --procs 4
+    python -m repro trace omission-cartel --quick
+    python -m repro trace rack-baseline --runtime live --output-dir traces/
     python -m repro sweep rack-baseline --set aggregation=star,iniva --quick
 
 ``--quick`` applies the shared quick-profile table (reduced trial counts
@@ -189,6 +191,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write CSV/JSON/Markdown/plot artifacts into this directory",
     )
 
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="run a scenario with consensus tracing on and print the forensic "
+        "report (see repro.observe; --output-dir also writes the JSONL trace "
+        "and a Perfetto-loadable Chrome trace)",
+    )
+    trace_parser.add_argument(
+        "spec", help="built-in preset name or path to a .json/.yaml scenario spec"
+    )
+    trace_parser.add_argument(
+        "--runtime", choices=["sim", "live"], default="sim",
+        help="which substrate executes the traced run (default sim)",
+    )
+    trace_parser.add_argument(
+        "--quick", action="store_true", help="reduced duration/committee"
+    )
+    trace_parser.add_argument("--seed", type=int, default=None, help="override the spec's seed")
+    trace_parser.add_argument(
+        "--sample-rate", type=float, default=1.0, dest="sample_rate",
+        help="fraction of views whose hot-path share events are traced "
+        "(milestone events are always recorded; default 1.0)",
+    )
+    trace_parser.add_argument(
+        "--capacity", type=int, default=None,
+        help="per-tracer event ring capacity (default: the spec's observe.capacity)",
+    )
+    trace_parser.add_argument(
+        "--duration", type=float, default=None,
+        help="live runtime only: wall-clock seconds to serve traffic",
+    )
+    trace_parser.add_argument(
+        "--target-blocks", type=int, default=None, dest="target_blocks",
+        help="live runtime only: stop early after this many committed blocks",
+    )
+    trace_parser.add_argument(
+        "--procs", type=int, default=1,
+        help="live runtime only: spread replicas over worker subprocesses",
+    )
+    trace_parser.add_argument(
+        "--output-dir",
+        default=None,
+        help="write trace.jsonl, trace_chrome.json and report.md into this directory",
+    )
+
     sweep_parser = subparsers.add_parser(
         "sweep", help="run one scenario per grid cell (cartesian --set product)"
     )
@@ -262,6 +308,7 @@ def _command_list() -> str:
     lines.append("  run      a single simulated deployment (see `repro run --help`)")
     lines.append("  scenario a declarative campaign (see `repro scenario --list`)")
     lines.append("  live     a scenario on the asyncio TCP cluster (see `repro live --help`)")
+    lines.append("  trace    a traced run + forensic report (see `repro trace --help`)")
     lines.append("  sweep    one scenario per --set grid cell (see `repro sweep --help`)")
     return "\n".join(lines)
 
@@ -306,6 +353,78 @@ def _command_live(args: argparse.Namespace) -> RunResult:
         target_blocks=args.target_blocks,
         procs=args.procs,
     )
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    """Run a spec with tracing on, validate the trace, print the report."""
+    from repro.observe import (
+        critical_path,
+        forensic_report,
+        to_chrome_trace,
+        to_jsonl,
+        trace_document,
+        validate_trace,
+    )
+
+    overrides: Dict[str, Any] = {
+        "observe.enabled": True,
+        "observe.sample_rate": args.sample_rate,
+    }
+    if args.capacity is not None:
+        overrides["observe.capacity"] = args.capacity
+    kwargs: Dict[str, Any] = {}
+    if args.runtime == "live":
+        kwargs.update(
+            duration=args.duration,
+            target_blocks=args.target_blocks,
+            procs=args.procs,
+        )
+    result = api.run(
+        args.spec,
+        quick=args.quick,
+        seed=args.seed,
+        runtime=args.runtime,
+        overrides=overrides,
+        **kwargs,
+    )
+    observability = result.observability
+    if not observability.get("enabled"):
+        print("error: the run produced no trace", file=sys.stderr)
+        return 1
+    document = trace_document(
+        observability["trace"],
+        spec_name=result.spec.name,
+        seed=result.seed,
+        runtime=args.runtime,
+    )
+    problems = validate_trace(document)
+    if problems:
+        print("error: trace failed schema validation:", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    paths = critical_path(document["events"])
+    report = forensic_report(document, paths=paths)
+    print(report)
+    if args.output_dir:
+        import os
+
+        os.makedirs(args.output_dir, exist_ok=True)
+        written = {
+            "trace (JSONL)": os.path.join(args.output_dir, "trace.jsonl"),
+            "trace (Chrome)": os.path.join(args.output_dir, "trace_chrome.json"),
+            "report": os.path.join(args.output_dir, "report.md"),
+        }
+        with open(written["trace (JSONL)"], "w", encoding="utf-8") as stream:
+            stream.write(to_jsonl(document))
+        with open(written["trace (Chrome)"], "w", encoding="utf-8") as stream:
+            json.dump(to_chrome_trace(document, critical_paths=paths), stream)
+        with open(written["report"], "w", encoding="utf-8") as stream:
+            stream.write(report)
+        print("\nwrote artifacts:")
+        for kind, path in sorted(written.items()):
+            print(f"  {kind}: {path}")
+    return 0
 
 
 def _parse_sweep_grid(assignments: List[str]) -> Dict[str, List[Any]]:
@@ -417,6 +536,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     elif args.command == "live":
         result = _command_live(args)
         artifact = result.artifact()
+    elif args.command == "trace":
+        return _command_trace(args)
     elif args.command == "sweep":
         grid = _parse_sweep_grid(args.grid)
         cells = api.expand_grid(grid or None)

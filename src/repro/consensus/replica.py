@@ -103,6 +103,18 @@ class HotStuffReplica(Process):
 
         self.aggregator = make_aggregator(config.aggregation, self)
 
+    def _trace(self, etype: str, **fields: Any) -> None:
+        """Emit a consensus trace event when a tracer is attached.
+
+        The traced-off cost is one attribute load and an ``is None``
+        check; all emission sites below are per-view or per-block, never
+        per-message, so milestone events are always recorded (sampling
+        only thins the per-share stream in the aggregators).
+        """
+        tracer = self.metrics.tracer
+        if tracer is not None:
+            tracer.emit(etype, self.process_id, self.now, **fields)  # type: ignore[attr-defined]
+
     # ------------------------------------------------------------------
     # Start-up and pacemaker
     # ------------------------------------------------------------------
@@ -150,6 +162,7 @@ class HotStuffReplica(Process):
         # The view made no progress: advance and tell the next leader.
         self.current_view += 1
         self._reset_view_timer()
+        self._trace("view_enter", view=self.current_view, reason="timeout")
         next_leader = self.leader_of(self.current_view)
         message = NewViewMessage(view=self.current_view, highest_qc=self.highest_qc)
         if next_leader == self.process_id:
@@ -195,6 +208,7 @@ class HotStuffReplica(Process):
         if message.view > self.current_view:
             self.current_view = message.view
             self._reset_view_timer()
+            self._trace("view_enter", view=self.current_view, reason="new_view")
         if (
             message.view == self.current_view
             and self.leader_of(self.current_view) == self.process_id
@@ -215,6 +229,7 @@ class HotStuffReplica(Process):
         message = SyncRequest(sender=self.process_id, from_height=self.committed_height)
         peers = [p for p in range(self.config.committee_size) if p != self.process_id]
         self.sync_requests_sent += 1
+        self._trace("sync", kind="request", from_height=self.committed_height)
         self.multicast(peers, message, size_bytes=message.size_bytes)
 
     def committed_suffix(self, from_height: int) -> list[Block]:
@@ -249,6 +264,7 @@ class HotStuffReplica(Process):
         self.send(sender, response, size_bytes=response.size_bytes)
 
     def _on_sync_response(self, sender: int, message: SyncResponse) -> None:
+        self._trace("sync", kind="response", src=sender, blocks=len(message.blocks))
         for block in message.blocks:
             self.blocks.setdefault(block.block_id, block)
             if block.block_id in self.committed_blocks:
@@ -290,6 +306,13 @@ class HotStuffReplica(Process):
         self._proposed_views.add(view)
         self._propose_first_try.pop(view, None)
         self.blocks[block.block_id] = block
+        self._trace(
+            "propose",
+            view=view,
+            block=block.block_id[:12],
+            height=block.height,
+            txs=len(payload),
+        )
         self.mempool.track_block(block.block_id, batch)
         self.consume_cpu(self.config.cpu_model.proposal_cost(payload_bytes))
         self.aggregator.disseminate(block)
@@ -410,6 +433,7 @@ class HotStuffReplica(Process):
         if next_view > self.current_view:
             self.current_view = next_view
             self._reset_view_timer()
+            self._trace("view_enter", view=next_view, reason="qc")
         if (
             next_view == self.current_view
             and self.leader_of(next_view) == self.process_id
@@ -444,6 +468,12 @@ class HotStuffReplica(Process):
             self.committed_blocks.add(ancestor.block_id)
             self.committed_height = max(self.committed_height, ancestor.height)
             self.mempool.mark_committed(ancestor.block_id, ancestor.payload, self.now)
+            self._trace(
+                "commit",
+                view=ancestor.view,
+                block=ancestor.block_id[:12],
+                height=ancestor.height,
+            )
         # Time-to-rejoin instrumentation: the first commit reached through
         # the *protocol* path after a recovery (catch-up applies in
         # _on_sync_response and deliberately does not count).
@@ -466,12 +496,19 @@ class HotStuffReplica(Process):
         )
         self.metrics.record_qc_size(qc.size)
         self.metrics.record_view(block.view, True)
+        self._trace(
+            "qc_formed",
+            view=block.view,
+            block=block.block_id[:12],
+            signers=qc.size,
+        )
         self.blocks.setdefault(block.block_id, block)
         self._update_highest_qc(qc)
         next_view = block.view + 1
         if next_view >= self.current_view:
             self.current_view = next_view
             self._reset_view_timer()
+            self._trace("view_enter", view=next_view, reason="aggregate")
             self.propose(next_view)
 
     # ------------------------------------------------------------------

@@ -116,6 +116,15 @@ class InivaAggregator(TreeAggregator):
         if not missing:
             self._root_finalise(block)
             return
+        # Always traced (never sampled out): the forensic report's
+        # omission-cartel visibility hangs on exactly this list of pids.
+        self._trace(
+            "second_chance",
+            phase="request",
+            view=block.view,
+            block=block.block_id[:12],
+            missing=missing,
+        )
         proof = None
         if state["contributions"]:
             proof = self.scheme.aggregate(state["contributions"])
@@ -210,3 +219,11 @@ class InivaAggregator(TreeAggregator):
         added = len(state["included"]) - included_before
         if added > 0:
             self.replica.metrics.record_second_chance_inclusion(added)
+            self._trace(
+                "second_chance",
+                phase="recovered",
+                view=block.view,
+                block=block.block_id[:12],
+                src=sender,
+                added=added,
+            )

@@ -89,6 +89,11 @@ class ExperimentResult:
     depths), the merged open-loop swarm summary and the client-observed
     goodput and latency percentiles the saturation sweep plots.  Empty
     for sim runs and absent from pre-client documents.
+
+    ``observability`` carries the merged consensus trace and metrics
+    registry of runs with ``observe.enabled`` (see :mod:`repro.observe`):
+    ``{"run_id", "enabled", "trace": {...}, "metrics": {...}}``.  Empty
+    when tracing is off and absent from pre-observability documents.
     """
 
     config_label: str
@@ -108,6 +113,7 @@ class ExperimentResult:
     transport: Dict[str, Dict[str, int]] = field(default_factory=dict)
     resilience: Dict[str, object] = field(default_factory=dict)
     clients: Dict[str, object] = field(default_factory=dict)
+    observability: Dict[str, object] = field(default_factory=dict)
 
     def row(self) -> Dict[str, float]:
         """A flat representation used by the benchmark reporting."""
@@ -141,6 +147,7 @@ class ExperimentResult:
             "transport": {pid: dict(counts) for pid, counts in self.transport.items()},
             "resilience": dict(self.resilience),
             "clients": dict(self.clients),
+            "observability": dict(self.observability),
         }
 
     @classmethod
@@ -158,6 +165,7 @@ class ExperimentResult:
         # Absent from pre-resilience / pre-client documents; default empty.
         payload["resilience"] = dict(payload.get("resilience", {}))
         payload["clients"] = dict(payload.get("clients", {}))
+        payload["observability"] = dict(payload.get("observability", {}))
         return cls(**payload)
 
 

@@ -1,0 +1,39 @@
+"""Observability: consensus tracing, unified metrics, forensic reports.
+
+- :mod:`repro.observe.trace` — bounded per-replica event tracer with a
+  fixed consensus taxonomy, deterministic sampling, and mergeable
+  snapshots that ride the worker summary channel;
+- :mod:`repro.observe.metrics` — named counters/gauges/histograms with
+  one snapshot-and-merge API (histograms are ``LatencyDigest``);
+- :mod:`repro.observe.export` — ``repro.trace/1`` documents, JSONL,
+  Chrome trace-event (Perfetto) export, and schema validation;
+- :mod:`repro.observe.report` — per-block critical-path reconstruction
+  and the markdown forensic report;
+- :mod:`repro.observe.logging_setup` — the one stderr logging
+  configuration (``REPRO_LOG_LEVEL``).
+"""
+
+from .export import TRACE_SCHEMA, to_chrome_trace, to_jsonl, trace_document, validate_trace
+from .logging_setup import configure_logging
+from .metrics import MetricsRegistry
+from .metrics import merge_snapshots as merge_metrics_snapshots
+from .report import critical_path, forensic_report
+from .trace import EVENT_TYPES, Tracer, seeded_run_id
+from .trace import merge_snapshots as merge_trace_snapshots
+
+__all__ = [
+    "EVENT_TYPES",
+    "TRACE_SCHEMA",
+    "MetricsRegistry",
+    "Tracer",
+    "configure_logging",
+    "critical_path",
+    "forensic_report",
+    "merge_metrics_snapshots",
+    "merge_trace_snapshots",
+    "seeded_run_id",
+    "to_chrome_trace",
+    "to_jsonl",
+    "trace_document",
+    "validate_trace",
+]

@@ -1,0 +1,191 @@
+"""Trace export: schema'd JSON document, JSONL, and Chrome trace-event.
+
+The canonical on-disk form is a single JSON document (schema
+``repro.trace/1``) wrapping the merged tracer snapshot.  Two derived
+views exist for tooling:
+
+- **JSONL** — one event per line, grep/jq-friendly;
+- **Chrome trace-event JSON** — loadable in Perfetto / ``chrome://tracing``,
+  with each replica as a track (``tid``) and each event as an instant
+  event plus duration slices for the per-block critical path from
+  :mod:`repro.observe.report`.
+
+Validation is hand-rolled (the container has no ``jsonschema``): a
+:func:`validate_trace` pass returns a list of human-readable problems,
+empty when the document is well-formed.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, IO, Iterable, List, Mapping, Optional
+
+from .trace import EVENT_TYPES
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "trace_document",
+    "to_jsonl",
+    "write_jsonl",
+    "to_chrome_trace",
+    "validate_trace",
+]
+
+TRACE_SCHEMA = "repro.trace/1"
+
+#: Fields every event must carry; anything else is event-type payload.
+_REQUIRED_EVENT_FIELDS = ("type", "pid", "t", "seq")
+
+
+def trace_document(
+    snapshot: Mapping[str, object],
+    *,
+    spec_name: str = "",
+    seed: int = 0,
+    runtime: str = "",
+) -> Dict[str, object]:
+    """Wrap a merged tracer snapshot in the versioned trace document."""
+    return {
+        "schema": TRACE_SCHEMA,
+        "run_id": snapshot.get("run_id", ""),
+        "spec": spec_name,
+        "seed": seed,
+        "runtime": runtime,
+        "capacity": snapshot.get("capacity", 0),
+        "sample_rate": snapshot.get("sample_rate", 1.0),
+        "dropped": snapshot.get("dropped", 0),
+        "events": list(snapshot.get("events", [])),  # type: ignore[arg-type]
+    }
+
+
+def to_jsonl(document: Mapping[str, object]) -> str:
+    """One JSON object per line: a header line, then one line per event."""
+    header = {key: value for key, value in document.items() if key != "events"}
+    lines = [json.dumps(header, sort_keys=True)]
+    for event in document.get("events", []):  # type: ignore[union-attr]
+        lines.append(json.dumps(event, sort_keys=True))
+    return "\n".join(lines) + "\n"
+
+
+def write_jsonl(document: Mapping[str, object], stream: IO[str]) -> None:
+    stream.write(to_jsonl(document))
+
+
+def to_chrome_trace(
+    document: Mapping[str, object],
+    *,
+    critical_paths: Optional[Iterable[Mapping[str, object]]] = None,
+) -> Dict[str, object]:
+    """Chrome trace-event JSON (Perfetto-loadable).
+
+    Every consensus event becomes an instant event (phase ``"i"``) on
+    the emitting replica's track; per-block critical-path segments (if
+    supplied from :func:`repro.observe.report.critical_path`) become
+    complete slices (phase ``"X"``) on a dedicated ``critical-path``
+    track.  Timestamps are microseconds per the trace-event spec.
+    """
+    run_id = str(document.get("run_id", "trace"))
+    trace_events: List[Dict[str, object]] = []
+    pids_seen = set()
+    for event in document.get("events", []):  # type: ignore[union-attr]
+        pid = int(event.get("pid", 0))
+        pids_seen.add(pid)
+        args = {
+            key: value
+            for key, value in event.items()
+            if key not in ("type", "pid", "t")
+        }
+        trace_events.append(
+            {
+                "name": str(event.get("type", "event")),
+                "ph": "i",
+                "s": "t",  # thread-scoped instant
+                "ts": round(float(event.get("t", 0.0)) * 1e6, 3),
+                "pid": run_id,
+                "tid": f"replica-{pid}",
+                "args": args,
+            }
+        )
+    for pid in sorted(pids_seen):
+        trace_events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": run_id,
+                "tid": f"replica-{pid}",
+                "args": {"name": f"replica {pid}"},
+            }
+        )
+    if critical_paths:
+        for path in critical_paths:
+            block = str(path.get("block", ""))
+            for segment in path.get("segments", []):  # type: ignore[union-attr]
+                trace_events.append(
+                    {
+                        "name": f"{segment['name']} {block}",
+                        "ph": "X",
+                        "ts": round(float(segment["start"]) * 1e6, 3),
+                        "dur": max(0.0, round(float(segment["duration"]) * 1e6, 3)),
+                        "pid": run_id,
+                        "tid": "critical-path",
+                        "args": {"block": block},
+                    }
+                )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def validate_trace(document: Mapping[str, object]) -> List[str]:
+    """Check a trace document against ``repro.trace/1``.
+
+    Returns a list of problems (empty means valid).  Checks: schema
+    tag, header field types, event envelope fields, taxonomy
+    membership, and per-pid ``seq`` monotonicity.
+    """
+    problems: List[str] = []
+    if document.get("schema") != TRACE_SCHEMA:
+        problems.append(f"schema must be {TRACE_SCHEMA!r}, got {document.get('schema')!r}")
+    if not isinstance(document.get("run_id"), str) or not document.get("run_id"):
+        problems.append("run_id must be a non-empty string")
+    for field, kind in (("capacity", int), ("dropped", int)):
+        value = document.get(field)
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            problems.append(f"{field} must be a non-negative integer, got {value!r}")
+    sample_rate = document.get("sample_rate")
+    if not isinstance(sample_rate, (int, float)) or not 0.0 < float(sample_rate) <= 1.0:
+        problems.append(f"sample_rate must be in (0, 1], got {sample_rate!r}")
+    events = document.get("events")
+    if not isinstance(events, list):
+        problems.append("events must be a list")
+        return problems
+    last_seq: Dict[int, int] = {}
+    for position, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {position} is not an object")
+            continue
+        missing = [field for field in _REQUIRED_EVENT_FIELDS if field not in event]
+        if missing:
+            problems.append(f"event {position} missing fields {missing}")
+            continue
+        etype = event["type"]
+        if etype not in EVENT_TYPES:
+            problems.append(f"event {position} has unknown type {etype!r}")
+        pid = event["pid"]
+        if not isinstance(pid, int) or isinstance(pid, bool) or pid < 0:
+            problems.append(f"event {position} pid must be a non-negative integer")
+            continue
+        if not isinstance(event["t"], (int, float)):
+            problems.append(f"event {position} t must be numeric")
+        seq = event["seq"]
+        if not isinstance(seq, int) or isinstance(seq, bool) or seq < 0:
+            problems.append(f"event {position} seq must be a non-negative integer")
+            continue
+        previous = last_seq.get(pid)
+        if previous is not None and seq <= previous:
+            problems.append(
+                f"event {position}: pid {pid} seq {seq} not greater than previous {previous}"
+            )
+        last_seq[pid] = seq
+        if len(problems) >= 50:
+            problems.append("... (truncated)")
+            break
+    return problems

@@ -1,0 +1,58 @@
+"""One-stop structured logging configuration for the ``repro`` tree.
+
+Every module logs through ``logging.getLogger("repro.<module>")``;
+this helper attaches a single stderr handler to the ``repro`` root
+logger with a compact structured format and honours the
+``REPRO_LOG_LEVEL`` environment knob (``DEBUG``/``INFO``/``WARNING``/
+``ERROR``; default ``WARNING``).
+
+Two hard rules it encodes:
+
+- **stderr, never stdout** — ``--procs`` workers report their summary
+  JSON on stdout; a stray log line there corrupts the run result.
+- **idempotent** — calling it twice (parent process, then again inside
+  a worker after fork/spawn) must not double handlers.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+from typing import IO, Optional
+
+__all__ = ["configure_logging"]
+
+_FORMAT = "%(asctime)s %(levelname)s %(name)s [pid=%(process)d] %(message)s"
+_HANDLER_TAG = "_repro_observe_handler"
+
+
+def configure_logging(
+    level: Optional[str] = None,
+    *,
+    stream: Optional[IO[str]] = None,
+) -> logging.Logger:
+    """Attach (once) a stderr handler to the ``repro`` logger tree.
+
+    ``level`` overrides ``REPRO_LOG_LEVEL``; both default to WARNING so
+    normal runs stay silent.  Returns the ``repro`` root logger.
+    """
+    name = (level or os.environ.get("REPRO_LOG_LEVEL") or "WARNING").upper()
+    resolved = logging.getLevelName(name)
+    if not isinstance(resolved, int):
+        resolved = logging.WARNING
+    logger = logging.getLogger("repro")
+    logger.setLevel(resolved)
+    logger.propagate = False
+    for handler in logger.handlers:
+        if getattr(handler, _HANDLER_TAG, False):
+            handler.setLevel(resolved)
+            if stream is not None:
+                handler.setStream(stream)  # type: ignore[attr-defined]
+            return logger
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setLevel(resolved)
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    setattr(handler, _HANDLER_TAG, True)
+    logger.addHandler(handler)
+    return logger

@@ -1,0 +1,266 @@
+"""Per-block critical-path reconstruction and the forensic run report.
+
+HotStuff-style responsiveness claims are only checkable against a
+breakdown of *where* each block's commit latency went.  Given a merged
+trace, :func:`critical_path` rebuilds the pipeline per block:
+
+``propose → transit → verify → aggregate → commit``
+
+- **transit**: proposal broadcast until the first share arrives back at
+  the aggregation point (``propose`` → first ``share_recv``);
+- **verify**: share arrival until the last crypto check completes
+  (first ``share_recv`` → last ``share_verified``);
+- **aggregate**: verification until the QC forms (… → ``qc_formed``);
+- **commit**: QC formation until the chained commit fires.
+
+:func:`forensic_report` renders the accountability view as markdown:
+the suspicion timeline, every 2ND-CHANCE firing with the replica ids
+whose shares were missing (this is what makes an omission cartel
+visible by name), recoveries, reconnects, and sync traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+__all__ = ["critical_path", "forensic_report"]
+
+_SEGMENT_ORDER = ("transit", "verify", "aggregate", "commit")
+
+
+def critical_path(events: Sequence[Mapping[str, object]]) -> List[Dict[str, object]]:
+    """Reconstruct per-block pipeline segments from a merged trace.
+
+    Returns one entry per block that has at least a ``propose`` and one
+    later milestone, ordered by proposal time::
+
+        {"block": ..., "view": ..., "start": t_propose, "total": seconds,
+         "segments": [{"name", "start", "duration"}, ...]}
+
+    Blocks whose intermediate events were sampled out still get the
+    segments their surviving milestones allow (e.g. propose→commit
+    collapses into a single ``commit`` segment).
+    """
+    blocks: Dict[str, Dict[str, object]] = {}
+    for event in events:
+        block = event.get("block")
+        if not block:
+            continue
+        etype = event.get("type")
+        t = float(event.get("t", 0.0))
+        state = blocks.setdefault(
+            str(block),
+            {"view": event.get("view"), "propose": None, "first_share": None,
+             "last_verified": None, "qc": None, "commit": None},
+        )
+        if state["view"] is None and event.get("view") is not None:
+            state["view"] = event.get("view")
+        if etype == "propose" and state["propose"] is None:
+            state["propose"] = t
+        elif etype == "share_recv":
+            if state["first_share"] is None or t < state["first_share"]:  # type: ignore[operator]
+                state["first_share"] = t
+        elif etype == "share_verified":
+            if state["last_verified"] is None or t > state["last_verified"]:  # type: ignore[operator]
+                state["last_verified"] = t
+        elif etype == "qc_formed" and state["qc"] is None:
+            state["qc"] = t
+        elif etype == "commit" and state["commit"] is None:
+            state["commit"] = t
+
+    paths: List[Dict[str, object]] = []
+    for block, state in blocks.items():
+        start = state["propose"]
+        if start is None:
+            continue
+        milestones = [
+            ("transit", state["first_share"]),
+            ("verify", state["last_verified"]),
+            ("aggregate", state["qc"]),
+            ("commit", state["commit"]),
+        ]
+        segments: List[Dict[str, object]] = []
+        cursor = float(start)  # type: ignore[arg-type]
+        end = cursor
+        for name, stamp in milestones:
+            if stamp is None:
+                continue
+            stamp_f = float(stamp)  # type: ignore[arg-type]
+            if stamp_f < cursor:
+                # Out-of-order clocks across nodes: clamp rather than
+                # emit negative durations Perfetto would reject.
+                stamp_f = cursor
+            segments.append({"name": name, "start": cursor, "duration": stamp_f - cursor})
+            cursor = stamp_f
+            end = stamp_f
+        if not segments:
+            continue
+        paths.append(
+            {
+                "block": block,
+                "view": state["view"],
+                "start": float(start),  # type: ignore[arg-type]
+                "total": end - float(start),  # type: ignore[arg-type]
+                "segments": segments,
+            }
+        )
+    paths.sort(key=lambda path: path["start"])  # type: ignore[arg-type,return-value]
+    return paths
+
+
+def _segment_means(paths: Sequence[Mapping[str, object]]) -> Dict[str, float]:
+    sums: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    for path in paths:
+        for segment in path.get("segments", []):  # type: ignore[union-attr]
+            name = str(segment["name"])
+            sums[name] = sums.get(name, 0.0) + float(segment["duration"])
+            counts[name] = counts.get(name, 0) + 1
+    return {name: sums[name] / counts[name] for name in sums}
+
+
+def forensic_report(
+    document: Mapping[str, object],
+    *,
+    paths: Optional[Sequence[Mapping[str, object]]] = None,
+    max_rows: int = 20,
+) -> str:
+    """Render the markdown forensic report for a trace document."""
+    events: Sequence[Mapping[str, object]] = document.get("events", [])  # type: ignore[assignment]
+    if paths is None:
+        paths = critical_path(events)
+
+    by_type: Dict[str, List[Mapping[str, object]]] = {}
+    for event in events:
+        by_type.setdefault(str(event.get("type")), []).append(event)
+
+    lines: List[str] = []
+    lines.append(f"# Forensic report — `{document.get('run_id', '?')}`")
+    lines.append("")
+    runtime = document.get("runtime") or "?"
+    lines.append(
+        f"Runtime `{runtime}` · seed `{document.get('seed', '?')}` · "
+        f"{len(events)} events ({document.get('dropped', 0)} dropped, "
+        f"sample rate {document.get('sample_rate', 1.0)})"
+    )
+    lines.append("")
+
+    # -- headline ---------------------------------------------------------------
+    commits = by_type.get("commit", [])
+    views = by_type.get("view_enter", [])
+    unique_commits = {event.get("block") for event in commits}
+    lines.append("## Run shape")
+    lines.append("")
+    lines.append(
+        f"- committed blocks traced: **{len(unique_commits)}** "
+        f"({len(commits)} commit events across replicas)"
+    )
+    lines.append(f"- view entries traced: **{len(views)}**")
+    timeout_views = [v for v in views if v.get("reason") == "timeout"]
+    lines.append(f"- view entries via timeout: **{len(timeout_views)}**")
+    lines.append("")
+
+    # -- critical path -----------------------------------------------------------
+    lines.append("## Critical path (propose → transit → verify → aggregate → commit)")
+    lines.append("")
+    if paths:
+        means = _segment_means(paths)
+        mean_total = sum(float(p["total"]) for p in paths) / len(paths)
+        lines.append(f"Blocks with a reconstructed path: **{len(paths)}**, "
+                     f"mean end-to-end **{mean_total * 1000:.2f} ms**.")
+        lines.append("")
+        lines.append("| segment | mean (ms) |")
+        lines.append("|---|---|")
+        for name in _SEGMENT_ORDER:
+            if name in means:
+                lines.append(f"| {name} | {means[name] * 1000:.3f} |")
+        lines.append("")
+        lines.append("| block | view | total (ms) | " + " | ".join(_SEGMENT_ORDER) + " |")
+        lines.append("|---|---|---|" + "---|" * len(_SEGMENT_ORDER))
+        for path in paths[:max_rows]:
+            durations = {str(s["name"]): float(s["duration"]) for s in path["segments"]}  # type: ignore[union-attr]
+            cells = " | ".join(
+                f"{durations[name] * 1000:.3f}" if name in durations else "–"
+                for name in _SEGMENT_ORDER
+            )
+            lines.append(
+                f"| `{path['block']}` | {path.get('view', '?')} | "
+                f"{float(path['total']) * 1000:.3f} | {cells} |"
+            )
+        if len(paths) > max_rows:
+            lines.append(f"| … {len(paths) - max_rows} more | | | " + " | ".join("" for _ in _SEGMENT_ORDER) + " |")
+    else:
+        lines.append("No block had enough traced milestones to rebuild a path.")
+    lines.append("")
+
+    # -- 2ND-CHANCE / omission visibility -----------------------------------------
+    lines.append("## 2ND-CHANCE firings (omitted shares, by replica)")
+    lines.append("")
+    requests = [e for e in by_type.get("second_chance", []) if e.get("phase") == "request"]
+    recoveries = [e for e in by_type.get("second_chance", []) if e.get("phase") == "recovered"]
+    if requests:
+        omitted: Dict[int, int] = {}
+        for request in requests:
+            for pid in request.get("missing", []):  # type: ignore[union-attr]
+                omitted[int(pid)] = omitted.get(int(pid), 0) + 1
+        suspects = ", ".join(
+            f"replica {pid} ({count}×)"
+            for pid, count in sorted(omitted.items(), key=lambda item: -item[1])
+        )
+        lines.append(
+            f"**{len(requests)}** 2ND-CHANCE rounds fired; shares repeatedly "
+            f"missing from: {suspects}."
+        )
+        lines.append("")
+        lines.append("| t (s) | root pid | view | missing replicas |")
+        lines.append("|---|---|---|---|")
+        for request in requests[:max_rows]:
+            missing = ", ".join(str(pid) for pid in request.get("missing", []))  # type: ignore[union-attr]
+            lines.append(
+                f"| {float(request.get('t', 0.0)):.3f} | {request.get('pid')} | "
+                f"{request.get('view', '?')} | {missing} |"
+            )
+        if len(requests) > max_rows:
+            lines.append(f"| … {len(requests) - max_rows} more | | | |")
+    else:
+        lines.append("No 2ND-CHANCE rounds were needed — no shares went missing.")
+    lines.append("")
+    recovered_total = sum(int(e.get("added", 0)) for e in recoveries)
+    lines.append(
+        f"Recoveries: **{len(recoveries)}** replies added **{recovered_total}** "
+        "previously-omitted share(s) back into QCs."
+    )
+    lines.append("")
+
+    # -- suspicion timeline --------------------------------------------------------
+    lines.append("## Suspicion timeline")
+    lines.append("")
+    raised = by_type.get("suspicion_raised", [])
+    cleared = by_type.get("suspicion_cleared", [])
+    if raised or cleared:
+        lines.append("| t (s) | observer | suspect | state |")
+        lines.append("|---|---|---|---|")
+        timeline = sorted(
+            [(e, "raised") for e in raised] + [(e, "cleared") for e in cleared],
+            key=lambda item: float(item[0].get("t", 0.0)),
+        )
+        for event, state in timeline[: max_rows * 2]:
+            lines.append(
+                f"| {float(event.get('t', 0.0)):.3f} | {event.get('pid')} | "
+                f"{event.get('suspect', '?')} | {state} |"
+            )
+    else:
+        lines.append("No replica was ever suspected.")
+    lines.append("")
+
+    # -- recovery traffic ------------------------------------------------------------
+    reconnects = by_type.get("reconnect", [])
+    syncs = by_type.get("sync", [])
+    lines.append("## Recovery traffic")
+    lines.append("")
+    lines.append(f"- reconnect events: **{len(reconnects)}**")
+    lines.append(f"- sync events: **{len(syncs)}** "
+                 f"({sum(1 for s in syncs if s.get('kind') == 'request')} requests, "
+                 f"{sum(1 for s in syncs if s.get('kind') == 'response')} responses)")
+    lines.append("")
+    return "\n".join(lines)

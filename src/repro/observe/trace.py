@@ -1,0 +1,208 @@
+"""Low-overhead per-replica consensus event tracer.
+
+The tracer records *why* a run behaved the way it did: a bounded ring
+buffer of typed consensus events (view entries, proposals, share
+arrivals, QC formation, commits, 2ND-CHANCE firings, suspicion state,
+reconnects, sync, client admission) with a monotonic timestamp and a
+per-replica logical sequence number.  Both runtimes emit through the
+same taxonomy, so a sim trace and a live trace of the same spec+seed
+are directly comparable on their deterministic subsequence
+(``propose``/``qc_formed``/``commit`` carry block ids that the preload
+parity harness pins identical across runtimes).
+
+Design constraints, in order:
+
+1. **Hot-path cost when disabled is one attribute load + ``is None``
+   check** — emission sites fetch ``metrics.tracer`` and skip when
+   unset, so runs without ``observe.enabled`` pay nothing else.
+2. **Bounded memory** — a ``deque(maxlen=capacity)`` ring per tracer;
+   overflow increments ``dropped`` instead of growing.
+3. **Deterministic sampling** — ``sample_view`` hashes ``(view, seed)``
+   so sim and live sample the *same* views; wall-clock and
+   ``random.random()`` never decide what gets traced.
+4. **JSON-safe flat events** — worker tracers ship their snapshot over
+   the existing stdout summary channel; events must round-trip through
+   ``json.dumps`` unchanged.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Sequence
+
+__all__ = [
+    "EVENT_TYPES",
+    "Tracer",
+    "merge_snapshots",
+    "seeded_run_id",
+]
+
+#: The consensus event taxonomy.  Emission sites may only use these
+#: names; the export validator rejects anything else so the schema and
+#: the docs cannot drift apart silently.
+EVENT_TYPES = frozenset(
+    {
+        "view_enter",
+        "propose",
+        "share_recv",
+        "share_verified",
+        "qc_formed",
+        "commit",
+        "second_chance",
+        "suspicion_raised",
+        "suspicion_cleared",
+        "reconnect",
+        "sync",
+        "client_admit",
+        "client_reply",
+    }
+)
+
+#: Knuth's multiplicative hash constant — also used by the scenario
+#: compiler for attacker selection, so it is already part of the
+#: repo's deterministic-seeding idiom.
+_HASH_MULT = 2654435761
+#: Second odd constant (golden-ratio for 64 bits) so the seed perturbs
+#: the whole sampled set rather than nudging the threshold by one.
+_HASH_MULT2 = 0x9E3779B97F4A7C15
+
+
+def seeded_run_id(name: str, seed: int) -> str:
+    """A stable run identifier derived purely from the spec identity.
+
+    Both runtimes (and every ``--procs`` worker) derive the same id for
+    the same spec+seed, which is what lets a merged worker trace and a
+    sim trace be recognised as runs of the same experiment.
+    """
+    return f"{name}-{seed}"
+
+
+class Tracer:
+    """Bounded ring buffer of consensus events for one trace domain.
+
+    Sim attaches one tracer to the deployment-wide
+    :class:`~repro.simnet.metrics.MetricsCollector` (events carry the
+    replica ``pid`` explicitly); live attaches one per node, and the
+    fabric merges worker snapshots with :func:`merge_snapshots`.
+    """
+
+    __slots__ = ("run_id", "capacity", "sample_rate", "seed", "dropped", "_events", "_seq", "_ticks")
+
+    def __init__(
+        self,
+        run_id: str,
+        *,
+        capacity: int = 4096,
+        sample_rate: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("tracer capacity must be >= 1")
+        if not 0.0 < sample_rate <= 1.0:
+            raise ValueError("sample_rate must be in (0, 1]")
+        self.run_id = run_id
+        self.capacity = capacity
+        self.sample_rate = sample_rate
+        self.seed = seed
+        self.dropped = 0
+        self._events: Deque[Dict[str, object]] = deque(maxlen=capacity)
+        #: Per-pid logical clocks: a replica's events are totally ordered
+        #: by ``seq`` even when wall timestamps collide or skew.
+        self._seq: Dict[int, int] = {}
+        self._ticks: Dict[str, int] = {}
+
+    # -- sampling ----------------------------------------------------------------
+    def sample_view(self, view: int) -> bool:
+        """Deterministically decide whether events of ``view`` are traced.
+
+        Hash-based on ``(view, seed)`` so sim and live — and every
+        worker — agree on the sampled set.  At ``sample_rate=1.0`` this
+        is always true.
+        """
+        if self.sample_rate >= 1.0:
+            return True
+        mixed = (view + 1) * _HASH_MULT ^ (self.seed + 1) * _HASH_MULT2
+        return (mixed % 10000) < int(self.sample_rate * 10000)
+
+    def sample_tick(self, key: str) -> bool:
+        """Counter-based sampling for per-request event streams.
+
+        Used where there is no view to hash (e.g. ``client_admit``):
+        every ``1/sample_rate``-th call per key passes.
+        """
+        if self.sample_rate >= 1.0:
+            return True
+        tick = self._ticks.get(key, 0)
+        self._ticks[key] = tick + 1
+        period = max(1, int(round(1.0 / self.sample_rate)))
+        return tick % period == 0
+
+    # -- recording ---------------------------------------------------------------
+    def emit(self, etype: str, pid: int, t: float, **fields: object) -> None:
+        """Append one event.  ``t`` is the runtime's ``now`` (virtual
+        seconds in sim, epoch-relative wall seconds live)."""
+        seq = self._seq.get(pid, 0)
+        self._seq[pid] = seq + 1
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        event: Dict[str, object] = {"type": etype, "pid": pid, "t": round(t, 6), "seq": seq}
+        if fields:
+            event.update(fields)
+        self._events.append(event)
+
+    # -- reading -----------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events(self) -> List[Dict[str, object]]:
+        return list(self._events)
+
+    def snapshot(self) -> Dict[str, object]:
+        """The JSON-safe form shipped over the worker summary channel."""
+        return {
+            "run_id": self.run_id,
+            "capacity": self.capacity,
+            "sample_rate": self.sample_rate,
+            "dropped": self.dropped,
+            "events": list(self._events),
+        }
+
+
+def merge_snapshots(snapshots: Iterable[Optional[Dict[str, object]]]) -> Dict[str, object]:
+    """Fold per-node/per-worker tracer snapshots into one trace.
+
+    Events are ordered by ``(t, pid, seq)`` — timestamp first so the
+    merged stream reads chronologically, with the per-pid logical clock
+    breaking ties deterministically.  ``dropped`` counts add; the
+    merged capacity is the sum of the parts (it describes the combined
+    buffer budget, not a new ring).
+    """
+    merged_events: List[Dict[str, object]] = []
+    run_id = ""
+    capacity = 0
+    sample_rate = 1.0
+    dropped = 0
+    for snap in snapshots:
+        if not snap:
+            continue
+        run_id = run_id or str(snap.get("run_id", ""))
+        capacity += int(snap.get("capacity", 0))
+        sample_rate = float(snap.get("sample_rate", sample_rate))
+        dropped += int(snap.get("dropped", 0))
+        merged_events.extend(snap.get("events", []))  # type: ignore[arg-type]
+    merged_events.sort(key=_event_order)
+    return {
+        "run_id": run_id,
+        "capacity": capacity,
+        "sample_rate": sample_rate,
+        "dropped": dropped,
+        "events": merged_events,
+    }
+
+
+def _event_order(event: Dict[str, object]) -> Sequence[object]:
+    return (
+        float(event.get("t", 0.0)),
+        int(event.get("pid", -1)),
+        int(event.get("seq", 0)),
+    )

@@ -57,6 +57,10 @@ class PeerSession:
             (seconds) between connect attempts, with seeded jitter.
         on_drop: Called with the number of messages lost whenever an
             envelope falls out of the resend buffer.
+        on_reconnect: Called (no arguments) each time the link comes
+            back up after a break — i.e. on every successful connect
+            except the first.  The fabric uses it to put ``reconnect``
+            events into the consensus trace.
         read_limit: Stream reader buffer limit for the ack channel.
     """
 
@@ -73,6 +77,7 @@ class PeerSession:
         reconnect_base: float = 0.01,
         reconnect_cap: float = 0.25,
         on_drop: Optional[Callable[[int], None]] = None,
+        on_reconnect: Optional[Callable[[], None]] = None,
         read_limit: int = 2**16,
     ) -> None:
         self.owner = owner
@@ -85,6 +90,7 @@ class PeerSession:
         self.reconnect_base = reconnect_base
         self.reconnect_cap = reconnect_cap
         self.on_drop = on_drop
+        self.on_reconnect = on_reconnect
         self.read_limit = read_limit
         # Jitter is seeded per (owner, peer) so reconnect storms decohere
         # deterministically under a fixed spec seed.
@@ -218,6 +224,8 @@ class PeerSession:
                 continue
             if self.connects > 0:
                 self.reconnects += 1
+                if self.on_reconnect is not None:
+                    self.on_reconnect()
             self.connects += 1
             attempt = 0
             self.connected = True

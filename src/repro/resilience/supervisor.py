@@ -27,6 +27,7 @@ real worker command line, port map and start epoch through a closure.
 
 from __future__ import annotations
 
+import logging
 import subprocess
 import threading
 import time
@@ -34,6 +35,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 __all__ = ["RestartPolicy", "SupervisedWorker", "WorkerSupervisor"]
+
+logger = logging.getLogger("repro.resilience.supervisor")
 
 
 @dataclass(frozen=True)
@@ -165,6 +168,12 @@ class WorkerSupervisor:
                 if worker.returncode == 0:
                     succeeded.append(worker)
                     continue
+                logger.warning(
+                    "worker hosting pids %s died with returncode %s (attempt %d)",
+                    worker.pids,
+                    worker.returncode,
+                    attempt,
+                )
                 self.events.append(
                     {
                         "kind": "worker-died",
@@ -188,6 +197,11 @@ class WorkerSupervisor:
                     with self._lock:
                         self._active[slot] = (replacement, attempt)
                     self.restarts += 1
+                    logger.info(
+                        "restarted worker hosting pids %s (attempt %d)",
+                        list(pids),
+                        attempt,
+                    )
                     self.events.append(
                         {
                             "kind": "worker-restarted",
@@ -208,6 +222,11 @@ class WorkerSupervisor:
             if worker.returncode == 0:
                 succeeded.append(worker)
             else:
+                logger.warning(
+                    "worker hosting pids %s killed at deadline (returncode %s)",
+                    worker.pids,
+                    worker.returncode,
+                )
                 self.events.append(
                     {
                         "kind": "worker-timeout",

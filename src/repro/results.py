@@ -140,6 +140,18 @@ class RunResult:
         """
         return self.metrics.clients
 
+    @property
+    def observability(self) -> Dict[str, object]:
+        """The merged consensus trace and metrics registry of the first
+        epoch (runs with ``observe.enabled``; see :mod:`repro.observe`).
+
+        ``trace`` is a mergeable tracer snapshot (``run_id`` / ``dropped``
+        / ``events``) ready for :func:`repro.observe.trace_document`;
+        ``metrics`` a registry snapshot (counters / gauges / histograms).
+        Empty when tracing was off.
+        """
+        return self.metrics.observability
+
     # -- row/summary/artifact views ---------------------------------------------
     def rows(self) -> List[Dict[str, object]]:
         """One flat export row per epoch (throughput, latency, QC size,

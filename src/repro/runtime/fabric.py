@@ -275,6 +275,7 @@ class WorkerFabric:
                 reconnect_base=res.reconnect_base,
                 reconnect_cap=res.reconnect_cap,
                 on_drop=self._on_session_drop,
+                on_reconnect=lambda target=target: self._on_session_reconnect(target),
                 read_limit=_READ_LIMIT,
             )
             self.sessions[target] = session
@@ -283,6 +284,19 @@ class WorkerFabric:
 
     def _on_session_drop(self, count: int) -> None:
         self.session_messages_dropped += count
+
+    def _on_session_reconnect(self, target: int) -> None:
+        """Trace a worker-pair link recovery.
+
+        The link is worker-level, so the event is recorded once — on the
+        lowest hosted pid with a tracer — rather than once per hosted
+        replica (an n=50 worker would otherwise spam 50 identical rows).
+        """
+        for node in self.node_list:
+            tracer = getattr(node, "tracer", None)
+            if tracer is not None:
+                tracer.emit("reconnect", node.pid, node.now, peer_worker=target)
+                return
 
     def open_sessions(self) -> None:
         """Eagerly dial every worker this fabric will ever talk to.
@@ -494,7 +508,7 @@ class WorkerFabric:
                     ):
                         continue
                     observer.detector.heartbeat(peer.pid, now)
-                observer.detector.evaluate(now)
+                observer.note_suspicions(observer.detector.evaluate(now))
             if not any_alive:
                 continue
             loop_now = self.loop.time()

@@ -96,6 +96,10 @@ from repro.crypto.keys import Committee
 from repro.crypto.params import TOY_PARAMS
 from repro.experiments.runner import ExperimentResult, _make_signature_scheme
 from repro.experiments.workloads import ClientWorkload
+from repro.observe.metrics import MetricsRegistry
+from repro.observe.metrics import merge_snapshots as merge_metrics_snapshots
+from repro.observe.trace import Tracer, seeded_run_id
+from repro.observe.trace import merge_snapshots as merge_trace_snapshots
 from repro.resilience.detector import PhiAccrualDetector
 from repro.resilience.supervisor import RestartPolicy, SupervisedWorker, WorkerSupervisor
 from repro.results import EpochMetrics, RunResult
@@ -316,6 +320,20 @@ class LiveNode:
         params = TOY_PARAMS if config.signature_scheme == "bls" else None
         self.codec = WireCodec(curve_params=params)
         self.metrics = MetricsCollector(warmup=0.0)
+        # Observability (see repro.observe): one tracer per node — the
+        # live counterpart of the sim's single deployment-wide tracer —
+        # merged across nodes/workers at summary time.  ``None`` keeps
+        # every emission site down to one attribute load + ``is None``.
+        observe = compiled.spec.observe
+        self.tracer: Optional[Tracer] = None
+        if observe.enabled:
+            self.tracer = Tracer(
+                seeded_run_id(compiled.spec.name, compiled.spec.seed),
+                capacity=observe.capacity,
+                sample_rate=observe.sample_rate,
+                seed=compiled.spec.seed,
+            )
+            self.metrics.tracer = self.tracer
         workload = compiled.spec.workload
         self.mempool = Mempool(
             metrics=self.metrics,
@@ -497,6 +515,9 @@ class LiveNode:
             size_bytes=request.payload_size,
             now=self.now,
         )
+        tracer = self.tracer
+        if tracer is not None and tracer.sample_tick("client_admit"):
+            tracer.emit("client_admit", self.pid, self.now, verdict=verdict)
         if verdict == "admitted":
             # A full batch may be waiting on the proposal deadline.
             self.replica.maybe_propose_full_batch()
@@ -540,11 +561,44 @@ class LiveNode:
         wire = replies[0] if len(replies) == 1 else FrameBatch(replies)
         fabric.broadcast_client(self.codec.frame(wire))
         self.replies_sent += len(replies)
+        if self.tracer is not None:
+            # One event per commit batch, not per request: reply volume
+            # is already a counter; the trace only needs the timing.
+            self.tracer.emit("client_reply", self.pid, self.now, count=len(replies))
 
     @staticmethod
     def _write_client(writer: asyncio.StreamWriter, frame: bytes) -> None:
         if not writer.is_closing():
             writer.write(frame)
+
+    def note_suspicions(self, transitions: Sequence[Any]) -> None:
+        """Trace failure-detector raise/clear transitions.
+
+        Called by the fabric's maintenance tick right where
+        ``detector.evaluate`` returns them, so the events land in the
+        ring *at* transition time — per-pid sequence numbers stay
+        monotone with the node's timestamps, which the trace validator
+        checks.
+        """
+        tracer = self.tracer
+        if tracer is None:
+            return
+        for suspicion in transitions:
+            if suspicion.active:
+                tracer.emit(
+                    "suspicion_raised",
+                    self.pid,
+                    suspicion.raised_at,
+                    suspect=suspicion.peer,
+                    phi=round(suspicion.phi, 3),
+                )
+            else:
+                tracer.emit(
+                    "suspicion_cleared",
+                    self.pid,
+                    suspicion.cleared_at,
+                    suspect=suspicion.peer,
+                )
 
     # -- fault hooks (chaos driver) ---------------------------------------------
     def crash_replica(self) -> None:
@@ -620,7 +674,7 @@ class LiveNode:
         time_to_rejoin = None
         if recovered_at is not None and first_commit is not None:
             time_to_rejoin = max(first_commit - recovered_at, 0.0)
-        return {
+        report = {
             "pid": self.pid,
             "elapsed": elapsed,
             "crashed": replica.crashed,
@@ -652,6 +706,45 @@ class LiveNode:
                 "time_to_rejoin": time_to_rejoin,
             },
         }
+        if self.tracer is not None:
+            report["observe"] = {
+                "trace": self.tracer.snapshot(),
+                "metrics": self._registry_snapshot(replica),
+            }
+        return report
+
+    def _registry_snapshot(self, replica: HotStuffReplica) -> Dict[str, Any]:
+        """Fill a :class:`MetricsRegistry` from this node's counters.
+
+        Summary-time import of the scattered ad-hoc counters into the
+        unified registry namespace — zero hot-path rewiring; the parent
+        merges the snapshots (counters add, gauges max, histograms
+        bucket-merge) across nodes, workers and restart incarnations.
+        """
+        registry = MetricsRegistry()
+        registry.fill_counters(self.counters, prefix="transport.")
+        registry.counter("transport.restarts", replica.restarts)
+        registry.counter("transport.messages_blocked", self.messages_blocked)
+        registry.fill_counters(self.mempool.admission_summary(), prefix="clients.")
+        registry.counter("clients.replies_sent", self.replies_sent)
+        registry.counter("consensus.committed_blocks", self.metrics.committed_blocks())
+        registry.counter(
+            "consensus.committed_operations", self.metrics.committed_operations()
+        )
+        registry.counter("consensus.views_recorded", self.metrics.total_views())
+        registry.counter(
+            "consensus.second_chance_inclusions",
+            self.metrics.second_chance_inclusions(),
+        )
+        registry.counter("resilience.sync_requests_sent", replica.sync_requests_sent)
+        registry.counter("resilience.sync_requests_served", replica.sync_requests_served)
+        registry.counter("resilience.catchup_blocks", replica.catchup_blocks)
+        registry.counter("resilience.suspicions", len(self.detector.timeline))
+        registry.gauge("consensus.current_view", replica.current_view)
+        histogram = registry.histogram("consensus.commit_latency")
+        for sample in self.metrics.latency_samples():
+            histogram.record(sample)
+        return registry.snapshot()
 
 
 def _salvaged_summary(pid: int, elapsed: float) -> Dict[str, Any]:
@@ -1118,12 +1211,19 @@ class LiveCluster:
         qc_count = sum(s["qc_count"] for s in summaries)
         cpu = [min(1.0, s["busy_time"] / measured) for s in summaries]
         transport = {str(s["pid"]): dict(s["transport"]) for s in summaries}
+        fabric_report = self._fabric_report()
         message_counters = {
             "messages_sent": sum(s["transport"]["messages_sent"] for s in summaries),
             "messages_delivered": sum(s["transport"]["messages_received"] for s in summaries),
             "messages_dropped": sum(s["transport"]["messages_dropped"] for s in summaries),
             "messages_blocked": sum(s.get("messages_blocked", 0) for s in summaries),
             "bytes_sent": sum(s["transport"]["bytes_sent"] for s in summaries),
+            # Fabric routing health, surfaced with the transport counters
+            # (not buried in the per-worker fabric records): both stay
+            # zero on a clean cluster — nonzero means frames addressed a
+            # pid no worker hosts, or session resends re-delivered.
+            "frames_unroutable": fabric_report.get("frames_unroutable", 0),
+            "frames_duplicate": fabric_report.get("frames_duplicate", 0),
         }
         resilience = {
             "per_replica": {
@@ -1133,10 +1233,22 @@ class LiveCluster:
                 "quiesced": bool(self.window_info.get("quiesced", False)),
                 "all_ready": bool(self.window_info.get("all_ready", True)),
                 "workers": self.worker_report or {"restarts": 0, "events": []},
-                "fabric": self._fabric_report(),
+                "fabric": fabric_report,
             },
         }
         clients = self._clients_report(summaries, measured)
+        observability: Dict[str, Any] = {}
+        if self.spec.observe.enabled:
+            # Salvaged replicas (worker died before summarising) simply
+            # lack the ``observe`` key; both mergers skip falsy entries.
+            records = [s.get("observe") or {} for s in summaries]
+            trace = merge_trace_snapshots(r.get("trace") for r in records)
+            observability = {
+                "run_id": trace.get("run_id", ""),
+                "enabled": True,
+                "trace": trace,
+                "metrics": merge_metrics_snapshots(r.get("metrics") for r in records),
+            }
         return ExperimentResult(
             config_label=f"live {self.compiled.config.describe()}",
             duration=measured,
@@ -1155,6 +1267,7 @@ class LiveCluster:
             transport=transport,
             resilience=resilience,
             clients=clients,
+            observability=observability,
         )
 
     def _fabric_report(self) -> Dict[str, Any]:
@@ -1183,6 +1296,7 @@ class LiveCluster:
             "reconnects": sum(r.get("reconnects", 0) for r in records),
             "frames_resent": sum(r.get("frames_resent", 0) for r in records),
             "frames_duplicate": sum(r.get("frames_duplicate", 0) for r in records),
+            "frames_unroutable": sum(r.get("frames_unroutable", 0) for r in records),
             "session_messages_dropped": sum(
                 r.get("session_messages_dropped", 0) for r in records
             ),

@@ -33,12 +33,14 @@ from __future__ import annotations
 
 import asyncio
 import json
+import logging
 import sys
 from typing import Any, Dict
 
 from repro.chaos.plan import compile_chaos_plan
 from repro.crypto.keys import Committee
 from repro.experiments.runner import _make_signature_scheme
+from repro.observe.logging_setup import configure_logging
 from repro.runtime.fabric import Placement, WorkerFabric
 from repro.runtime.live import LiveNode, serve_window
 from repro.runtime.net import maybe_install_uvloop
@@ -46,6 +48,8 @@ from repro.scenarios.engine import compile_scenario
 from repro.scenarios.spec import ScenarioSpec
 
 __all__ = ["run_worker"]
+
+logger = logging.getLogger("repro.runtime.live_worker")
 
 
 async def _run_nodes(config: Dict[str, Any]) -> Dict[str, Any]:
@@ -93,13 +97,24 @@ async def _run_nodes(config: Dict[str, Any]) -> Dict[str, Any]:
 
 
 def run_worker(stdin: Any = None, stdout: Any = None) -> int:
+    # Logging goes to stderr only (REPRO_LOG_LEVEL selects the level):
+    # stdout is the summary channel the parent parses as JSON, so a
+    # single stray print there would corrupt the whole worker report.
+    configure_logging()
     stdin = stdin or sys.stdin
     stdout = stdout or sys.stdout
     config = json.load(stdin)
     maybe_install_uvloop()
+    logger.info(
+        "worker %s starting (incarnation %s, cold_start=%s)",
+        config.get("worker"),
+        config.get("incarnation", 0),
+        config.get("cold_start", False),
+    )
     report = asyncio.run(_run_nodes(config))
     json.dump(report, stdout)
     stdout.flush()
+    logger.info("worker %s finished", config.get("worker"))
     return 0
 
 

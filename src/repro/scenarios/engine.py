@@ -254,6 +254,19 @@ def build_scenario_deployment(
         loss_probability=compiled.loss_probability,
         link_bandwidth=compiled.link_bandwidth(),
     )
+    if spec.observe.enabled:
+        # One tracer for the whole deployment (the sim shares one metrics
+        # collector; events carry the pid).  The per-replica capacity the
+        # spec names scales by committee size so a sim trace holds as many
+        # events as the live runtime's n per-node rings would.
+        from repro.observe.trace import Tracer, seeded_run_id
+
+        deployment.metrics.tracer = Tracer(
+            seeded_run_id(spec.name, spec.seed),
+            capacity=spec.observe.capacity * spec.committee.size,
+            sample_rate=spec.observe.sample_rate,
+            seed=spec.seed,
+        )
     workload_seed = spec.workload.seed if spec.workload.seed is not None else config.seed
     workload = ClientWorkload(
         rate=spec.workload.rate,
@@ -396,6 +409,39 @@ def run_scenario(spec: ScenarioSpec, quick: bool = False) -> RunResult:
             compiled_scenario.epoch_duration,
             label=f"{spec.name} epoch={epoch} {deployment.config.describe()}",
         )
+        tracer = deployment.metrics.tracer
+        if tracer is not None:
+            from repro.observe.metrics import MetricsRegistry
+
+            # Mirror the live node's registry namespace (consensus.* /
+            # transport.*) so merged sim and live snapshots are directly
+            # comparable; the sim's deployment-wide message counters land
+            # under transport.* like the live per-node transport dict.
+            metrics = deployment.metrics
+            registry = MetricsRegistry()
+            registry.fill_counters(deployment.network.counters(), prefix="transport.")
+            registry.counter("consensus.committed_blocks", metrics.committed_blocks())
+            registry.counter(
+                "consensus.committed_operations", metrics.committed_operations()
+            )
+            registry.counter("consensus.views_recorded", metrics.total_views())
+            registry.counter(
+                "consensus.second_chance_inclusions",
+                metrics.second_chance_inclusions(),
+            )
+            registry.gauge("consensus.average_qc_size", metrics.average_qc_size())
+            histogram = registry.histogram("consensus.commit_latency")
+            for sample in metrics.latency_samples():
+                histogram.record(sample)
+            result = dataclass_replace(
+                result,
+                observability={
+                    "run_id": tracer.run_id,
+                    "enabled": True,
+                    "trace": tracer.snapshot(),
+                    "metrics": registry.snapshot(),
+                },
+            )
         crashed = set(deployment.network.process_ids) - {
             replica.process_id for replica in deployment.correct_replicas()
         }

@@ -37,6 +37,7 @@ __all__ = [
     "ChurnSpec",
     "CommitteeSpec",
     "FaultSpec",
+    "ObserveSpec",
     "ResilienceSpec",
     "ScenarioSpec",
     "TopologySpec",
@@ -409,6 +410,38 @@ class ResilienceSpec:
             raise ValueError("worker restart backoff cannot be negative")
 
 
+@dataclass(frozen=True)
+class ObserveSpec:
+    """Observability knobs (see :mod:`repro.observe`).
+
+    Tracing is off by default: the hot path pays one attribute load and
+    an ``is None`` check per emission site and nothing else.  With
+    ``enabled=True`` every replica records consensus events into a
+    bounded ring buffer; ``sample_rate < 1`` thins hot-path events
+    (share arrivals, client admissions) by deterministic view/tick
+    sampling so sim and live sample the *same* subset.
+
+    Attributes:
+        enabled: Record consensus events into per-replica tracers and
+            surface the merged trace as ``RunResult.observability``.
+        capacity: Ring-buffer size per tracer; overflow drops oldest
+            (counted in the snapshot, never an error).
+        sample_rate: Fraction of views/ticks whose hot-path events are
+            traced; milestone events (propose/qc/commit/view) are
+            always recorded.
+    """
+
+    enabled: bool = False
+    capacity: int = 4096
+    sample_rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("trace capacity must be positive")
+        if not 0.0 < self.sample_rate <= 1.0:
+            raise ValueError("sample rate must be in (0, 1]")
+
+
 # ---------------------------------------------------------------------------
 # The scenario spec
 # ---------------------------------------------------------------------------
@@ -458,6 +491,7 @@ class ScenarioSpec:
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
     churn: ChurnSpec = field(default_factory=ChurnSpec)
     resilience: ResilienceSpec = field(default_factory=ResilienceSpec)
+    observe: ObserveSpec = field(default_factory=ObserveSpec)
 
     #: ConsensusConfig fields the spec already controls through dedicated
     #: fields — they may not be smuggled in through ``scheme_params``.
@@ -533,6 +567,7 @@ class ScenarioSpec:
             "workload": WorkloadSpec,
             "churn": ChurnSpec,
             "resilience": ResilienceSpec,
+            "observe": ObserveSpec,
         }
         converted: Dict[str, Any] = {}
         for key, value in overrides.items():
@@ -638,6 +673,7 @@ class ScenarioSpec:
             "workload": _spec_to_dict(self.workload),
             "churn": _spec_to_dict(self.churn),
             "resilience": _spec_to_dict(self.resilience),
+            "observe": _spec_to_dict(self.observe),
         }
         data["faults"]["partitions"] = [
             {"at": event.at, "groups": [list(group) for group in event.groups],
@@ -664,6 +700,7 @@ class ScenarioSpec:
                 "workload",
                 "churn",
                 "resilience",
+                "observe",
             )
         }
         if "committee" in data:
@@ -680,6 +717,8 @@ class ScenarioSpec:
             kwargs["churn"] = _spec_from_dict(ChurnSpec, data["churn"])
         if "resilience" in data:
             kwargs["resilience"] = _spec_from_dict(ResilienceSpec, data["resilience"])
+        if "observe" in data:
+            kwargs["observe"] = _spec_from_dict(ObserveSpec, data["observe"])
         return cls(**kwargs)
 
     def to_json(self, indent: int = 2) -> str:

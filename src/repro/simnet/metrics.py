@@ -88,6 +88,13 @@ class MetricsCollector:
         self._counters: Dict[str, int] = {}
         self.start_time = 0.0
         self.end_time = 0.0
+        #: Optional consensus event tracer (:class:`repro.observe.trace.Tracer`).
+        #: The collector is the one object every replica and aggregator
+        #: already holds, so it doubles as the tracer attachment point;
+        #: emission sites check ``is None`` and skip, keeping the traced-off
+        #: hot path free.  Typed ``object`` to avoid importing repro.observe
+        #: here (simnet sits below it in the layer diagram).
+        self.tracer: object = None
 
     # -- recording -------------------------------------------------------------
     def record_commit(self, time: float, operation_count: int) -> None:
@@ -148,6 +155,11 @@ class MetricsCollector:
 
     def latency_stats(self) -> LatencyStats:
         return LatencyStats.from_samples(self._latencies)
+
+    def latency_samples(self) -> List[float]:
+        """The raw post-warmup latency samples, in seconds (the registry
+        histogram fill reads these at summary time)."""
+        return list(self._latencies)
 
     def failed_view_fraction(self) -> float:
         if not self._view_outcomes:

@@ -207,6 +207,12 @@ class Network:
             "messages_dropped": self.messages_dropped,
             "messages_blocked": self.messages_blocked,
             "bytes_sent": self.bytes_sent,
+            # The sim delivers by direct reference — there is no routing
+            # demux to misroute or redeliver a frame — so the fabric's
+            # misrouting counters are structurally zero; emitted anyway to
+            # keep the sim/live message-counter schema diffable.
+            "frames_unroutable": 0,
+            "frames_duplicate": 0,
         }
 
     def per_replica_counters(self) -> Dict[int, Dict[str, int]]:

@@ -1,0 +1,106 @@
+"""Trace export: document wrapping, JSONL, Chrome trace-event, validation."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.observe.export import (
+    TRACE_SCHEMA,
+    to_chrome_trace,
+    to_jsonl,
+    trace_document,
+    validate_trace,
+    write_jsonl,
+)
+from repro.observe.report import critical_path
+from repro.observe.trace import Tracer
+
+
+def _document():
+    tracer = Tracer("demo-7", capacity=64)
+    tracer.emit("view_enter", 0, 0.000, view=1, reason="qc")
+    tracer.emit("propose", 0, 0.001, view=1, block="abc123", height=1, txs=20)
+    tracer.emit("share_recv", 1, 0.002, view=1, block="abc123", src=2)
+    tracer.emit("share_verified", 1, 0.003, view=1, block="abc123", src=2, signers=1)
+    tracer.emit("qc_formed", 1, 0.004, view=1, block="abc123", signers=3)
+    tracer.emit("commit", 0, 0.006, view=1, block="abc123", height=1)
+    return trace_document(tracer.snapshot(), spec_name="demo", seed=7, runtime="sim")
+
+
+def test_trace_document_wraps_snapshot_with_schema_header():
+    document = _document()
+    assert document["schema"] == TRACE_SCHEMA
+    assert document["run_id"] == "demo-7"
+    assert document["spec"] == "demo"
+    assert document["seed"] == 7
+    assert document["runtime"] == "sim"
+    assert len(document["events"]) == 6
+    # The document must round-trip through JSON unchanged (the worker
+    # summary channel and the CLI artifact path both rely on it).
+    assert json.loads(json.dumps(document)) == document
+
+
+def test_valid_document_passes_validation():
+    assert validate_trace(_document()) == []
+
+
+def test_validation_rejects_malformed_documents():
+    document = _document()
+
+    wrong_schema = dict(document, schema="repro.trace/999")
+    assert any("schema" in problem for problem in validate_trace(wrong_schema))
+
+    unknown_type = dict(document, events=[{"type": "warp", "pid": 0, "t": 0.1, "seq": 0}])
+    assert any("unknown type" in problem for problem in validate_trace(unknown_type))
+
+    missing_fields = dict(document, events=[{"type": "commit", "pid": 0}])
+    assert any("missing fields" in problem for problem in validate_trace(missing_fields))
+
+    non_monotone = dict(
+        document,
+        events=[
+            {"type": "commit", "pid": 0, "t": 0.1, "seq": 5},
+            {"type": "commit", "pid": 0, "t": 0.2, "seq": 5},
+        ],
+    )
+    assert any("not greater" in problem for problem in validate_trace(non_monotone))
+
+    bad_rate = dict(document, sample_rate=0.0)
+    assert any("sample_rate" in problem for problem in validate_trace(bad_rate))
+
+
+def test_jsonl_has_header_line_then_one_line_per_event():
+    document = _document()
+    lines = to_jsonl(document).strip().split("\n")
+    assert len(lines) == 1 + len(document["events"])
+    header = json.loads(lines[0])
+    assert header["schema"] == TRACE_SCHEMA
+    assert "events" not in header
+    assert json.loads(lines[1])["type"] == "view_enter"
+    stream = io.StringIO()
+    write_jsonl(document, stream)
+    assert stream.getvalue() == to_jsonl(document)
+
+
+def test_chrome_trace_builds_per_replica_tracks():
+    document = _document()
+    chrome = to_chrome_trace(document, critical_paths=critical_path(document["events"]))
+    events = chrome["traceEvents"]
+    instants = [e for e in events if e["ph"] == "i"]
+    metadata = [e for e in events if e["ph"] == "M"]
+    slices = [e for e in events if e["ph"] == "X"]
+    assert len(instants) == len(document["events"])
+    # Timestamps are microseconds and instants sit on the replica's track.
+    propose = next(e for e in instants if e["name"] == "propose")
+    assert propose["ts"] == 1000.0
+    assert propose["tid"] == "replica-0"
+    assert propose["args"]["block"] == "abc123"
+    # One thread_name metadata record per replica seen.
+    assert {e["args"]["name"] for e in metadata} == {"replica 0", "replica 1"}
+    # The reconstructed critical path lands as complete slices with
+    # non-negative durations (Perfetto rejects negative ones).
+    assert slices and all(s["dur"] >= 0 for s in slices)
+    assert {s["tid"] for s in slices} == {"critical-path"}
+    # The whole payload is JSON-serialisable as-is.
+    json.dumps(chrome)

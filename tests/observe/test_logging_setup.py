@@ -1,0 +1,59 @@
+"""The one logging configuration: stderr-only, idempotent, env-driven."""
+
+from __future__ import annotations
+
+import io
+import logging
+
+import pytest
+
+from repro.observe.logging_setup import configure_logging
+
+
+@pytest.fixture(autouse=True)
+def _reset_repro_logger():
+    logger = logging.getLogger("repro")
+    saved = list(logger.handlers)
+    saved_level = logger.level
+    saved_propagate = logger.propagate
+    logger.handlers = []
+    yield
+    logger.handlers = saved
+    logger.setLevel(saved_level)
+    logger.propagate = saved_propagate
+
+
+def test_configure_attaches_exactly_one_handler_even_when_called_twice():
+    logger = configure_logging("INFO")
+    again = configure_logging("INFO")
+    assert logger is again
+    assert len(logger.handlers) == 1
+
+
+def test_level_resolution_env_override_and_fallback(monkeypatch):
+    monkeypatch.setenv("REPRO_LOG_LEVEL", "DEBUG")
+    assert configure_logging().level == logging.DEBUG
+    # An explicit argument wins over the environment.
+    assert configure_logging("ERROR").level == logging.ERROR
+    # Garbage falls back to WARNING rather than raising.
+    monkeypatch.setenv("REPRO_LOG_LEVEL", "NOISY")
+    assert configure_logging().level == logging.WARNING
+
+
+def test_records_flow_to_the_given_stream_not_stdout(capsys):
+    stream = io.StringIO()
+    configure_logging("INFO", stream=stream)
+    logging.getLogger("repro.runtime.live_worker").info("worker 2 starting")
+    # Nothing on stdout — that channel carries worker summary JSON.
+    assert capsys.readouterr().out == ""
+    text = stream.getvalue()
+    assert "worker 2 starting" in text
+    assert "repro.runtime.live_worker" in text
+    assert "INFO" in text
+
+
+def test_module_loggers_inherit_without_propagating_to_root():
+    logger = configure_logging("WARNING")
+    assert logger.propagate is False
+    child = logging.getLogger("repro.resilience.supervisor")
+    assert child.getEffectiveLevel() == logging.WARNING

@@ -1,0 +1,94 @@
+"""The unified metrics registry: record, snapshot and merge semantics."""
+
+from __future__ import annotations
+
+from repro.clients.stats import LatencyDigest
+from repro.observe.metrics import MetricsRegistry, merge_snapshots
+
+
+def test_counters_add_and_default_to_zero():
+    registry = MetricsRegistry()
+    registry.counter("transport.messages_sent")
+    registry.counter("transport.messages_sent", 4)
+    assert registry.counter_value("transport.messages_sent") == 5
+    assert registry.counter_value("never.touched") == 0
+
+
+def test_gauges_keep_the_maximum_observation():
+    registry = MetricsRegistry()
+    registry.gauge("clients.peak_pending", 10)
+    registry.gauge("clients.peak_pending", 3)
+    registry.gauge("clients.peak_pending", 17)
+    assert registry.gauge_value("clients.peak_pending") == 17.0
+
+
+def test_histograms_are_latency_digests():
+    registry = MetricsRegistry()
+    registry.observe("consensus.commit_latency", 0.010)
+    registry.observe("consensus.commit_latency", 0.020)
+    digest = registry.histogram("consensus.commit_latency")
+    assert isinstance(digest, LatencyDigest)
+    assert digest.count == 2
+    snapshot = registry.snapshot()
+    restored = LatencyDigest.from_dict(snapshot["histograms"]["consensus.commit_latency"])
+    assert restored.count == 2
+
+
+def test_fill_counters_imports_adhoc_dicts_with_prefix():
+    registry = MetricsRegistry()
+    registry.fill_counters({"messages_sent": 7, "bytes_sent": 900}, prefix="transport.")
+    assert registry.counter_value("transport.messages_sent") == 7
+    assert registry.counter_value("transport.bytes_sent") == 900
+
+
+def test_merge_counters_add_gauges_max_histograms_bucket_merge():
+    first = MetricsRegistry()
+    first.counter("transport.messages_sent", 10)
+    first.gauge("clients.peak_pending", 5)
+    first.observe("consensus.commit_latency", 0.010)
+    second = MetricsRegistry()
+    second.counter("transport.messages_sent", 32)
+    second.counter("resilience.catchup_blocks", 2)
+    second.gauge("clients.peak_pending", 9)
+    second.observe("consensus.commit_latency", 0.040)
+    merged = merge_snapshots([first.snapshot(), second.snapshot()])
+    assert merged["counters"]["transport.messages_sent"] == 42
+    assert merged["counters"]["resilience.catchup_blocks"] == 2
+    assert merged["gauges"]["clients.peak_pending"] == 9.0
+    histogram = LatencyDigest.from_dict(merged["histograms"]["consensus.commit_latency"])
+    assert histogram.count == 2
+
+
+def test_merge_tolerates_salvaged_workers_and_empty_snapshots():
+    registry = MetricsRegistry()
+    registry.counter("transport.messages_sent", 3)
+    merged = merge_snapshots([None, {}, registry.snapshot()])
+    assert merged["counters"]["transport.messages_sent"] == 3
+    empty = merge_snapshots([None, {}])
+    assert empty == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+def test_merge_folds_restart_incarnations_of_the_same_worker():
+    # A --procs worker dies mid-run and the supervisor restarts it: the
+    # parent then holds one snapshot per *incarnation* of the same pids.
+    # Counters must fold additively (work done before the crash plus work
+    # done after the cold rejoin), gauges must keep the overall peak.
+    incarnation0 = MetricsRegistry()
+    incarnation0.counter("transport.messages_sent", 100)
+    incarnation0.counter("consensus.committed_blocks", 12)
+    incarnation0.gauge("clients.peak_pending", 40)
+    incarnation1 = MetricsRegistry()
+    incarnation1.counter("transport.messages_sent", 60)
+    incarnation1.counter("consensus.committed_blocks", 5)
+    incarnation1.counter("resilience.catchup_blocks", 12)
+    incarnation1.gauge("clients.peak_pending", 8)
+    survivor = MetricsRegistry()
+    survivor.counter("transport.messages_sent", 210)
+    survivor.counter("consensus.committed_blocks", 17)
+    merged = merge_snapshots(
+        [incarnation0.snapshot(), incarnation1.snapshot(), survivor.snapshot()]
+    )
+    assert merged["counters"]["transport.messages_sent"] == 370
+    assert merged["counters"]["consensus.committed_blocks"] == 34
+    assert merged["counters"]["resilience.catchup_blocks"] == 12
+    assert merged["gauges"]["clients.peak_pending"] == 40.0

@@ -1,0 +1,104 @@
+"""Critical-path reconstruction and the forensic markdown report."""
+
+from __future__ import annotations
+
+from repro.observe.report import critical_path, forensic_report
+from repro.observe.trace import Tracer
+
+
+def test_critical_path_segments_follow_the_pipeline():
+    events = [
+        {"type": "propose", "pid": 0, "t": 1.000, "seq": 0, "block": "b1", "view": 3},
+        {"type": "share_recv", "pid": 1, "t": 1.002, "seq": 0, "block": "b1", "view": 3},
+        {"type": "share_recv", "pid": 1, "t": 1.003, "seq": 1, "block": "b1", "view": 3},
+        {"type": "share_verified", "pid": 1, "t": 1.005, "seq": 2, "block": "b1", "view": 3},
+        {"type": "qc_formed", "pid": 1, "t": 1.006, "seq": 3, "block": "b1", "view": 3},
+        {"type": "commit", "pid": 0, "t": 1.010, "seq": 1, "block": "b1", "view": 3},
+    ]
+    paths = critical_path(events)
+    assert len(paths) == 1
+    path = paths[0]
+    assert path["block"] == "b1"
+    assert path["view"] == 3
+    assert path["start"] == 1.000
+    assert abs(path["total"] - 0.010) < 1e-9
+    names = [segment["name"] for segment in path["segments"]]
+    assert names == ["transit", "verify", "aggregate", "commit"]
+    durations = {s["name"]: s["duration"] for s in path["segments"]}
+    # transit: propose -> FIRST share; verify: -> LAST share_verified.
+    assert abs(durations["transit"] - 0.002) < 1e-9
+    assert abs(durations["verify"] - 0.003) < 1e-9
+    assert abs(durations["aggregate"] - 0.001) < 1e-9
+    assert abs(durations["commit"] - 0.004) < 1e-9
+
+
+def test_critical_path_survives_sampled_out_milestones_and_clock_skew():
+    events = [
+        # No share/qc milestones survived sampling: propose -> commit only.
+        {"type": "propose", "pid": 0, "t": 2.000, "seq": 0, "block": "b2"},
+        {"type": "commit", "pid": 0, "t": 2.020, "seq": 1, "block": "b2"},
+        # Cross-node clock skew: the share appears *before* the proposal;
+        # the segment clamps to zero instead of going negative.
+        {"type": "propose", "pid": 0, "t": 3.000, "seq": 2, "block": "b3"},
+        {"type": "share_recv", "pid": 1, "t": 2.999, "seq": 0, "block": "b3"},
+        {"type": "commit", "pid": 0, "t": 3.010, "seq": 3, "block": "b3"},
+        # A block with nothing but a propose has no path to rebuild.
+        {"type": "propose", "pid": 0, "t": 4.000, "seq": 4, "block": "b4"},
+    ]
+    paths = critical_path(events)
+    assert [path["block"] for path in paths] == ["b2", "b3"]
+    only_commit = paths[0]
+    assert [s["name"] for s in only_commit["segments"]] == ["commit"]
+    skewed = paths[1]
+    transit = next(s for s in skewed["segments"] if s["name"] == "transit")
+    assert transit["duration"] == 0.0
+    assert all(s["duration"] >= 0 for s in skewed["segments"])
+
+
+def _cartel_document():
+    tracer = Tracer("cartel-3")
+    tracer.emit("view_enter", 0, 0.000, view=1, reason="timeout")
+    tracer.emit("propose", 0, 0.001, view=1, block="b1")
+    tracer.emit("second_chance", 2, 0.004, phase="request", view=1, block="b1",
+                missing=[5, 9])
+    tracer.emit("second_chance", 2, 0.006, phase="recovered", view=1, block="b1",
+                src=9, added=1)
+    tracer.emit("second_chance", 3, 0.014, phase="request", view=2, block="b2",
+                missing=[5])
+    tracer.emit("commit", 0, 0.020, view=1, block="b1")
+    tracer.emit("suspicion_raised", 1, 0.030, suspect=5, phi=9.1)
+    tracer.emit("suspicion_cleared", 1, 0.050, suspect=5)
+    tracer.emit("reconnect", 1, 0.055, peer_worker=2)
+    tracer.emit("sync", 4, 0.060, kind="request", from_height=3)
+    tracer.emit("sync", 4, 0.065, kind="response", src=0, blocks=2)
+    from repro.observe.export import trace_document
+
+    return trace_document(tracer.snapshot(), spec_name="cartel", seed=3, runtime="sim")
+
+
+def test_forensic_report_names_the_omission_cartel():
+    report = forensic_report(_cartel_document())
+    # The replicas whose shares went missing are called out by name, most
+    # frequently omitted first.
+    assert "replica 5 (2×)" in report
+    assert "replica 9 (1×)" in report
+    assert "**2** 2ND-CHANCE rounds fired" in report
+    assert "**1** replies added **1**" in report
+    # Suspicion timeline and recovery traffic sections are populated.
+    assert "raised" in report and "cleared" in report
+    assert "reconnect events: **1**" in report
+    assert "sync events: **2**" in report and "(1 requests, 1 responses)" in report
+
+
+def test_forensic_report_on_a_clean_run_reads_clean():
+    tracer = Tracer("clean-1")
+    tracer.emit("propose", 0, 0.001, view=1, block="b1")
+    tracer.emit("qc_formed", 1, 0.003, view=1, block="b1", signers=3)
+    tracer.emit("commit", 0, 0.005, view=1, block="b1")
+    from repro.observe.export import trace_document
+
+    document = trace_document(tracer.snapshot(), spec_name="clean", seed=1, runtime="sim")
+    report = forensic_report(document)
+    assert "committed blocks traced: **1**" in report
+    assert "No 2ND-CHANCE rounds were needed" in report
+    assert "No replica was ever suspected." in report

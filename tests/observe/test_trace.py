@@ -1,0 +1,82 @@
+"""Unit behaviour of the consensus event tracer (repro.observe.trace)."""
+
+from __future__ import annotations
+
+from repro.observe.trace import EVENT_TYPES, Tracer, merge_snapshots, seeded_run_id
+
+
+def test_seeded_run_id_is_pure_spec_identity():
+    assert seeded_run_id("omission-cartel", 7) == "omission-cartel-7"
+    assert seeded_run_id("omission-cartel", 7) == seeded_run_id("omission-cartel", 7)
+    assert seeded_run_id("omission-cartel", 8) != seeded_run_id("omission-cartel", 7)
+
+
+def test_emit_assigns_per_pid_logical_clocks():
+    tracer = Tracer("run-1")
+    tracer.emit("propose", 0, 0.001, view=1)
+    tracer.emit("commit", 1, 0.002, view=1)
+    tracer.emit("commit", 0, 0.003, view=1)
+    events = tracer.events()
+    assert [event["seq"] for event in events] == [0, 0, 1]
+    assert [event["pid"] for event in events] == [0, 1, 0]
+    assert all(event["type"] in EVENT_TYPES for event in events)
+
+
+def test_ring_buffer_bounds_memory_and_counts_drops():
+    tracer = Tracer("run-1", capacity=4)
+    for i in range(10):
+        tracer.emit("commit", 0, i * 0.001, height=i)
+    assert len(tracer) == 4
+    assert tracer.dropped == 6
+    # The ring keeps the newest events (the tail of the run).
+    assert [event["height"] for event in tracer.events()] == [6, 7, 8, 9]
+    assert tracer.snapshot()["dropped"] == 6
+
+
+def test_view_sampling_is_deterministic_and_seed_keyed():
+    a = Tracer("run-1", sample_rate=0.25, seed=42)
+    b = Tracer("run-1", sample_rate=0.25, seed=42)
+    views = range(500)
+    picks_a = [view for view in views if a.sample_view(view)]
+    picks_b = [view for view in views if b.sample_view(view)]
+    # Two tracers with the same (rate, seed) — e.g. sim and live, or two
+    # workers of one cluster — trace exactly the same views.
+    assert picks_a == picks_b
+    assert 0 < len(picks_a) < 500
+    different_seed = Tracer("run-1", sample_rate=0.25, seed=43)
+    assert [v for v in views if different_seed.sample_view(v)] != picks_a
+    # Full rate short-circuits to always-on.
+    assert all(Tracer("run-1", sample_rate=1.0).sample_view(view) for view in views)
+
+
+def test_tick_sampling_passes_every_period():
+    tracer = Tracer("run-1", sample_rate=0.25)
+    picks = [tracer.sample_tick("client_admit") for _ in range(8)]
+    assert picks == [True, False, False, False, True, False, False, False]
+
+
+def test_merge_orders_by_time_then_pid_then_seq_and_sums_drops():
+    left = Tracer("run-1", capacity=8)
+    right = Tracer("run-1", capacity=8)
+    left.emit("propose", 0, 0.002)
+    left.emit("commit", 0, 0.004)
+    right.emit("share_recv", 1, 0.001)
+    right.emit("share_recv", 1, 0.004)
+    right.dropped = 3
+    merged = merge_snapshots([left.snapshot(), None, right.snapshot(), {}])
+    assert merged["run_id"] == "run-1"
+    assert merged["capacity"] == 16
+    assert merged["dropped"] == 3
+    kinds = [(event["t"], event["pid"]) for event in merged["events"]]
+    assert kinds == [(0.001, 1), (0.002, 0), (0.004, 0), (0.004, 1)]
+
+
+def test_constructor_rejects_bad_knobs():
+    import pytest
+
+    with pytest.raises(ValueError):
+        Tracer("run-1", capacity=0)
+    with pytest.raises(ValueError):
+        Tracer("run-1", sample_rate=0.0)
+    with pytest.raises(ValueError):
+        Tracer("run-1", sample_rate=1.5)

@@ -149,6 +149,11 @@ def test_fast_path_parity_hashsig():
     assert tcp_fabric["sessions"] == 1  # the forced loopback link to itself
     assert tcp_fabric["tcp_messages"] > 0
     assert tcp_fabric["fast_path_messages"] == 0
+    # On a clean cluster no frame is ever misrouted or re-delivered, on
+    # either delivery path.
+    for fabric in (fast_fabric, tcp_fabric):
+        assert fabric["frames_unroutable"] == 0
+        assert fabric["frames_duplicate"] == 0
 
 
 @pytest.mark.slow
@@ -181,6 +186,10 @@ def test_session_count_scales_with_workers_not_replicas():
     assert fabric["tcp_messages"] > 0  # cross-worker traffic multiplexed
     assert fabric["fast_path_messages"] > 0  # colocated traffic stayed local
     assert len(fabric["per_worker"]) == 2
+    # The frame-routing health counters are exported with the transport
+    # roll-up and stay zero across a clean multi-worker run.
+    assert result.metrics.message_counters["frames_unroutable"] == 0
+    assert result.metrics.message_counters["frames_duplicate"] == 0
 
 
 @pytest.mark.slow

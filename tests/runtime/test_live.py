@@ -65,6 +65,10 @@ def test_live_result_schema_round_trips():
     assert sorted(result.transport) == [str(pid) for pid in range(4)]
     for counters in result.transport.values():
         assert counters["messages_sent"] > 0
+    # Fabric routing health rides the transport roll-up; a clean cluster
+    # never misroutes a frame or re-delivers a session envelope.
+    assert result.metrics.message_counters["frames_unroutable"] == 0
+    assert result.metrics.message_counters["frames_duplicate"] == 0
 
 
 @pytest.mark.slow
